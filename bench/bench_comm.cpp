@@ -1,0 +1,106 @@
+// Sec. III communication claims, measured: fully point-to-point halo exchange
+// versus a central (allreduce-style) collective at matching payload sizes,
+// plus the latency/bandwidth profile of the substrate and the cost of one
+// parallel inference step (comm vs compute).
+
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+
+#include "domain/exchange.hpp"
+#include "domain/halo.hpp"
+#include "minimpi/collectives.hpp"
+#include "minimpi/environment.hpp"
+#include "util/random.hpp"
+
+namespace {
+
+using namespace parpde;
+
+void BM_P2PRoundtrip(benchmark::State& state) {
+  const auto bytes = state.range(0);
+  const mpi::Environment env(2);
+  const std::vector<float> payload(static_cast<std::size_t>(bytes) / 4, 1.0f);
+  for (auto _ : state) {
+    env.run([&](mpi::Communicator& comm) {
+      if (comm.rank() == 0) {
+        comm.send<float>(1, 0, payload);
+        benchmark::DoNotOptimize(comm.recv<float>(1, 1));
+      } else {
+        benchmark::DoNotOptimize(comm.recv<float>(0, 0));
+        comm.send<float>(0, 1, payload);
+      }
+    });
+  }
+  state.SetBytesProcessed(2 * bytes * state.iterations());
+}
+
+void BM_Barrier(benchmark::State& state) {
+  const int ranks = static_cast<int>(state.range(0));
+  const mpi::Environment env(ranks);
+  for (auto _ : state) {
+    env.run([](mpi::Communicator& comm) {
+      for (int i = 0; i < 16; ++i) mpi::barrier(comm);
+    });
+  }
+}
+
+void BM_Allreduce(benchmark::State& state) {
+  const int ranks = static_cast<int>(state.range(0));
+  const auto floats = state.range(1);
+  const mpi::Environment env(ranks);
+  for (auto _ : state) {
+    env.run([&](mpi::Communicator& comm) {
+      std::vector<float> v(static_cast<std::size_t>(floats), 1.0f);
+      mpi::allreduce<float>(comm, v, mpi::ReduceOp::kSum);
+      benchmark::DoNotOptimize(v.data());
+    });
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(floats) * 4 * ranks *
+                          state.iterations());
+}
+
+// One full halo-exchange round on a ranks-decomposed grid — the per-step
+// inference communication of the paper's scheme.
+void BM_HaloExchange(benchmark::State& state) {
+  const int ranks = static_cast<int>(state.range(0));
+  const auto grid = state.range(1);
+  const std::int64_t halo = 8;  // Table I receptive halo
+  const mpi::Dims dims = mpi::dims_create(ranks);
+  const domain::Partition part(grid, grid, dims.px, dims.py);
+  Tensor frame({4, grid, grid});
+  util::Rng rng(1);
+  rng.fill_uniform(frame.values(), -1.0f, 1.0f);
+  const mpi::Environment env(ranks);
+  std::atomic<std::uint64_t> total_bytes{0};
+  for (auto _ : state) {
+    env.run([&](mpi::Communicator& comm) {
+      mpi::CartComm cart(comm, dims.px, dims.py);
+      const Tensor interior = domain::extract_interior(
+          frame, part.block(cart.cx(), cart.cy()));
+      comm.reset_counters();
+      benchmark::DoNotOptimize(
+          domain::exchange_halo(cart, part, interior, halo));
+      total_bytes.fetch_add(comm.bytes_sent());
+    });
+  }
+  state.counters["halo_bytes_per_round"] = static_cast<double>(
+      total_bytes.load() / std::max<std::uint64_t>(1, state.iterations()));
+}
+
+}  // namespace
+
+BENCHMARK(BM_P2PRoundtrip)
+    ->Arg(64)
+    ->Arg(4096)
+    ->Arg(262144)
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_Barrier)->Arg(2)->Arg(8)->Arg(32)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_Allreduce)
+    ->ArgsProduct({{2, 8, 32}, {1024, 65536}})
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_HaloExchange)
+    ->ArgsProduct({{4, 16, 64}, {64, 256}})
+    ->Unit(benchmark::kMicrosecond);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,150 @@
+// Sec. III ablation: the three implemented border strategies for the conv
+// dimension mismatch at subdomain boundaries — zero padding, halo (overlap)
+// padding with neighbour data, and valid-inner comparison. The paper uses
+// approaches 1 and 2 and rejects 3 for production ("data at subdomain
+// interfaces are missing"); this bench quantifies the accuracy differences.
+
+#include <cmath>
+#include <cstdio>
+
+#include "common.hpp"
+#include "core/inference.hpp"
+#include "domain/halo.hpp"
+#include "core/metrics.hpp"
+#include "core/parallel_trainer.hpp"
+#include "util/stats.hpp"
+
+using namespace parpde;
+using namespace parpde::core;
+
+int main(int argc, char** argv) {
+  auto setup = bench::parse_setup(argc, argv);
+  const util::Options opts(argc, argv);
+  // Valid-inner needs blocks larger than twice the receptive halo (16 for the
+  // Table I network), so the default grid is 40 (2x2 ranks -> 20^2 blocks).
+  // Border effects are second-order; they only become visible once the
+  // networks are trained well, hence the higher epoch default.
+  if (!opts.has("grid") && !setup.full_scale) setup.grid = 40;
+  if (!opts.has("epochs") && !setup.full_scale) setup.epochs = 60;
+  // The comparison is about border geometry, not loss weighting: MSE trains
+  // the pressure channel fastest, which is where the seam signal lives.
+  if (!opts.has("loss")) setup.loss = "mse";
+  const int ranks = opts.get_int("ranks", 4);
+  bench::print_setup("Sec. III ablation: border strategies", setup);
+  std::printf("ranks: %d\n", ranks);
+
+  const auto dataset = bench::generate_dataset(setup);
+  const auto split = dataset.chronological_split(setup.train_fraction);
+
+  util::Table table({"border mode", "pressure rel-L2 (interior)",
+                     "pressure rel-L2 (seams)", "final train loss",
+                     "rollout capable"});
+
+  for (const auto mode : {BorderMode::kZeroPad, BorderMode::kHaloPad,
+                          BorderMode::kValidInner, BorderMode::kDeconv}) {
+    TrainConfig config = bench::make_train_config(setup);
+    config.border = mode;
+
+    const std::int64_t shrink = 2 * config.network.receptive_halo();
+    const mpi::Dims dims = mpi::dims_create(ranks);
+    if (mode == BorderMode::kValidInner &&
+        (dataset.height() / dims.py <= shrink ||
+         dataset.width() / dims.px <= shrink)) {
+      table.add_row({border_mode_name(mode), "n/a (blocks too small)", "n/a",
+                     "n/a", "no"});
+      continue;
+    }
+
+    const ParallelTrainer trainer(config, ranks);
+    const auto report = trainer.train(dataset, ExecutionMode::kIsolated);
+
+    // Validation error. Valid-inner mode predicts only the inner block, so
+    // score all modes on the same inner region (fair) and, for the two
+    // full-output modes, also on a seam band around the subdomain interfaces.
+    const std::int64_t halo = config.network.receptive_halo();
+    util::RunningStat inner_err, seam_err;
+    const domain::Partition part(dataset.height(), dataset.width(),
+                                 report.dims.px, report.dims.py);
+
+    if (mode == BorderMode::kValidInner) {
+      // Assemble inner-block predictions only.
+      std::vector<std::unique_ptr<nn::Sequential>> models;
+      for (const auto& outcome : report.rank_outcomes) {
+        util::Rng rng(config.seed);
+        auto model = build_model(config.network, config.border, rng);
+        import_parameters(*model, outcome.parameters);
+        models.push_back(std::move(model));
+      }
+      for (const auto pair : split.val) {
+        for (int r = 0; r < report.ranks; ++r) {
+          const auto block = part.block_of_rank(r);
+          Tensor input = domain::extract_interior(dataset.frame(pair), block);
+          input.reshape({1, input.dim(0), input.dim(1), input.dim(2)});
+          Tensor out = models[static_cast<std::size_t>(r)]->forward(input);
+          out.reshape({out.dim(1), out.dim(2), out.dim(3)});
+          domain::BlockRange inner = block;
+          inner.h0 += halo;
+          inner.h1 -= halo;
+          inner.w0 += halo;
+          inner.w1 -= halo;
+          const Tensor target =
+              domain::extract_interior(dataset.frame(pair + 1), inner);
+          inner_err.add(
+              channel_metrics(out, target)[euler::kPressure].rel_l2);
+        }
+      }
+      table.add_row({border_mode_name(mode),
+                     util::Table::fmt_sci(inner_err.mean()), "n/a (no seam output)",
+                     util::Table::fmt_sci(report.mean_final_loss()), "no"});
+      continue;
+    }
+
+    const SubdomainEnsemble ensemble(config, report, dataset.height(),
+                                     dataset.width());
+    for (const auto pair : split.val) {
+      const Tensor pred = ensemble.predict(dataset.frame(pair));
+      const Tensor& target = dataset.frame(pair + 1);
+      // Seam band: within `halo` lines of an interior subdomain interface.
+      // Scored on the pressure channel only — the channel the networks learn
+      // best, so border artifacts are not drowned by the harder velocity
+      // channels.
+      double seam_sq = 0.0, seam_t = 0.0, in_sq = 0.0, in_t = 0.0;
+      for (std::int64_t c = euler::kPressure; c <= euler::kPressure; ++c) {
+        for (std::int64_t y = 0; y < pred.dim(1); ++y) {
+          for (std::int64_t x = 0; x < pred.dim(2); ++x) {
+            bool near_seam = false;
+            for (int bx = 1; bx < report.dims.px && !near_seam; ++bx) {
+              const auto edge = part.block(bx, 0).w0;
+              near_seam = std::abs(x - edge) < halo;
+            }
+            for (int by = 1; by < report.dims.py && !near_seam; ++by) {
+              const auto edge = part.block(0, by).h0;
+              near_seam = std::abs(y - edge) < halo;
+            }
+            const double d = pred.at(c, y, x) - target.at(c, y, x);
+            const double t = target.at(c, y, x);
+            if (near_seam) {
+              seam_sq += d * d;
+              seam_t += t * t;
+            } else {
+              in_sq += d * d;
+              in_t += t * t;
+            }
+          }
+        }
+      }
+      if (seam_t > 0) seam_err.add(std::sqrt(seam_sq / seam_t));
+      if (in_t > 0) inner_err.add(std::sqrt(in_sq / in_t));
+    }
+    table.add_row({border_mode_name(mode), util::Table::fmt_sci(inner_err.mean()),
+                   util::Table::fmt_sci(seam_err.mean()),
+                   util::Table::fmt_sci(report.mean_final_loss()), "yes"});
+  }
+
+  table.print("\nSec. III | border-strategy ablation (" +
+              std::to_string(ranks) + " ranks):");
+  std::printf("\nExpectation: halo-pad ~= zero-pad in the interior, but "
+              "halo-pad wins on the seam band\n(real neighbour data instead "
+              "of zeros at internal borders).\n");
+  return 0;
+}

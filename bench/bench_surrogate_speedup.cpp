@@ -1,0 +1,128 @@
+// Intro claim, measured: "classical models frequently suffer from very
+// costly solution processes. A data-driven modeling approach has the
+// capability of resolving such issues." This bench compares the cost of
+// advancing the physical state by one recorded-frame interval with
+//   (a) the classical domain-decomposed RK4 solver (K solver steps with 4
+//       ghost exchanges each), and
+//   (b) the trained CNN surrogate (one forward pass + 1 halo exchange),
+// as a function of K = solver steps per frame. The surrogate's cost is
+// K-independent, the solver's grows linearly — the crossover is the paper's
+// economic argument.
+//
+// Flags: --grid --ranks; PARPDE_FULL=1 for the 256^2 grid.
+
+#include <cstdio>
+
+#include "common.hpp"
+#include "core/inference.hpp"
+#include "core/model.hpp"
+#include "domain/exchange.hpp"
+#include "domain/halo.hpp"
+#include "euler/parallel_solver.hpp"
+#include "minimpi/environment.hpp"
+#include "util/timer.hpp"
+
+using namespace parpde;
+using namespace parpde::core;
+
+int main(int argc, char** argv) {
+  auto setup = bench::parse_setup(argc, argv);
+  const util::Options opts(argc, argv);
+  const int ranks = opts.get_int("ranks", 4);
+  const int repeats = opts.get_int("repeats", 5);
+  bench::print_setup("Intro claim: classical solver vs CNN surrogate", setup);
+  std::printf("ranks: %d\n", ranks);
+
+  euler::EulerConfig pde;
+  pde.n = setup.grid;
+  const mpi::Dims dims = mpi::dims_create(ranks);
+  const domain::Partition part(pde.n, pde.n, dims.px, dims.py);
+  const TrainConfig config = bench::make_train_config(setup);
+  const std::int64_t halo = config.network.receptive_halo();
+
+  // Untrained weights are fine: the cost of a forward pass does not depend on
+  // the weight values.
+  util::Rng rng(config.seed);
+  auto model = build_model(config.network, BorderMode::kHaloPad, rng);
+
+  // --- measure one surrogate step (per rank, isolated) ---------------------
+  double surrogate_step = 0.0;
+  double surrogate_comm = 0.0;
+  {
+    std::vector<double> compute(static_cast<std::size_t>(ranks), 0.0);
+    std::vector<double> comm_s(static_cast<std::size_t>(ranks), 0.0);
+    Tensor frame({4, pde.n, pde.n});
+    util::Rng fr(1);
+    fr.fill_uniform(frame.values(), 0.5f, 1.5f);
+    mpi::Environment env(ranks);
+    env.run([&](mpi::Communicator& comm) {
+      mpi::CartComm cart(comm, dims.px, dims.py);
+      util::Rng lrng(config.seed);
+      auto local_model = build_model(config.network, BorderMode::kHaloPad, lrng);
+      Tensor interior =
+          domain::extract_interior(frame, part.block(cart.cx(), cart.cy()));
+      util::AccumulatingTimer comm_timer;
+      util::WallTimer wall;
+      for (int r = 0; r < repeats; ++r) {
+        Tensor input =
+            domain::exchange_halo(cart, part, interior, halo, &comm_timer);
+        input.reshape({1, input.dim(0), input.dim(1), input.dim(2)});
+        Tensor out = local_model->forward(input);
+      }
+      compute[static_cast<std::size_t>(comm.rank())] =
+          (wall.seconds() - comm_timer.seconds()) / repeats;
+      comm_s[static_cast<std::size_t>(comm.rank())] =
+          comm_timer.seconds() / repeats;
+    });
+    for (int r = 0; r < ranks; ++r) {
+      surrogate_step = std::max(surrogate_step, compute[static_cast<std::size_t>(r)]);
+      surrogate_comm = std::max(surrogate_comm, comm_s[static_cast<std::size_t>(r)]);
+    }
+  }
+
+  // --- measure one classical solver step (per rank) ------------------------
+  double solver_step = 0.0;
+  double solver_comm = 0.0;
+  {
+    std::vector<double> wall_s(static_cast<std::size_t>(ranks), 0.0);
+    std::vector<double> comm_s(static_cast<std::size_t>(ranks), 0.0);
+    mpi::Environment env(ranks);
+    env.run([&](mpi::Communicator& comm) {
+      mpi::CartComm cart(comm, dims.px, dims.py);
+      euler::ParallelEulerSolver solver(cart, part, pde);
+      solver.initialize();
+      util::WallTimer wall;
+      for (int r = 0; r < repeats; ++r) solver.step(pde.dt());
+      wall_s[static_cast<std::size_t>(comm.rank())] = wall.seconds() / repeats;
+      comm_s[static_cast<std::size_t>(comm.rank())] =
+          solver.comm_seconds() / repeats;
+    });
+    for (int r = 0; r < ranks; ++r) {
+      solver_step = std::max(solver_step, wall_s[static_cast<std::size_t>(r)]);
+      solver_comm = std::max(solver_comm, comm_s[static_cast<std::size_t>(r)]);
+    }
+  }
+
+  std::printf("\nper-step costs (max over %d ranks, %dx%d grid):\n", ranks,
+              setup.grid, setup.grid);
+  std::printf("  CNN surrogate : %.3f ms compute + %.3f ms halo exchange\n",
+              surrogate_step * 1e3, surrogate_comm * 1e3);
+  std::printf("  RK4 solver    : %.3f ms per step (incl. %.3f ms ghost "
+              "exchange)\n\n",
+              solver_step * 1e3, solver_comm * 1e3);
+
+  util::Table table({"solver steps per frame K", "solver time [ms]",
+                     "surrogate time [ms]", "surrogate speedup"});
+  const double surrogate_total = (surrogate_step + surrogate_comm) * 1e3;
+  for (const int k : {1, 4, 16, 64, 256}) {
+    const double solver_total = solver_step * 1e3 * k;
+    table.add_row({std::to_string(k), util::Table::fmt(solver_total, 3),
+                   util::Table::fmt(surrogate_total, 3),
+                   util::Table::fmt(solver_total / surrogate_total, 2)});
+  }
+  table.print("time to advance one recorded-frame interval:");
+  std::printf("\nThe surrogate replaces K solver steps with one forward pass; "
+              "its advantage\ngrows linearly in K (and in solver stiffness), "
+              "which is the paper's motivation.\n");
+  return 0;
+}

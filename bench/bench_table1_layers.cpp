@@ -1,0 +1,108 @@
+// Table I reproduction: cost of each CNN layer of the per-subdomain network
+// (channels 4 -> 6 -> 16 -> 6 -> 4, 5x5 kernels) plus the assembled network,
+// forward and forward+backward, at the paper's subdomain sizes.
+//
+// google-benchmark binary; run with --benchmark_filter=... to narrow.
+
+#include <benchmark/benchmark.h>
+
+#include "core/config.hpp"
+#include "core/model.hpp"
+#include "nn/conv2d.hpp"
+#include "util/random.hpp"
+
+namespace {
+
+using namespace parpde;
+
+// Table I rows: {in_channels, out_channels}.
+constexpr std::pair<int, int> kTable1Layers[] = {
+    {4, 6}, {6, 16}, {16, 6}, {6, 4}};
+
+void BM_Table1LayerForward(benchmark::State& state) {
+  const auto [cin, cout] = kTable1Layers[state.range(0)];
+  const auto n = state.range(1);
+  nn::Conv2d conv(cin, cout, 5);
+  util::Rng rng(1);
+  conv.init(rng);
+  Tensor x({1, cin, n, n});
+  rng.fill_uniform(x.values(), -1.0f, 1.0f);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(conv.forward(x));
+  }
+  state.counters["pixels/s"] = benchmark::Counter(
+      static_cast<double>(n * n) * static_cast<double>(state.iterations()),
+      benchmark::Counter::kIsRate);
+  state.SetLabel("conv " + std::to_string(cin) + "->" + std::to_string(cout) +
+                 " @" + std::to_string(n) + "^2");
+}
+
+void BM_Table1LayerForwardBackward(benchmark::State& state) {
+  const auto [cin, cout] = kTable1Layers[state.range(0)];
+  const auto n = state.range(1);
+  nn::Conv2d conv(cin, cout, 5);
+  util::Rng rng(2);
+  conv.init(rng);
+  Tensor x({1, cin, n, n});
+  rng.fill_uniform(x.values(), -1.0f, 1.0f);
+  Tensor g({1, cout, n, n});
+  rng.fill_uniform(g.values(), -1.0f, 1.0f);
+  for (auto _ : state) {
+    conv.zero_grad();
+    benchmark::DoNotOptimize(conv.forward(x));
+    benchmark::DoNotOptimize(conv.backward(g));
+  }
+}
+
+void BM_Table1NetworkForward(benchmark::State& state) {
+  const auto n = state.range(0);
+  const core::NetworkConfig net;  // Table I
+  util::Rng rng(3);
+  auto model = core::build_model(net, core::BorderMode::kZeroPad, rng);
+  Tensor x({1, 4, n, n});
+  rng.fill_uniform(x.values(), -1.0f, 1.0f);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model->forward(x));
+  }
+  state.counters["pixels/s"] = benchmark::Counter(
+      static_cast<double>(n * n) * static_cast<double>(state.iterations()),
+      benchmark::Counter::kIsRate);
+}
+
+void BM_Table1NetworkTrainStep(benchmark::State& state) {
+  const auto n = state.range(0);
+  const core::NetworkConfig net;
+  util::Rng rng(4);
+  auto model = core::build_model(net, core::BorderMode::kZeroPad, rng);
+  Tensor x({1, 4, n, n});
+  rng.fill_uniform(x.values(), -1.0f, 1.0f);
+  Tensor g({1, 4, n, n});
+  rng.fill_uniform(g.values(), -1.0f, 1.0f);
+  for (auto _ : state) {
+    model->zero_grad();
+    benchmark::DoNotOptimize(model->forward(x));
+    benchmark::DoNotOptimize(model->backward(g));
+  }
+}
+
+}  // namespace
+
+// Layer index x subdomain size. 32 is the 64-rank subdomain of the paper's
+// 256^2 grid; 128 is the 4-rank subdomain.
+BENCHMARK(BM_Table1LayerForward)
+    ->ArgsProduct({{0, 1, 2, 3}, {32, 64}})
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_Table1LayerForwardBackward)
+    ->ArgsProduct({{0, 1, 2, 3}, {32, 64}})
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_Table1NetworkForward)
+    ->Arg(32)
+    ->Arg(64)
+    ->Arg(128)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Table1NetworkTrainStep)
+    ->Arg(32)
+    ->Arg(64)
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

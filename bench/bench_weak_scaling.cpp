@@ -1,0 +1,58 @@
+// Weak-scaling companion to Fig. 4: the grid grows with the rank count so
+// each rank keeps a fixed subdomain size. For a communication-free training
+// phase the per-rank time should stay flat — the ideal weak-scaling
+// signature — while the problem size grows linearly with P.
+//
+// Flags: --block (per-rank block edge, default 16) --frames --epochs
+//        --max-ranks
+
+#include <cstdio>
+
+#include "common.hpp"
+#include "core/parallel_trainer.hpp"
+
+using namespace parpde;
+using namespace parpde::core;
+
+int main(int argc, char** argv) {
+  auto setup = bench::parse_setup(argc, argv);
+  const util::Options opts(argc, argv);
+  const int block = opts.get_int("block", 16);
+  const int max_ranks = opts.get_int("max-ranks", 64);
+  if (!opts.has("epochs") && !setup.full_scale) setup.epochs = 3;
+  if (!opts.has("border")) setup.border = core::BorderMode::kZeroPad;
+  bench::print_setup("Fig. 4 companion: weak scaling", setup);
+  std::printf("per-rank block: %dx%d\n", block, block);
+
+  util::Table table({"ranks", "grid", "T_rank max [s]", "T_rank mean [s]",
+                     "weak efficiency"});
+  double t1 = 0.0;
+  for (int ranks = 1; ranks <= max_ranks; ranks *= 4) {
+    const mpi::Dims dims = mpi::dims_create(ranks);
+    auto grown = setup;
+    grown.grid = block * dims.px;  // square topologies (1, 4, 16, 64 ranks)
+    if (dims.px != dims.py) {
+      std::printf("skipping %d ranks (non-square topology)\n", ranks);
+      continue;
+    }
+    const auto dataset = bench::generate_dataset(grown);
+    const TrainConfig config = bench::make_train_config(grown);
+    const ParallelTrainer trainer(config, ranks);
+    const auto report = trainer.train(dataset, ExecutionMode::kIsolated);
+
+    const double tmax = report.modeled_parallel_seconds();
+    const double tmean = report.total_work_seconds() / ranks;
+    if (ranks == 1) t1 = tmax;
+    table.add_row({std::to_string(ranks),
+                   std::to_string(grown.grid) + "x" + std::to_string(grown.grid),
+                   util::Table::fmt(tmax, 3), util::Table::fmt(tmean, 3),
+                   util::Table::fmt(t1 / tmax, 3)});
+    std::printf("ranks=%d (grid %d) done: %.3fs\n", ranks, grown.grid, tmax);
+    std::fflush(stdout);
+  }
+  table.print("\nweak scaling (fixed per-rank block, growing grid):");
+  std::printf("\nIdeal weak efficiency is 1.0: per-rank training cost is "
+              "independent of how many\nother subdomains exist, because the "
+              "scheme exchanges nothing during training.\n");
+  return 0;
+}

@@ -1,0 +1,73 @@
+// Beyond the paper's test case: a pulse in a moving background medium
+// (nonzero u_c), i.e. the full linearized Euler equations with advection,
+// demonstrating how the solver configuration generalizes and that the
+// domain-decomposed networks learn an asymmetric flow field too.
+//
+// Run: ./examples/advected_pulse [--mach=0.3] [--ranks=4] [--grid=40]
+
+#include <cstdio>
+
+#include "core/inference.hpp"
+#include "core/metrics.hpp"
+#include "core/parallel_trainer.hpp"
+#include "euler/simulate.hpp"
+#include "util/options.hpp"
+
+using namespace parpde;
+using namespace parpde::core;
+
+int main(int argc, char** argv) {
+  const util::Options opts(argc, argv);
+  const int ranks = opts.get_int("ranks", 4);
+  const double mach = opts.get_double("mach", 0.3);
+
+  euler::EulerConfig pde;
+  pde.n = opts.get_int("grid", 40);
+  pde.uc = mach * pde.sound_speed();  // background flow in +x
+  pde.pulse_x = -0.5;                 // start upstream so the pulse advects
+  euler::SimulateOptions sim_opts;
+  sim_opts.num_frames = opts.get_int("frames", 36);
+  sim_opts.steps_per_frame = 4;
+  std::printf("simulating advected pulse: Mach %.2f background flow, "
+              "%d frames (%dx%d)...\n",
+              mach, sim_opts.num_frames, pde.n, pde.n);
+  auto sim = euler::simulate(pde, sim_opts);
+  const data::FrameDataset dataset(std::move(sim.frames));
+
+  TrainConfig config;
+  config.border = BorderMode::kHaloPad;
+  config.epochs = opts.get_int("epochs", 10);
+  std::printf("training %d subdomain networks...\n", ranks);
+  const ParallelTrainer trainer(config, ranks);
+  const auto report = trainer.train(dataset, ExecutionMode::kConcurrent);
+  std::printf("mean final %s loss: %.6g\n", config.loss.c_str(),
+              report.mean_final_loss());
+
+  const auto split = dataset.chronological_split(config.train_fraction);
+  const SubdomainEnsemble ensemble(config, report, dataset.height(),
+                                   dataset.width());
+  double err = 0.0;
+  for (const auto pair : split.val) {
+    err += overall_metrics(ensemble.predict(dataset.frame(pair)),
+                           dataset.frame(pair + 1))
+               .rel_l2;
+  }
+  err /= static_cast<double>(split.val.size());
+  std::printf("mean one-step validation rel-L2: %.4e over %zu frames\n", err,
+              split.val.size());
+
+  // The advected field is x-asymmetric; verify the networks reproduce the
+  // asymmetry rather than a symmetric average.
+  const auto pair = split.val.front();
+  const Tensor pred = ensemble.predict(dataset.frame(pair));
+  const auto line = centerline(pred, euler::kPressure);
+  double left = 0.0, right = 0.0;
+  for (std::size_t i = 0; i < line.size() / 2; ++i) {
+    left += std::abs(line[i] - 1.0f);  // background pressure is 1
+    right += std::abs(line[line.size() - 1 - i] - 1.0f);
+  }
+  std::printf("centerline perturbation mass: upstream %.4f vs downstream "
+              "%.4f (asymmetry from the Mach-%.2f flow)\n",
+              left, right, mach);
+  return 0;
+}

@@ -1,0 +1,86 @@
+// Generality demonstration (Sec. I: the method "can be generalized to be
+// utilized for other fields as well"): the identical decomposition/training/
+// inference pipeline learns a *different* PDE — scalar advection-diffusion —
+// with a single-channel network, no code changes in the core library.
+//
+// Run: ./examples/generalization_advection [--ranks=4] [--grid=48]
+//      [--frames=40] [--epochs=25]
+
+#include <cstdio>
+
+#include "core/inference.hpp"
+#include "core/metrics.hpp"
+#include "core/parallel_trainer.hpp"
+#include "pde/advection.hpp"
+#include "util/ascii_plot.hpp"
+#include "util/options.hpp"
+
+using namespace parpde;
+using namespace parpde::core;
+
+int main(int argc, char** argv) {
+  const util::Options opts(argc, argv);
+  const int ranks = opts.get_int("ranks", 4);
+
+  // 1. A different substrate: advection-diffusion of a scalar blob. A gentle
+  //    drift keeps the blob inside the domain for the whole run, so the
+  //    chronological validation frames stay within the spatial distribution
+  //    each subdomain saw during training. (With fast advection the blob
+  //    reaches regions only during the validation window — positions the
+  //    local networks never trained on — a distribution-shift caveat of
+  //    purely data-driven subdomain models worth knowing about.)
+  pde::AdvectionConfig config;
+  config.n = opts.get_int("grid", 48);
+  config.ax = opts.get_double("ax", 0.1);
+  config.ay = opts.get_double("ay", 0.05);
+  config.nu = 3e-3;
+  config.blob_x = -0.15;
+  config.blob_y = -0.1;
+  config.blob_sigma = 0.2;
+  const int frames = opts.get_int("frames", 40);
+  std::printf("simulating %d advection-diffusion frames (%dx%d, a=(%.2f, "
+              "%.2f), nu=%.0e)...\n",
+              frames, config.n, config.n, config.ax, config.ay, config.nu);
+  auto sim = pde::simulate_advection(config, frames, /*steps_per_frame=*/2);
+  const data::FrameDataset dataset(std::move(sim.frames));
+
+  // 2. Same pipeline, single-channel Table-I-style network.
+  TrainConfig train;
+  train.network.channels = {1, 6, 16, 6, 1};
+  train.border = BorderMode::kHaloPad;
+  train.loss = "mse";
+  train.epochs = opts.get_int("epochs", 25);
+  train.learning_rate = 1e-2;
+  std::printf("training %d subdomain networks (%d epochs)...\n", ranks,
+              train.epochs);
+  const ParallelTrainer trainer(train, ranks);
+  const auto report = trainer.train(dataset, ExecutionMode::kConcurrent);
+  std::printf("mean final loss: %.6g | modeled parallel time: %.2fs | "
+              "training bytes sent: 0 (asserted)\n",
+              report.mean_final_loss(), report.modeled_parallel_seconds());
+
+  // 3. Validate one-step predictions and render the comparison.
+  const auto split = dataset.chronological_split(train.train_fraction);
+  const SubdomainEnsemble ensemble(train, report, dataset.height(),
+                                   dataset.width());
+  double err = 0.0;
+  for (const auto pair : split.val) {
+    err += overall_metrics(ensemble.predict(dataset.frame(pair)),
+                           dataset.frame(pair + 1))
+               .rel_l2;
+  }
+  err /= static_cast<double>(split.val.size());
+  std::printf("mean one-step validation rel-L2: %.4e over %zu frames\n\n", err,
+              split.val.size());
+
+  const auto pair = split.val.front();
+  util::AsciiPlotOptions plot;
+  plot.max_width = 40;
+  plot.max_height = 20;
+  std::printf("%s", util::render_comparison(
+                        ensemble.predict(dataset.frame(pair)),
+                        dataset.frame(pair + 1), 0,
+                        "advected blob, one-step prediction", plot)
+                        .c_str());
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Strong-scaling study of the communication-free training scheme (the Fig. 4
+// experiment as a user-facing example). Trains the same dataset at increasing
+// rank counts and prints the modeled parallel time, speedup and efficiency.
+//
+// Run: ./examples/scaling_study [--grid=32] [--frames=24] [--epochs=3]
+//      [--max-ranks=16]
+
+#include <cstdio>
+
+#include "core/parallel_trainer.hpp"
+#include "euler/simulate.hpp"
+#include "util/options.hpp"
+#include "util/table.hpp"
+
+using namespace parpde;
+using namespace parpde::core;
+
+int main(int argc, char** argv) {
+  const util::Options opts(argc, argv);
+  const int max_ranks = opts.get_int("max-ranks", 16);
+
+  euler::EulerConfig pde;
+  pde.n = opts.get_int("grid", 32);
+  euler::SimulateOptions sim_opts;
+  sim_opts.num_frames = opts.get_int("frames", 24);
+  sim_opts.steps_per_frame = 4;
+  std::printf("simulating %d frames (%dx%d)...\n", sim_opts.num_frames, pde.n,
+              pde.n);
+  auto sim = euler::simulate(pde, sim_opts);
+  const data::FrameDataset dataset(std::move(sim.frames));
+
+  TrainConfig config;
+  config.epochs = opts.get_int("epochs", 3);
+  config.border = BorderMode::kHaloPad;
+
+  util::Table table({"ranks", "topology", "T_parallel [s]", "speedup",
+                     "efficiency"});
+  double t1 = 0.0;
+  for (int ranks = 1; ranks <= max_ranks; ranks *= 2) {
+    const mpi::Dims dims = mpi::dims_create(ranks);
+    if (dataset.height() / dims.py < config.network.kernel ||
+        dataset.width() / dims.px < config.network.kernel) {
+      break;
+    }
+    const ParallelTrainer trainer(config, ranks);
+    const auto report = trainer.train(dataset, ExecutionMode::kIsolated);
+    const double t = report.modeled_parallel_seconds();
+    if (ranks == 1) t1 = t;
+    table.add_row({std::to_string(ranks),
+                   std::to_string(dims.px) + "x" + std::to_string(dims.py),
+                   util::Table::fmt(t, 3), util::Table::fmt(t1 / t, 2),
+                   util::Table::fmt(t1 / t / ranks, 3)});
+    std::printf("ranks=%d done (%.3fs)\n", ranks, t);
+  }
+  table.print("\nstrong scaling of training time:");
+  return 0;
+}

@@ -1,0 +1,130 @@
+#include "core/checkpoint.hpp"
+
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+
+#include "tensor/serialize.hpp"
+
+namespace parpde::core {
+
+namespace {
+
+constexpr char kMagic[4] = {'P', 'P', 'D', 'E'};
+constexpr std::uint32_t kVersion = 1;
+
+template <typename T>
+void write_pod(std::ostream& out, const T& value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+T read_pod(std::istream& in) {
+  T value{};
+  in.read(reinterpret_cast<char*>(&value), sizeof(T));
+  if (!in) throw std::runtime_error("read_ensemble: truncated stream");
+  return value;
+}
+
+}  // namespace
+
+void write_ensemble(std::ostream& out, const EnsembleCheckpoint& checkpoint) {
+  const auto& report = checkpoint.report;
+  out.write(kMagic, sizeof(kMagic));
+  write_pod(out, kVersion);
+
+  const auto& net = checkpoint.network;
+  write_pod(out, static_cast<std::uint32_t>(net.channels.size()));
+  for (const auto c : net.channels) write_pod(out, c);
+  write_pod(out, net.kernel);
+  write_pod(out, net.leaky_slope);
+  write_pod(out, static_cast<std::uint8_t>(net.final_activation ? 1 : 0));
+  write_pod(out, static_cast<std::uint8_t>(checkpoint.border));
+
+  write_pod(out, static_cast<std::int32_t>(report.ranks));
+  write_pod(out, static_cast<std::int32_t>(report.dims.px));
+  write_pod(out, static_cast<std::int32_t>(report.dims.py));
+  for (const auto& outcome : report.rank_outcomes) {
+    write_pod(out, outcome.block.h0);
+    write_pod(out, outcome.block.h1);
+    write_pod(out, outcome.block.w0);
+    write_pod(out, outcome.block.w1);
+    write_pod(out, static_cast<std::uint32_t>(outcome.parameters.size()));
+    for (const auto& t : outcome.parameters) write_tensor(out, t);
+  }
+  if (!out) throw std::runtime_error("write_ensemble: stream failure");
+}
+
+EnsembleCheckpoint read_ensemble(std::istream& in) {
+  char magic[4];
+  in.read(magic, sizeof(magic));
+  if (!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    throw std::runtime_error("read_ensemble: bad magic");
+  }
+  if (read_pod<std::uint32_t>(in) != kVersion) {
+    throw std::runtime_error("read_ensemble: unsupported version");
+  }
+
+  EnsembleCheckpoint checkpoint;
+  const auto n_channels = read_pod<std::uint32_t>(in);
+  if (n_channels < 2 || n_channels > 64) {
+    throw std::runtime_error("read_ensemble: implausible channel count");
+  }
+  checkpoint.network.channels.resize(n_channels);
+  for (auto& c : checkpoint.network.channels) c = read_pod<std::int64_t>(in);
+  checkpoint.network.kernel = read_pod<std::int64_t>(in);
+  checkpoint.network.leaky_slope = read_pod<float>(in);
+  checkpoint.network.final_activation = read_pod<std::uint8_t>(in) != 0;
+  const auto border = read_pod<std::uint8_t>(in);
+  if (border > static_cast<std::uint8_t>(BorderMode::kDeconv)) {
+    throw std::runtime_error("read_ensemble: bad border mode");
+  }
+  checkpoint.border = static_cast<BorderMode>(border);
+
+  auto& report = checkpoint.report;
+  report.ranks = read_pod<std::int32_t>(in);
+  report.dims.px = read_pod<std::int32_t>(in);
+  report.dims.py = read_pod<std::int32_t>(in);
+  if (report.ranks <= 0 || report.dims.px * report.dims.py != report.ranks) {
+    throw std::runtime_error("read_ensemble: inconsistent topology");
+  }
+  report.rank_outcomes.resize(static_cast<std::size_t>(report.ranks));
+  for (int r = 0; r < report.ranks; ++r) {
+    auto& outcome = report.rank_outcomes[static_cast<std::size_t>(r)];
+    outcome.rank = r;
+    outcome.block.h0 = read_pod<std::int64_t>(in);
+    outcome.block.h1 = read_pod<std::int64_t>(in);
+    outcome.block.w0 = read_pod<std::int64_t>(in);
+    outcome.block.w1 = read_pod<std::int64_t>(in);
+    const auto count = read_pod<std::uint32_t>(in);
+    if (count > 1024) throw std::runtime_error("read_ensemble: implausible count");
+    outcome.parameters.reserve(count);
+    for (std::uint32_t i = 0; i < count; ++i) {
+      outcome.parameters.push_back(read_tensor(in));
+    }
+  }
+  return checkpoint;
+}
+
+void save_ensemble(const std::string& path, const EnsembleCheckpoint& checkpoint) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("save_ensemble: cannot open " + path);
+  write_ensemble(out, checkpoint);
+}
+
+EnsembleCheckpoint load_ensemble(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("load_ensemble: cannot open " + path);
+  return read_ensemble(in);
+}
+
+EnsembleCheckpoint make_checkpoint(const TrainConfig& config,
+                                   const ParallelTrainReport& report) {
+  EnsembleCheckpoint checkpoint;
+  checkpoint.network = config.network;
+  checkpoint.border = config.border;
+  checkpoint.report = report;
+  return checkpoint;
+}
+
+}  // namespace parpde::core

@@ -1,0 +1,30 @@
+#include "core/config.hpp"
+
+#include <stdexcept>
+
+namespace parpde::core {
+
+std::string border_mode_name(BorderMode mode) {
+  switch (mode) {
+    case BorderMode::kZeroPad:
+      return "zero-pad";
+    case BorderMode::kHaloPad:
+      return "halo-pad";
+    case BorderMode::kValidInner:
+      return "valid-inner";
+    case BorderMode::kDeconv:
+      return "deconv";
+  }
+  return "?";
+}
+
+BorderMode border_mode_from_string(const std::string& name) {
+  if (name == "zero-pad" || name == "zero") return BorderMode::kZeroPad;
+  if (name == "halo-pad" || name == "halo") return BorderMode::kHaloPad;
+  if (name == "valid-inner" || name == "valid") return BorderMode::kValidInner;
+  if (name == "deconv" || name == "transpose") return BorderMode::kDeconv;
+  throw std::invalid_argument("border_mode_from_string: unknown mode '" + name +
+                              "'");
+}
+
+}  // namespace parpde::core

@@ -1,0 +1,44 @@
+#pragma once
+
+// Data-parallel baseline in the style of Viviani et al. [4], the related-work
+// approach the paper argues against (Sec. I): every rank holds a full-domain
+// replica of the network, trains on a shard of the training pairs, and the
+// weights are averaged across ranks with a global reduction every
+// `sync_every` batches. The paper's criticisms — "it alters the learning
+// algorithm resulting in decreased learning" and "the global reduction
+// operations are potential performance bottlenecks" — are what
+// bench_dataparallel_baseline measures against this implementation.
+
+#include "core/trainer.hpp"
+#include "data/dataset.hpp"
+
+namespace parpde::core {
+
+struct DataParallelReport {
+  int ranks = 1;
+  int sync_every = 1;
+  std::vector<EpochStats> epochs;      // rank-0 view of the shard losses
+  std::vector<Tensor> parameters;      // final averaged parameters
+  double wall_seconds = 0.0;
+  double comm_seconds = 0.0;           // rank-0 time inside allreduce
+  std::uint64_t comm_bytes = 0;        // total bytes sent by all ranks
+  std::uint64_t sync_rounds = 0;
+
+  [[nodiscard]] double final_loss() const {
+    return epochs.empty() ? 0.0 : epochs.back().loss;
+  }
+};
+
+class DataParallelTrainer {
+ public:
+  DataParallelTrainer(TrainConfig config, int ranks, int sync_every = 1);
+
+  [[nodiscard]] DataParallelReport train(const data::FrameDataset& dataset) const;
+
+ private:
+  TrainConfig config_;
+  int ranks_;
+  int sync_every_;
+};
+
+}  // namespace parpde::core

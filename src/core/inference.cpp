@@ -1,0 +1,163 @@
+#include "core/inference.hpp"
+
+#include <stdexcept>
+
+#include "domain/exchange.hpp"
+#include "domain/halo.hpp"
+#include "minimpi/collectives.hpp"
+#include "minimpi/environment.hpp"
+#include "tensor/ops.hpp"
+#include "util/timer.hpp"
+
+namespace parpde::core {
+
+RolloutResult parallel_rollout(const TrainConfig& config,
+                               const ParallelTrainReport& trained,
+                               const Tensor& initial, int steps) {
+  if (config.border == BorderMode::kValidInner) {
+    throw std::invalid_argument(
+        "parallel_rollout: valid-inner mode cannot roll out (output loses the "
+        "subdomain rim)");
+  }
+  if (initial.ndim() != 3) {
+    throw std::invalid_argument("parallel_rollout: initial frame must be [C,H,W]");
+  }
+  if (steps <= 0) throw std::invalid_argument("parallel_rollout: steps must be > 0");
+
+  const int ranks = trained.ranks;
+  const domain::Partition partition(initial.dim(1), initial.dim(2),
+                                    trained.dims.px, trained.dims.py);
+  const std::int64_t halo = config.border == BorderMode::kHaloPad
+                                ? config.network.receptive_halo()
+                                : 0;
+
+  RolloutResult result;
+  result.frames.resize(static_cast<std::size_t>(steps));
+  std::vector<double> comm_seconds(static_cast<std::size_t>(ranks), 0.0);
+  std::vector<double> compute_seconds(static_cast<std::size_t>(ranks), 0.0);
+  std::vector<std::uint64_t> halo_bytes(static_cast<std::size_t>(ranks), 0);
+
+  mpi::Environment env(ranks);
+  env.run([&](mpi::Communicator& comm) {
+    const int rank = comm.rank();
+    mpi::CartComm cart(comm, trained.dims.px, trained.dims.py);
+
+    // Rebuild this rank's trained network.
+    util::Rng rng(config.seed);
+    auto model = build_model(config.network, config.border, rng);
+    import_parameters(
+        *model, trained.rank_outcomes[static_cast<std::size_t>(rank)].parameters);
+
+    Tensor interior = domain::extract_interior(
+        initial, partition.block(cart.cx(), cart.cy()));
+
+    util::AccumulatingTimer comm_timer;
+    util::AccumulatingTimer compute_timer;
+    comm.reset_counters();
+    const std::uint64_t gather_bytes_before = comm.bytes_sent();
+    std::uint64_t exchange_bytes = 0;
+
+    for (int step = 0; step < steps; ++step) {
+      // Sec. III: "extra data points must be received from the neighboring
+      // processes" — halo exchange in halo-pad mode; zero-pad mode keeps the
+      // borders implicit in the conv padding.
+      Tensor input = interior;
+      if (halo > 0) {
+        const std::uint64_t before = comm.bytes_sent();
+        input = domain::exchange_halo(cart, partition, interior, halo,
+                                      &comm_timer);
+        exchange_bytes += comm.bytes_sent() - before;
+      }
+      compute_timer.start();
+      input.reshape({1, input.dim(0), input.dim(1), input.dim(2)});
+      Tensor out = model->forward(input);
+      out.reshape({out.dim(1), out.dim(2), out.dim(3)});
+      compute_timer.stop();
+      interior = std::move(out);
+
+      // Gather the predicted frame for validation/recording (not part of the
+      // scheme's communication cost; a production run would keep fields
+      // distributed).
+      Tensor full = domain::gather_field(cart, partition, interior);
+      if (rank == 0) {
+        result.frames[static_cast<std::size_t>(step)] = std::move(full);
+      }
+    }
+    comm_seconds[static_cast<std::size_t>(rank)] = comm_timer.seconds();
+    compute_seconds[static_cast<std::size_t>(rank)] = compute_timer.seconds();
+    halo_bytes[static_cast<std::size_t>(rank)] = exchange_bytes;
+    (void)gather_bytes_before;
+  });
+
+  for (int r = 0; r < ranks; ++r) {
+    result.comm_seconds =
+        std::max(result.comm_seconds, comm_seconds[static_cast<std::size_t>(r)]);
+    result.compute_seconds = std::max(
+        result.compute_seconds, compute_seconds[static_cast<std::size_t>(r)]);
+    result.halo_bytes += halo_bytes[static_cast<std::size_t>(r)];
+  }
+  return result;
+}
+
+SubdomainEnsemble::SubdomainEnsemble(const TrainConfig& config,
+                                     const ParallelTrainReport& trained,
+                                     std::int64_t grid_h, std::int64_t grid_w)
+    : config_(config),
+      partition_(grid_h, grid_w, trained.dims.px, trained.dims.py),
+      halo_(config.border == BorderMode::kHaloPad
+                ? config.network.receptive_halo()
+                : 0) {
+  models_.reserve(trained.rank_outcomes.size());
+  for (const auto& outcome : trained.rank_outcomes) {
+    util::Rng rng(config.seed);
+    auto model = build_model(config.network, config.border, rng);
+    import_parameters(*model, outcome.parameters);
+    models_.push_back(std::move(model));
+  }
+}
+
+Tensor SubdomainEnsemble::predict(const Tensor& frame) const {
+  if (frame.ndim() != 3 || frame.dim(1) != partition_.grid_h() ||
+      frame.dim(2) != partition_.grid_w()) {
+    throw std::invalid_argument("SubdomainEnsemble::predict: bad frame shape");
+  }
+  Tensor assembled({frame.dim(0), frame.dim(1), frame.dim(2)});
+  for (std::size_t r = 0; r < models_.size(); ++r) {
+    const auto block = partition_.block_of_rank(static_cast<int>(r));
+    Tensor input = domain::extract_with_halo(frame, block, halo_);
+    input.reshape({1, input.dim(0), input.dim(1), input.dim(2)});
+    Tensor out = models_[r]->forward(input);
+    out.reshape({out.dim(1), out.dim(2), out.dim(3)});
+    domain::insert_interior(assembled, block, out);
+  }
+  return assembled;
+}
+
+std::vector<Tensor> sequential_rollout(NetworkTrainer& trainer,
+                                       const Tensor& initial, int steps) {
+  if (initial.ndim() != 3) {
+    throw std::invalid_argument("sequential_rollout: initial frame must be [C,H,W]");
+  }
+  std::vector<Tensor> frames;
+  frames.reserve(static_cast<std::size_t>(steps));
+  Tensor current = initial;
+  const std::int64_t halo = trainer.config().border == BorderMode::kHaloPad
+                                ? trainer.config().network.receptive_halo()
+                                : 0;
+  for (int step = 0; step < steps; ++step) {
+    Tensor input = current;
+    if (halo > 0) {
+      // The monolithic model in halo-pad mode expects a zero-extended frame
+      // (the physical-boundary treatment used during training).
+      input = input.reshaped({1, input.dim(0), input.dim(1), input.dim(2)});
+      input = ops::pad_nchw(input, halo);
+      input = input.reshaped({input.dim(1), input.dim(2), input.dim(3)});
+    }
+    Tensor out = trainer.predict(input);
+    frames.push_back(out);
+    current = out;
+  }
+  return frames;
+}
+
+}  // namespace parpde::core

@@ -1,0 +1,58 @@
+#pragma once
+
+// Parallel autoregressive inference (Sec. III, "Inference"): every rank
+// predicts its own subdomain; between time steps the subdomain boundaries are
+// exchanged with the four neighbours through point-to-point messages, exactly
+// like a domain-decomposed classical solver. The sequential (monolithic)
+// rollout is provided for the equivalence tests and accuracy baselines.
+
+#include "core/config.hpp"
+#include "core/parallel_trainer.hpp"
+#include "core/trainer.hpp"
+
+namespace parpde::core {
+
+struct RolloutResult {
+  // Predicted full-domain frames, one per step (gathered on rank 0;
+  // prediction k is the network's estimate of frame t0+k+1).
+  std::vector<Tensor> frames;
+  double comm_seconds = 0.0;     // max over ranks, halo exchange only
+  double compute_seconds = 0.0;  // max over ranks, forward passes
+  std::uint64_t halo_bytes = 0;  // total halo traffic over all ranks
+};
+
+// Multi-step rollout with the per-rank models of a ParallelTrainReport,
+// starting from global frame `initial` ([C, H, W]). Requires border mode
+// kZeroPad (communication-free inference with zero borders) or kHaloPad
+// (p2p halo exchange per step); kValidInner cannot roll out because its
+// output loses the subdomain rim (the limitation Sec. III points out).
+RolloutResult parallel_rollout(const TrainConfig& config,
+                               const ParallelTrainReport& trained,
+                               const Tensor& initial, int steps);
+
+// Monolithic rollout with a single full-domain network.
+std::vector<Tensor> sequential_rollout(NetworkTrainer& trainer,
+                                       const Tensor& initial, int steps);
+
+// Serial convenience wrapper around the per-rank models of a trained report:
+// rebuilds every subdomain network once and evaluates full-domain one-step
+// predictions without spinning up an Environment (validation/metrics path,
+// not the production inference path).
+class SubdomainEnsemble {
+ public:
+  SubdomainEnsemble(const TrainConfig& config, const ParallelTrainReport& trained,
+                    std::int64_t grid_h, std::int64_t grid_w);
+
+  // One-step prediction assembled over all subdomains: [C,H,W] -> [C,H,W].
+  [[nodiscard]] Tensor predict(const Tensor& frame) const;
+
+  [[nodiscard]] const domain::Partition& partition() const { return partition_; }
+
+ private:
+  TrainConfig config_;
+  domain::Partition partition_;
+  std::int64_t halo_;
+  std::vector<std::unique_ptr<nn::Sequential>> models_;
+};
+
+}  // namespace parpde::core

@@ -1,0 +1,50 @@
+#pragma once
+
+// Model-parallel baseline — the second parallelization family of the paper's
+// related work (Sec. I, citing Ben-Nun & Hoefler [3]: "the second approach
+// shares all data among processes but distributes the computation among
+// processes. Both approaches require data communication for
+// synchronization.").
+//
+// Every rank holds a slice of the OUTPUT channels of every conv layer and all
+// ranks see the full training data. Each forward layer computes its channel
+// slice and allgathers the full activation map before the next layer; each
+// backward layer computes its slice's weight gradients locally and
+// allreduce-sums the input-gradient contributions. The result is
+// mathematically identical to the monolithic network (tested), at the price
+// of per-layer, per-batch collective traffic — the cost the paper's
+// communication-free decomposition avoids.
+
+#include "core/trainer.hpp"
+#include "data/dataset.hpp"
+
+namespace parpde::core {
+
+struct ModelParallelReport {
+  int ranks = 1;
+  std::vector<EpochStats> epochs;  // rank-0 view (losses are identical anyway)
+  std::vector<Tensor> parameters;  // assembled full-network parameters
+  double wall_seconds = 0.0;
+  double comm_seconds = 0.0;       // rank-0 time inside collectives
+  std::uint64_t comm_bytes = 0;    // total bytes sent by all ranks
+
+  [[nodiscard]] double final_loss() const {
+    return epochs.empty() ? 0.0 : epochs.back().loss;
+  }
+};
+
+class ModelParallelTrainer {
+ public:
+  // `ranks` must not exceed the smallest layer output-channel count. Only
+  // zero-pad border mode is supported (full-domain model, like the
+  // data-parallel baseline).
+  ModelParallelTrainer(TrainConfig config, int ranks);
+
+  [[nodiscard]] ModelParallelReport train(const data::FrameDataset& dataset) const;
+
+ private:
+  TrainConfig config_;
+  int ranks_;
+};
+
+}  // namespace parpde::core

@@ -1,0 +1,96 @@
+#include "core/parallel_trainer.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "minimpi/environment.hpp"
+#include "util/timer.hpp"
+
+namespace parpde::core {
+
+double ParallelTrainReport::modeled_parallel_seconds() const {
+  double m = 0.0;
+  for (const auto& r : rank_outcomes) m = std::max(m, r.result.seconds);
+  return m;
+}
+
+double ParallelTrainReport::total_work_seconds() const {
+  double s = 0.0;
+  for (const auto& r : rank_outcomes) s += r.result.seconds;
+  return s;
+}
+
+double ParallelTrainReport::mean_final_loss() const {
+  if (rank_outcomes.empty()) return 0.0;
+  double s = 0.0;
+  for (const auto& r : rank_outcomes) s += r.result.final_loss();
+  return s / static_cast<double>(rank_outcomes.size());
+}
+
+ParallelTrainer::ParallelTrainer(TrainConfig config, int ranks)
+    : config_(std::move(config)), ranks_(ranks), dims_(mpi::dims_create(ranks)) {
+  if (ranks <= 0) throw std::invalid_argument("ParallelTrainer: ranks must be > 0");
+}
+
+ParallelTrainReport ParallelTrainer::train(const data::FrameDataset& dataset,
+                                           ExecutionMode mode,
+                                           const ParallelTrainReport* resume_from) const {
+  const auto split = dataset.chronological_split(config_.train_fraction);
+  const domain::Partition partition(dataset.height(), dataset.width(), dims_.px,
+                                    dims_.py);
+  if (resume_from != nullptr &&
+      (resume_from->ranks != ranks_ ||
+       static_cast<int>(resume_from->rank_outcomes.size()) != ranks_)) {
+    throw std::invalid_argument(
+        "ParallelTrainer: resume checkpoint has a different rank count");
+  }
+
+  ParallelTrainReport report;
+  report.ranks = ranks_;
+  report.dims = dims_;
+  report.mode = mode;
+  report.rank_outcomes.resize(static_cast<std::size_t>(ranks_));
+
+  // Per-rank training body; communication-free by construction (Sec. III:
+  // "the training data are directly fed into the network from the memory").
+  auto train_rank = [&](int rank) -> RankOutcome {
+    RankOutcome outcome;
+    outcome.rank = rank;
+    outcome.block = partition.block_of_rank(rank);
+    const auto task = make_subdomain_task(dataset.frames(), split.train,
+                                          outcome.block, config_);
+    NetworkTrainer trainer(config_, static_cast<std::uint64_t>(rank));
+    if (resume_from != nullptr) {
+      import_parameters(
+          trainer.model(),
+          resume_from->rank_outcomes[static_cast<std::size_t>(rank)].parameters);
+    }
+    outcome.result = trainer.train(task);
+    outcome.parameters = export_parameters(trainer.model());
+    return outcome;
+  };
+
+  util::WallTimer wall;
+  if (mode == ExecutionMode::kIsolated) {
+    for (int r = 0; r < ranks_; ++r) {
+      report.rank_outcomes[static_cast<std::size_t>(r)] = train_rank(r);
+    }
+  } else {
+    mpi::Environment env(ranks_);
+    env.run([&](mpi::Communicator& comm) {
+      comm.reset_counters();
+      auto outcome = train_rank(comm.rank());
+      outcome.train_bytes_sent = comm.bytes_sent();
+      if (outcome.train_bytes_sent != 0) {
+        throw std::logic_error(
+            "ParallelTrainer: training phase sent data (scheme violated)");
+      }
+      report.rank_outcomes[static_cast<std::size_t>(comm.rank())] =
+          std::move(outcome);
+    });
+  }
+  report.wall_seconds = wall.seconds();
+  return report;
+}
+
+}  // namespace parpde::core

@@ -1,0 +1,72 @@
+#pragma once
+
+// The paper's contribution (Sec. III, "Training"): decompose every frame into
+// spatial subdomains, assign an independent network + optimizer to each rank,
+// and train with zero inter-rank communication.
+//
+// Two execution modes:
+//  - kConcurrent: all ranks run as threads of an Environment (the real SPMD
+//    program). Communication counters are asserted to stay at zero during
+//    training, which checks the "communication-free" property structurally.
+//  - kIsolated: ranks are trained one after another on the single available
+//    core, timing each in isolation. Because training is communication-free
+//    and per-rank deterministic, this produces bit-identical models, and
+//    max_r(T_r) is exactly the parallel wall time P dedicated cores would
+//    see — the measurement protocol used for Fig. 4 on this one-core sandbox
+//    (DESIGN.md §5).
+
+#include "core/trainer.hpp"
+#include "data/dataset.hpp"
+#include "minimpi/cart.hpp"
+
+namespace parpde::core {
+
+enum class ExecutionMode { kConcurrent, kIsolated };
+
+struct RankOutcome {
+  int rank = 0;
+  domain::BlockRange block;
+  std::vector<Tensor> parameters;  // trained values, declaration order
+  TrainResult result;
+  std::uint64_t train_bytes_sent = 0;  // asserted 0 in concurrent mode
+};
+
+struct ParallelTrainReport {
+  int ranks = 1;
+  mpi::Dims dims;
+  ExecutionMode mode = ExecutionMode::kConcurrent;
+  std::vector<RankOutcome> rank_outcomes;
+  double wall_seconds = 0.0;  // wall time of the whole call (serialized here)
+
+  // max_r T_r: the modeled parallel training time on dedicated cores.
+  [[nodiscard]] double modeled_parallel_seconds() const;
+  // sum_r T_r: total compute work.
+  [[nodiscard]] double total_work_seconds() const;
+  // Mean of the per-rank final training losses.
+  [[nodiscard]] double mean_final_loss() const;
+};
+
+class ParallelTrainer {
+ public:
+  // `ranks` is factorized into a 2-d grid via dims_create.
+  ParallelTrainer(TrainConfig config, int ranks);
+
+  // Trains all ranks. When `resume_from` is supplied (e.g. a loaded
+  // checkpoint of a compatible topology/architecture), every rank starts from
+  // its previously trained weights instead of a fresh initialization —
+  // optimizer state (ADAM moments) restarts.
+  [[nodiscard]] ParallelTrainReport train(
+      const data::FrameDataset& dataset,
+      ExecutionMode mode = ExecutionMode::kConcurrent,
+      const ParallelTrainReport* resume_from = nullptr) const;
+
+  [[nodiscard]] const TrainConfig& config() const { return config_; }
+  [[nodiscard]] mpi::Dims dims() const { return dims_; }
+
+ private:
+  TrainConfig config_;
+  int ranks_;
+  mpi::Dims dims_;
+};
+
+}  // namespace parpde::core

@@ -1,0 +1,50 @@
+#pragma once
+
+// Training harness for the ConvLSTM extension (the paper's future-work
+// direction): feeds the frames as time series in truncated-BPTT windows and
+// rolls the model out autoregressively while keeping temporal context — the
+// mechanism the paper expects to tame the rollout error accumulation of the
+// pure-CNN model (Sec. IV-B).
+
+#include <span>
+
+#include "core/trainer.hpp"
+#include "nn/conv_lstm.hpp"
+
+namespace parpde::core {
+
+struct SequenceConfig {
+  std::int64_t hidden_channels = 12;
+  std::int64_t kernel = 5;
+  std::string loss = "mse";
+  std::string optimizer = "adam";
+  double learning_rate = 1e-2;
+  int epochs = 20;
+  std::int64_t window = 8;  // truncated-BPTT window length (in transitions)
+  std::uint64_t seed = 42;
+};
+
+class SequenceTrainer {
+ public:
+  SequenceTrainer(const SequenceConfig& config, std::int64_t channels);
+
+  // Trains on sliding windows over the first `train_frames` frames: inputs
+  // are frames [s, s+window), targets the frames shifted by one step.
+  TrainResult train(std::span<const Tensor> frames, std::int64_t train_frames);
+
+  // Autoregressive rollout: consumes the warmup frames to build temporal
+  // context, then feeds its own predictions back for `steps` steps. Returns
+  // the predicted frames ([C, H, W] each).
+  std::vector<Tensor> rollout(std::span<const Tensor> warmup, int steps);
+
+  nn::ConvLSTM& model() { return *model_; }
+  [[nodiscard]] const SequenceConfig& config() const { return config_; }
+
+ private:
+  SequenceConfig config_;
+  std::unique_ptr<nn::ConvLSTM> model_;
+  nn::LossPtr loss_;
+  nn::OptimizerPtr optimizer_;
+};
+
+}  // namespace parpde::core

@@ -1,0 +1,96 @@
+#pragma once
+
+// Single-network training engine (used by every trainer variant) and the
+// sequential baseline of Fig. 4 — one network over the whole domain.
+
+#include <span>
+
+#include "core/config.hpp"
+#include "core/model.hpp"
+#include "data/dataset.hpp"
+#include "domain/partition.hpp"
+#include "nn/loss.hpp"
+#include "nn/optimizer.hpp"
+
+namespace parpde::core {
+
+// Per-rank training set: stacked inputs and targets for one subdomain
+// (Sec. III, training steps 1-2). For the full domain, use the partition's
+// single block.
+struct SubdomainTask {
+  Tensor inputs;   // [T, C, ih, iw]
+  Tensor targets;  // [T, C, th, tw]
+};
+
+// Cuts training pairs out of global frames for one block. The input window is
+// enlarged by the receptive halo in halo-pad mode; the target is cropped by
+// the receptive halo in valid-inner mode.
+SubdomainTask make_subdomain_task(std::span<const Tensor> frames,
+                                  std::span<const std::int64_t> pair_indices,
+                                  const domain::BlockRange& block,
+                                  const TrainConfig& config);
+
+struct EpochStats {
+  double loss = 0.0;      // mean training loss of the epoch
+  double val_loss = 0.0;  // validation loss (0 when no validation task)
+  double seconds = 0.0;   // wall time of the epoch
+};
+
+struct TrainResult {
+  std::vector<EpochStats> epochs;
+  double seconds = 0.0;  // total training wall time
+  bool stopped_early = false;
+  int best_epoch = -1;  // epoch whose weights were kept (early stopping only)
+  [[nodiscard]] double final_loss() const {
+    return epochs.empty() ? 0.0 : epochs.back().loss;
+  }
+};
+
+// Owns one model + optimizer + loss; trains on a SubdomainTask with
+// mini-batch gradient descent (Sec. II configuration).
+class NetworkTrainer {
+ public:
+  // `seed_stream` decorrelates weight init / shuffling across ranks.
+  NetworkTrainer(const TrainConfig& config, std::uint64_t seed_stream);
+
+  // Trains on `task`. When `validation` is supplied its loss is evaluated
+  // after every epoch and drives early stopping (if enabled in the config).
+  TrainResult train(const SubdomainTask& task,
+                    const SubdomainTask* validation = nullptr);
+
+  // One optimizer step on a single batch; returns the batch loss. Exposed for
+  // the data-parallel baseline, which synchronizes weights between steps.
+  double train_batch(const Tensor& inputs, const Tensor& targets);
+
+  // Forward pass without gradient bookkeeping side effects that matter here.
+  Tensor predict(const Tensor& input);
+
+  // Mean loss over a task without updating weights.
+  double evaluate(const SubdomainTask& task);
+
+  nn::Sequential& model() { return *model_; }
+  nn::Optimizer& optimizer() { return *optimizer_; }
+  const TrainConfig& config() const { return config_; }
+
+ private:
+  // Gathers the rows of a stacked tensor selected by `indices`.
+  static Tensor gather_rows(const Tensor& stacked,
+                            std::span<const std::int64_t> indices);
+
+  TrainConfig config_;
+  std::unique_ptr<nn::Sequential> model_;
+  nn::LossPtr loss_;
+  nn::OptimizerPtr optimizer_;
+  std::uint64_t seed_stream_;
+};
+
+// Fig. 4's "sequential version": a single network trained on the undecomposed
+// domain. Returns the trainer (for inference) and the timing result.
+struct SequentialOutcome {
+  std::unique_ptr<NetworkTrainer> trainer;
+  TrainResult result;
+};
+SequentialOutcome train_sequential(const data::FrameDataset& dataset,
+                                   const TrainConfig& config);
+
+}  // namespace parpde::core

@@ -1,0 +1,84 @@
+#include "data/dataset.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+
+#include "tensor/serialize.hpp"
+
+namespace parpde::data {
+
+FrameDataset::FrameDataset(std::vector<Tensor> frames)
+    : frames_(std::move(frames)) {
+  if (frames_.size() < 2) {
+    throw std::invalid_argument("FrameDataset: need at least 2 frames");
+  }
+  const auto& first = frames_.front();
+  if (first.ndim() != 3) {
+    throw std::invalid_argument("FrameDataset: frames must be [C,H,W]");
+  }
+  for (const auto& f : frames_) {
+    if (!f.same_shape(first)) {
+      throw std::invalid_argument("FrameDataset: inconsistent frame shapes");
+    }
+  }
+}
+
+Split FrameDataset::chronological_split(double train_fraction) const {
+  if (train_fraction <= 0.0 || train_fraction >= 1.0) {
+    throw std::invalid_argument("chronological_split: fraction must be in (0,1)");
+  }
+  const std::int64_t pairs = num_pairs();
+  auto n_train = static_cast<std::int64_t>(train_fraction * static_cast<double>(pairs));
+  n_train = std::clamp<std::int64_t>(n_train, 1, pairs - 1);
+  Split split;
+  split.train.reserve(static_cast<std::size_t>(n_train));
+  split.val.reserve(static_cast<std::size_t>(pairs - n_train));
+  for (std::int64_t i = 0; i < pairs; ++i) {
+    (i < n_train ? split.train : split.val).push_back(i);
+  }
+  return split;
+}
+
+namespace {
+constexpr char kFrameMagic[4] = {'P', 'P', 'F', 'R'};
+constexpr std::uint32_t kFrameVersion = 1;
+}  // namespace
+
+void save_frames(const std::string& path, std::span<const Tensor> frames) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("save_frames: cannot open " + path);
+  out.write(kFrameMagic, sizeof(kFrameMagic));
+  out.write(reinterpret_cast<const char*>(&kFrameVersion), sizeof(kFrameVersion));
+  const auto count = static_cast<std::uint32_t>(frames.size());
+  out.write(reinterpret_cast<const char*>(&count), sizeof(count));
+  for (const auto& f : frames) write_tensor(out, f);
+  if (!out) throw std::runtime_error("save_frames: stream failure");
+}
+
+std::vector<Tensor> load_frames(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("load_frames: cannot open " + path);
+  char magic[4];
+  in.read(magic, sizeof(magic));
+  if (!in || std::memcmp(magic, kFrameMagic, sizeof(kFrameMagic)) != 0) {
+    throw std::runtime_error("load_frames: bad magic in " + path);
+  }
+  std::uint32_t version = 0;
+  in.read(reinterpret_cast<char*>(&version), sizeof(version));
+  if (!in || version != kFrameVersion) {
+    throw std::runtime_error("load_frames: unsupported version");
+  }
+  std::uint32_t count = 0;
+  in.read(reinterpret_cast<char*>(&count), sizeof(count));
+  if (!in || count > (1u << 20)) {
+    throw std::runtime_error("load_frames: implausible frame count");
+  }
+  std::vector<Tensor> frames;
+  frames.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) frames.push_back(read_tensor(in));
+  return frames;
+}
+
+}  // namespace parpde::data

@@ -1,0 +1,80 @@
+#include "data/normalizer.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "util/stats.hpp"
+
+namespace parpde::data {
+
+ChannelNormalizer ChannelNormalizer::fit(std::span<const Tensor> frames,
+                                         double min_std) {
+  if (frames.empty()) throw std::invalid_argument("ChannelNormalizer: no frames");
+  const auto c = frames.front().dim(0);
+  std::vector<util::RunningStat> stats(static_cast<std::size_t>(c));
+  for (const auto& f : frames) {
+    if (f.ndim() != 3 || f.dim(0) != c) {
+      throw std::invalid_argument("ChannelNormalizer: inconsistent frames");
+    }
+    const auto plane = f.dim(1) * f.dim(2);
+    for (std::int64_t ic = 0; ic < c; ++ic) {
+      const float* p = f.data() + ic * plane;
+      for (std::int64_t i = 0; i < plane; ++i) {
+        stats[static_cast<std::size_t>(ic)].add(p[i]);
+      }
+    }
+  }
+  ChannelNormalizer norm;
+  norm.mean_.resize(static_cast<std::size_t>(c));
+  norm.std_.resize(static_cast<std::size_t>(c));
+  for (std::int64_t ic = 0; ic < c; ++ic) {
+    norm.mean_[static_cast<std::size_t>(ic)] = stats[static_cast<std::size_t>(ic)].mean();
+    norm.std_[static_cast<std::size_t>(ic)] =
+        std::max(stats[static_cast<std::size_t>(ic)].stddev(), min_std);
+  }
+  return norm;
+}
+
+ChannelNormalizer ChannelNormalizer::identity(std::int64_t channels) {
+  ChannelNormalizer norm;
+  norm.mean_.assign(static_cast<std::size_t>(channels), 0.0);
+  norm.std_.assign(static_cast<std::size_t>(channels), 1.0);
+  return norm;
+}
+
+Tensor ChannelNormalizer::transform(const Tensor& x, bool inverse) const {
+  const bool batched = x.ndim() == 4;
+  if (!batched && x.ndim() != 3) {
+    throw std::invalid_argument("ChannelNormalizer: expected [C,H,W] or [N,C,H,W]");
+  }
+  const auto c = batched ? x.dim(1) : x.dim(0);
+  if (c != channels()) {
+    throw std::invalid_argument("ChannelNormalizer: channel count mismatch");
+  }
+  const auto n = batched ? x.dim(0) : 1;
+  const auto plane = batched ? x.dim(2) * x.dim(3) : x.dim(1) * x.dim(2);
+  Tensor out = x;
+  for (std::int64_t in = 0; in < n; ++in) {
+    for (std::int64_t ic = 0; ic < c; ++ic) {
+      const auto m = static_cast<float>(mean_[static_cast<std::size_t>(ic)]);
+      const auto s = static_cast<float>(std_[static_cast<std::size_t>(ic)]);
+      float* p = out.data() + (in * c + ic) * plane;
+      if (inverse) {
+        for (std::int64_t i = 0; i < plane; ++i) p[i] = p[i] * s + m;
+      } else {
+        for (std::int64_t i = 0; i < plane; ++i) p[i] = (p[i] - m) / s;
+      }
+    }
+  }
+  return out;
+}
+
+Tensor ChannelNormalizer::apply(const Tensor& x) const {
+  return transform(x, /*inverse=*/false);
+}
+
+Tensor ChannelNormalizer::invert(const Tensor& x) const {
+  return transform(x, /*inverse=*/true);
+}
+
+}  // namespace parpde::data

@@ -1,0 +1,47 @@
+#pragma once
+
+// Per-channel affine normalization x -> (x - mean) / std. The paper trains on
+// raw values and handles the magnitude imbalance through the MAPE loss; the
+// normalizer exists for the loss ablation (MSE needs balanced channels to be
+// competitive) and for numerically robust experimentation.
+
+#include <span>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace parpde::data {
+
+class ChannelNormalizer {
+ public:
+  ChannelNormalizer() = default;
+
+  // Fits per-channel mean/std over a set of [C, H, W] frames.
+  static ChannelNormalizer fit(std::span<const Tensor> frames,
+                               double min_std = 1e-8);
+
+  // Identity transform for `channels` channels.
+  static ChannelNormalizer identity(std::int64_t channels);
+
+  // Applies/unapplies per-channel affine maps; accepts [C,H,W] or [N,C,H,W].
+  [[nodiscard]] Tensor apply(const Tensor& x) const;
+  [[nodiscard]] Tensor invert(const Tensor& x) const;
+
+  [[nodiscard]] std::int64_t channels() const {
+    return static_cast<std::int64_t>(mean_.size());
+  }
+  [[nodiscard]] double mean(std::int64_t c) const {
+    return mean_.at(static_cast<std::size_t>(c));
+  }
+  [[nodiscard]] double stddev(std::int64_t c) const {
+    return std_.at(static_cast<std::size_t>(c));
+  }
+
+ private:
+  Tensor transform(const Tensor& x, bool inverse) const;
+
+  std::vector<double> mean_;
+  std::vector<double> std_;
+};
+
+}  // namespace parpde::data

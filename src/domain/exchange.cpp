@@ -1,0 +1,212 @@
+#include "domain/exchange.hpp"
+
+#include <stdexcept>
+
+namespace parpde::domain {
+
+namespace {
+
+// User-space tag block for halo traffic; the payload's direction of travel is
+// encoded in the tag, so a rank receives its east halo as the message that
+// travelled west from its east neighbour.
+constexpr int kTagHaloBase = 4096;
+constexpr int kTagFieldGather = 4200;
+constexpr int kTagFieldScatter = 4201;
+
+int travel_tag(mpi::Direction d) { return kTagHaloBase + static_cast<int>(d); }
+
+// Copies the [y0, y0+hh) x [x0, x0+ww) window of a [C, h, w] tensor into a
+// packed strip buffer (length C * hh * ww).
+std::vector<float> pack_region(const Tensor& t, std::int64_t y0, std::int64_t hh,
+                               std::int64_t x0, std::int64_t ww) {
+  const auto c = t.dim(0), h = t.dim(1), w = t.dim(2);
+  std::vector<float> out(static_cast<std::size_t>(c * hh * ww));
+  float* dst = out.data();
+  for (std::int64_t ic = 0; ic < c; ++ic) {
+    for (std::int64_t y = 0; y < hh; ++y) {
+      const float* src = t.data() + (ic * h + y0 + y) * w + x0;
+      std::copy(src, src + ww, dst);
+      dst += ww;
+    }
+  }
+  return out;
+}
+
+// Inverse of pack_region.
+void unpack_region(Tensor& t, std::int64_t y0, std::int64_t hh, std::int64_t x0,
+                   std::int64_t ww, const std::vector<float>& strip) {
+  const auto c = t.dim(0), h = t.dim(1), w = t.dim(2);
+  if (strip.size() != static_cast<std::size_t>(c * hh * ww)) {
+    throw std::runtime_error("halo exchange: strip size mismatch");
+  }
+  const float* src = strip.data();
+  for (std::int64_t ic = 0; ic < c; ++ic) {
+    for (std::int64_t y = 0; y < hh; ++y) {
+      float* dst = t.data() + (ic * h + y0 + y) * w + x0;
+      std::copy(src, src + ww, dst);
+      src += ww;
+    }
+  }
+}
+
+}  // namespace
+
+Tensor exchange_halo(mpi::CartComm& cart, const Partition& partition,
+                     const Tensor& interior, std::int64_t halo,
+                     util::AccumulatingTimer* comm_time) {
+  if (interior.ndim() != 3) {
+    throw std::invalid_argument("exchange_halo: expected [C,bh,bw] interior");
+  }
+  const BlockRange block = partition.block(cart.cx(), cart.cy());
+  const auto c = interior.dim(0);
+  const auto bh = interior.dim(1);
+  const auto bw = interior.dim(2);
+  if (bh != block.height() || bw != block.width()) {
+    throw std::invalid_argument("exchange_halo: interior does not match block");
+  }
+  if (halo < 0 || halo > bh || halo > bw) {
+    throw std::invalid_argument("exchange_halo: halo exceeds block size");
+  }
+  if (halo == 0) return interior;
+
+  mpi::Communicator& comm = cart.comm();
+  util::WallTimer timer;
+  auto timed_send = [&](int dest, int tag, const std::vector<float>& strip) {
+    timer.reset();
+    comm.send<float>(dest, tag, strip);
+    if (comm_time != nullptr) comm_time->add(timer.seconds());
+  };
+  auto timed_recv = [&](int source, int tag) {
+    timer.reset();
+    auto data = comm.recv<float>(source, tag);
+    if (comm_time != nullptr) comm_time->add(timer.seconds());
+    return data;
+  };
+
+  // Phase 1: exchange west/east strips of the bare interior.
+  Tensor ext_x({c, bh, bw + 2 * halo});
+  unpack_region(ext_x, 0, bh, halo, bw, pack_region(interior, 0, bh, 0, bw));
+
+  const int west = cart.neighbor(mpi::Direction::kWest);
+  const int east = cart.neighbor(mpi::Direction::kEast);
+  if (west != mpi::kProcNull) {
+    timed_send(west, travel_tag(mpi::Direction::kWest),
+               pack_region(interior, 0, bh, 0, halo));
+  }
+  if (east != mpi::kProcNull) {
+    timed_send(east, travel_tag(mpi::Direction::kEast),
+               pack_region(interior, 0, bh, bw - halo, halo));
+  }
+  if (east != mpi::kProcNull) {
+    // East neighbour's west strip travelled west into our east halo.
+    unpack_region(ext_x, 0, bh, halo + bw, halo,
+                  timed_recv(east, travel_tag(mpi::Direction::kWest)));
+  }
+  if (west != mpi::kProcNull) {
+    unpack_region(ext_x, 0, bh, 0, halo,
+                  timed_recv(west, travel_tag(mpi::Direction::kEast)));
+  }
+
+  // Phase 2: exchange south/north strips of the x-extended tensor, so the
+  // diagonal corners arrive via the row neighbours.
+  Tensor out({c, bh + 2 * halo, bw + 2 * halo});
+  unpack_region(out, halo, bh, 0, bw + 2 * halo,
+                pack_region(ext_x, 0, bh, 0, bw + 2 * halo));
+
+  const int south = cart.neighbor(mpi::Direction::kSouth);
+  const int north = cart.neighbor(mpi::Direction::kNorth);
+  if (south != mpi::kProcNull) {
+    timed_send(south, travel_tag(mpi::Direction::kSouth),
+               pack_region(ext_x, 0, halo, 0, bw + 2 * halo));
+  }
+  if (north != mpi::kProcNull) {
+    timed_send(north, travel_tag(mpi::Direction::kNorth),
+               pack_region(ext_x, bh - halo, halo, 0, bw + 2 * halo));
+  }
+  if (north != mpi::kProcNull) {
+    unpack_region(out, halo + bh, halo, 0, bw + 2 * halo,
+                  timed_recv(north, travel_tag(mpi::Direction::kSouth)));
+  }
+  if (south != mpi::kProcNull) {
+    unpack_region(out, 0, halo, 0, bw + 2 * halo,
+                  timed_recv(south, travel_tag(mpi::Direction::kNorth)));
+  }
+  return out;
+}
+
+Tensor gather_field(mpi::CartComm& cart, const Partition& partition,
+                    const Tensor& interior) {
+  mpi::Communicator& comm = cart.comm();
+  if (comm.rank() != 0) {
+    comm.send<float>(0, kTagFieldGather, interior.values());
+    return {};
+  }
+  const auto c = interior.dim(0);
+  Tensor full({c, partition.grid_h(), partition.grid_w()});
+  // Rank 0's own block.
+  {
+    const BlockRange block = partition.block_of_rank(0);
+    float* base = full.data();
+    const float* src = interior.data();
+    for (std::int64_t ic = 0; ic < c; ++ic) {
+      for (std::int64_t y = 0; y < block.height(); ++y) {
+        float* dst = base + (ic * partition.grid_h() + block.h0 + y) *
+                                partition.grid_w() +
+                     block.w0;
+        std::copy(src, src + block.width(), dst);
+        src += block.width();
+      }
+    }
+  }
+  for (int r = 1; r < comm.size(); ++r) {
+    const auto strip = comm.recv<float>(r, kTagFieldGather);
+    const BlockRange block = partition.block_of_rank(r);
+    if (strip.size() !=
+        static_cast<std::size_t>(c * block.height() * block.width())) {
+      throw std::runtime_error("gather_field: block size mismatch");
+    }
+    const float* src = strip.data();
+    for (std::int64_t ic = 0; ic < c; ++ic) {
+      for (std::int64_t y = 0; y < block.height(); ++y) {
+        float* dst = full.data() + (ic * partition.grid_h() + block.h0 + y) *
+                                       partition.grid_w() +
+                     block.w0;
+        std::copy(src, src + block.width(), dst);
+        src += block.width();
+      }
+    }
+  }
+  return full;
+}
+
+Tensor scatter_field(mpi::CartComm& cart, const Partition& partition,
+                     const Tensor& full) {
+  mpi::Communicator& comm = cart.comm();
+  const BlockRange mine = partition.block(cart.cx(), cart.cy());
+  if (comm.rank() == 0) {
+    if (full.ndim() != 3 || full.dim(1) != partition.grid_h() ||
+        full.dim(2) != partition.grid_w()) {
+      throw std::invalid_argument("scatter_field: bad full field shape");
+    }
+    const auto c = full.dim(0);
+    for (int r = 1; r < comm.size(); ++r) {
+      const BlockRange block = partition.block_of_rank(r);
+      comm.send<float>(r, kTagFieldScatter,
+                       pack_region(full, block.h0, block.height(), block.w0,
+                                   block.width()));
+    }
+    Tensor mine_t({c, mine.height(), mine.width()});
+    unpack_region(mine_t, 0, mine.height(), 0, mine.width(),
+                  pack_region(full, mine.h0, mine.height(), mine.w0,
+                              mine.width()));
+    return mine_t;
+  }
+  const auto strip = comm.recv<float>(0, kTagFieldScatter);
+  const std::int64_t c =
+      static_cast<std::int64_t>(strip.size()) / (mine.height() * mine.width());
+  Tensor mine_t({c, mine.height(), mine.width()});
+  unpack_region(mine_t, 0, mine.height(), 0, mine.width(), strip);
+  return mine_t;
+}
+
+}  // namespace parpde::domain

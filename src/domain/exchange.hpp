@@ -1,0 +1,34 @@
+#pragma once
+
+// Parallel field plumbing for inference (Sec. III): point-to-point halo
+// exchange between neighbouring subdomains ("each processor sends the
+// boundary data to the corresponding neighbor ... no central instance is
+// used"), plus gather/scatter of full fields for validation and I/O.
+
+#include "domain/partition.hpp"
+#include "minimpi/cart.hpp"
+#include "tensor/tensor.hpp"
+#include "util/timer.hpp"
+
+namespace parpde::domain {
+
+// Surrounds this rank's interior [C, bh, bw] with a halo of width `halo`
+// filled from the four neighbours (two-phase exchange, so diagonal corners
+// are correct). Physical-boundary halo stays zero. Returns
+// [C, bh + 2 halo, bw + 2 halo]. If `comm_time` is non-null, the wall time
+// spent in sends/receives is accumulated into it.
+Tensor exchange_halo(mpi::CartComm& cart, const Partition& partition,
+                     const Tensor& interior, std::int64_t halo,
+                     util::AccumulatingTimer* comm_time = nullptr);
+
+// Collects per-rank interiors into the full [C, H, W] field on rank 0
+// (other ranks get an empty tensor).
+Tensor gather_field(mpi::CartComm& cart, const Partition& partition,
+                    const Tensor& interior);
+
+// Rank 0 distributes a full [C, H, W] field; every rank returns its interior
+// block [C, bh, bw]. On non-root ranks `full` is ignored.
+Tensor scatter_field(mpi::CartComm& cart, const Partition& partition,
+                     const Tensor& full);
+
+}  // namespace parpde::domain

@@ -1,0 +1,71 @@
+#include "domain/halo.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace parpde::domain {
+
+namespace {
+
+void check_frame(const Tensor& frame, const char* what) {
+  if (frame.ndim() != 3) {
+    throw std::invalid_argument(std::string(what) + ": expected [C,H,W] frame, got " +
+                                shape_to_string(frame.shape()));
+  }
+}
+
+}  // namespace
+
+Tensor extract_interior(const Tensor& frame, const BlockRange& block) {
+  return extract_with_halo(frame, block, 0);
+}
+
+Tensor extract_with_halo(const Tensor& frame, const BlockRange& block,
+                         std::int64_t halo) {
+  check_frame(frame, "extract_with_halo");
+  if (halo < 0) throw std::invalid_argument("extract_with_halo: negative halo");
+  const auto c = frame.dim(0), h = frame.dim(1), w = frame.dim(2);
+  if (block.h0 < 0 || block.h1 > h || block.w0 < 0 || block.w1 > w ||
+      block.height() <= 0 || block.width() <= 0) {
+    throw std::invalid_argument("extract_with_halo: block out of range");
+  }
+  const std::int64_t oh = block.height() + 2 * halo;
+  const std::int64_t ow = block.width() + 2 * halo;
+  Tensor out({c, oh, ow});
+  for (std::int64_t ic = 0; ic < c; ++ic) {
+    for (std::int64_t y = 0; y < oh; ++y) {
+      const std::int64_t gy = block.h0 - halo + y;
+      if (gy < 0 || gy >= h) continue;  // physical boundary: stays zero
+      const std::int64_t gx_lo = std::max<std::int64_t>(block.w0 - halo, 0);
+      const std::int64_t gx_hi = std::min<std::int64_t>(block.w1 + halo, w);
+      if (gx_hi <= gx_lo) continue;
+      const float* src = frame.data() + (ic * h + gy) * w + gx_lo;
+      float* dst = out.data() + (ic * oh + y) * ow + (gx_lo - (block.w0 - halo));
+      std::copy(src, src + (gx_hi - gx_lo), dst);
+    }
+  }
+  return out;
+}
+
+void insert_interior(Tensor& frame, const BlockRange& block,
+                     const Tensor& interior) {
+  check_frame(frame, "insert_interior");
+  if (interior.ndim() != 3 || interior.dim(0) != frame.dim(0) ||
+      interior.dim(1) != block.height() || interior.dim(2) != block.width()) {
+    throw std::invalid_argument("insert_interior: interior shape mismatch");
+  }
+  const auto c = frame.dim(0), h = frame.dim(1), w = frame.dim(2);
+  if (block.h0 < 0 || block.h1 > h || block.w0 < 0 || block.w1 > w) {
+    throw std::invalid_argument("insert_interior: block out of range");
+  }
+  const auto bh = block.height(), bw = block.width();
+  for (std::int64_t ic = 0; ic < c; ++ic) {
+    for (std::int64_t y = 0; y < bh; ++y) {
+      const float* src = interior.data() + (ic * bh + y) * bw;
+      float* dst = frame.data() + (ic * h + block.h0 + y) * w + block.w0;
+      std::copy(src, src + bw, dst);
+    }
+  }
+}
+
+}  // namespace parpde::domain

@@ -1,0 +1,26 @@
+#pragma once
+
+// Subdomain extraction with overlap. Training-time decomposition (Sec. III)
+// cuts each global frame into per-rank sections; in halo-pad mode the input
+// section is enlarged by the receptive-field halo with *real* data from
+// neighbouring subdomains ("input data for neighboring processes are
+// overlapping"), while the target stays the bare interior.
+
+#include "domain/partition.hpp"
+#include "tensor/tensor.hpp"
+
+namespace parpde::domain {
+
+// Extracts the interior of `block` from a global [C, H, W] frame.
+Tensor extract_interior(const Tensor& frame, const BlockRange& block);
+
+// Extracts `block` enlarged by `halo` grid lines on every side. Points outside
+// the global grid (physical boundary) are zero-filled. Result is
+// [C, height + 2 halo, width + 2 halo].
+Tensor extract_with_halo(const Tensor& frame, const BlockRange& block,
+                         std::int64_t halo);
+
+// Inserts a [C, bh, bw] interior tensor into a global [C, H, W] frame.
+void insert_interior(Tensor& frame, const BlockRange& block, const Tensor& interior);
+
+}  // namespace parpde::domain

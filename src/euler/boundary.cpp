@@ -1,0 +1,36 @@
+#include "euler/boundary.hpp"
+
+namespace parpde::euler {
+
+void apply_neumann(ScalarField& field) {
+  const int n = field.n();
+  for (int i = 0; i < n; ++i) {
+    field.at(i, -1) = field.at(i, 0);
+    field.at(i, n) = field.at(i, n - 1);
+  }
+  for (int j = -1; j <= n; ++j) {
+    field.at(-1, j) = field.at(0, j);
+    field.at(n, j) = field.at(n - 1, j);
+  }
+}
+
+void apply_dirichlet_zero(ScalarField& field) {
+  const int n = field.n();
+  for (int i = 0; i < n; ++i) {
+    field.at(i, -1) = -field.at(i, 0);
+    field.at(i, n) = -field.at(i, n - 1);
+  }
+  for (int j = -1; j <= n; ++j) {
+    field.at(-1, j) = -field.at(0, j);
+    field.at(n, j) = -field.at(n - 1, j);
+  }
+}
+
+void apply_boundary(EulerState& state) {
+  apply_dirichlet_zero(state.p);
+  apply_neumann(state.rho);
+  apply_neumann(state.u);
+  apply_neumann(state.v);
+}
+
+}  // namespace parpde::euler

@@ -1,0 +1,22 @@
+#pragma once
+
+// Boundary conditions of Sec. IV-A: "outflow" modeled as zero pressure
+// perturbation (Dirichlet on p') with homogeneous Neumann conditions on
+// density and both velocity components. Implemented via one ghost layer:
+// Neumann ghosts mirror the first interior cell; the Dirichlet ghost is the
+// negative mirror so that the interpolated face value vanishes.
+
+#include "euler/state.hpp"
+
+namespace parpde::euler {
+
+// Fills the ghost layer of a field with homogeneous Neumann extrapolation.
+void apply_neumann(ScalarField& field);
+
+// Fills the ghost layer with the antisymmetric extension (zero at the face).
+void apply_dirichlet_zero(ScalarField& field);
+
+// Applies the paper's full outflow boundary condition to a state.
+void apply_boundary(EulerState& state);
+
+}  // namespace parpde::euler

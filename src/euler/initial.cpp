@@ -1,0 +1,33 @@
+#include "euler/initial.hpp"
+
+#include <cmath>
+
+#include "euler/boundary.hpp"
+
+namespace parpde::euler {
+
+double cell_center(const EulerConfig& config, int i) {
+  return -config.domain_half + (static_cast<double>(i) + 0.5) * config.dx();
+}
+
+EulerState make_initial_state(const EulerConfig& config) {
+  EulerState state(config.n);
+  const double ln2 = std::log(2.0);
+  const double hw2 = config.pulse_halfwidth * config.pulse_halfwidth;
+  for (int j = 0; j < config.n; ++j) {
+    const double y = cell_center(config, j) - config.pulse_y;
+    for (int i = 0; i < config.n; ++i) {
+      const double x = cell_center(config, i) - config.pulse_x;
+      const double r2 = x * x + y * y;
+      state.p.at(i, j) = config.pulse_amplitude * std::exp(-ln2 * r2 / hw2);
+      // Fluid initially at rest; zero density perturbation (Sec. IV-A).
+      state.rho.at(i, j) = 0.0;
+      state.u.at(i, j) = 0.0;
+      state.v.at(i, j) = 0.0;
+    }
+  }
+  apply_boundary(state);
+  return state;
+}
+
+}  // namespace parpde::euler

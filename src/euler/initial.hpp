@@ -1,0 +1,17 @@
+#pragma once
+
+// Initial condition of Sec. IV-A: fluid at rest, zero density perturbation,
+// Gaussian pressure pulse of amplitude A and half-width hw centered at
+// (pulse_x, pulse_y):  p'(r) = A * exp(-ln 2 * r^2 / hw^2), so p'(hw) = A/2.
+
+#include "euler/state.hpp"
+
+namespace parpde::euler {
+
+// Returns the initialized state (ghost cells already consistent).
+EulerState make_initial_state(const EulerConfig& config);
+
+// Cell-center coordinate of index i (same for x and y).
+double cell_center(const EulerConfig& config, int i);
+
+}  // namespace parpde::euler

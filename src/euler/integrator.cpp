@@ -1,0 +1,107 @@
+#include "euler/integrator.hpp"
+
+#include <stdexcept>
+
+#include "euler/boundary.hpp"
+#include "euler/rhs.hpp"
+
+namespace parpde::euler {
+
+namespace {
+
+void field_axpy(ScalarField& y, const ScalarField& a, double s,
+                const ScalarField& b) {
+  const int n = y.n();
+  for (int j = 0; j < n; ++j) {
+    for (int i = 0; i < n; ++i) {
+      y.at(i, j) = a.at(i, j) + s * b.at(i, j);
+    }
+  }
+}
+
+// y += s * b (interior).
+void field_add(ScalarField& y, double s, const ScalarField& b) {
+  const int n = y.n();
+  for (int j = 0; j < n; ++j) {
+    for (int i = 0; i < n; ++i) {
+      y.at(i, j) += s * b.at(i, j);
+    }
+  }
+}
+
+}  // namespace
+
+void state_axpy(EulerState& y, const EulerState& a, double s,
+                const EulerState& b) {
+  field_axpy(y.rho, a.rho, s, b.rho);
+  field_axpy(y.u, a.u, s, b.u);
+  field_axpy(y.v, a.v, s, b.v);
+  field_axpy(y.p, a.p, s, b.p);
+}
+
+Integrator::Integrator(const EulerConfig& config, Scheme scheme)
+    : config_(config),
+      scheme_(scheme),
+      k1_(config.n),
+      k2_(config.n),
+      k3_(config.n),
+      k4_(config.n),
+      tmp_(config.n) {
+  if (config.n <= 0) throw std::invalid_argument("Integrator: bad grid size");
+}
+
+void Integrator::step(EulerState& state, double dt) {
+  if (state.n() != config_.n) {
+    throw std::invalid_argument("Integrator::step: grid size mismatch");
+  }
+  auto rhs = [&](EulerState& s, EulerState& out) {
+    apply_boundary(s);
+    compute_rhs(s, config_, out);
+  };
+
+  switch (scheme_) {
+    case Scheme::kEuler: {
+      rhs(state, k1_);
+      state_axpy(state, state, dt, k1_);
+      break;
+    }
+    case Scheme::kHeun: {
+      rhs(state, k1_);
+      state_axpy(tmp_, state, dt, k1_);
+      rhs(tmp_, k2_);
+      // y_{n+1} = y_n + dt/2 (k1 + k2)
+      state_axpy(state, state, dt / 2.0, k1_);
+      state_axpy(state, state, dt / 2.0, k2_);
+      break;
+    }
+    case Scheme::kRK4: {
+      rhs(state, k1_);
+      state_axpy(tmp_, state, dt / 2.0, k1_);
+      rhs(tmp_, k2_);
+      state_axpy(tmp_, state, dt / 2.0, k2_);
+      rhs(tmp_, k3_);
+      state_axpy(tmp_, state, dt, k3_);
+      rhs(tmp_, k4_);
+      field_add(state.rho, dt / 6.0, k1_.rho);
+      field_add(state.rho, dt / 3.0, k2_.rho);
+      field_add(state.rho, dt / 3.0, k3_.rho);
+      field_add(state.rho, dt / 6.0, k4_.rho);
+      field_add(state.u, dt / 6.0, k1_.u);
+      field_add(state.u, dt / 3.0, k2_.u);
+      field_add(state.u, dt / 3.0, k3_.u);
+      field_add(state.u, dt / 6.0, k4_.u);
+      field_add(state.v, dt / 6.0, k1_.v);
+      field_add(state.v, dt / 3.0, k2_.v);
+      field_add(state.v, dt / 3.0, k3_.v);
+      field_add(state.v, dt / 6.0, k4_.v);
+      field_add(state.p, dt / 6.0, k1_.p);
+      field_add(state.p, dt / 3.0, k2_.p);
+      field_add(state.p, dt / 3.0, k3_.p);
+      field_add(state.p, dt / 6.0, k4_.p);
+      break;
+    }
+  }
+  apply_boundary(state);
+}
+
+}  // namespace parpde::euler

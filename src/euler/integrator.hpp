@@ -1,0 +1,34 @@
+#pragma once
+
+// Explicit time integrators for the semi-discrete linearized Euler system.
+// RK4 is the production scheme (neutrally stable on the central-difference
+// acoustic spectrum); forward Euler and Heun (RK2) exist for the convergence
+// tests.
+
+#include "euler/state.hpp"
+
+namespace parpde::euler {
+
+enum class Scheme { kEuler, kHeun, kRK4 };
+
+class Integrator {
+ public:
+  Integrator(const EulerConfig& config, Scheme scheme = Scheme::kRK4);
+
+  // Advances `state` by one time step `dt` in place. Ghost cells of `state`
+  // are refreshed before every RHS evaluation.
+  void step(EulerState& state, double dt);
+
+  [[nodiscard]] Scheme scheme() const noexcept { return scheme_; }
+
+ private:
+  EulerConfig config_;
+  Scheme scheme_;
+  // Scratch stage storage, reused across steps.
+  EulerState k1_, k2_, k3_, k4_, tmp_;
+};
+
+// y := a; y.axpy-like helper: y = a + s * b on all four fields (interior only).
+void state_axpy(EulerState& y, const EulerState& a, double s, const EulerState& b);
+
+}  // namespace parpde::euler

@@ -1,0 +1,249 @@
+#include "euler/parallel_solver.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "domain/exchange.hpp"
+#include "euler/initial.hpp"
+
+namespace parpde::euler {
+
+namespace {
+
+// Tag block for solver ghost traffic: base + field * 10 + travel direction.
+constexpr int kTagSolverBase = 8200;
+
+}  // namespace
+
+ParallelEulerSolver::ParallelEulerSolver(mpi::CartComm& cart,
+                                         const domain::Partition& partition,
+                                         const EulerConfig& config)
+    : cart_(cart),
+      partition_(partition),
+      config_(config),
+      block_(partition.block(cart.cx(), cart.cy())) {
+  if (partition.grid_h() != config.n || partition.grid_w() != config.n) {
+    throw std::invalid_argument(
+        "ParallelEulerSolver: partition does not match the config grid");
+  }
+  nx_ = static_cast<int>(block_.width());
+  ny_ = static_cast<int>(block_.height());
+  state_ = RectState(nx_, ny_);
+  k1_ = RectState(nx_, ny_);
+  k2_ = RectState(nx_, ny_);
+  k3_ = RectState(nx_, ny_);
+  k4_ = RectState(nx_, ny_);
+  tmp_ = RectState(nx_, ny_);
+}
+
+void ParallelEulerSolver::initialize() {
+  const double ln2 = std::log(2.0);
+  const double hw2 = config_.pulse_halfwidth * config_.pulse_halfwidth;
+  for (int j = 0; j < ny_; ++j) {
+    const double y =
+        cell_center(config_, static_cast<int>(block_.h0) + j) - config_.pulse_y;
+    for (int i = 0; i < nx_; ++i) {
+      const double x = cell_center(config_, static_cast<int>(block_.w0) + i) -
+                       config_.pulse_x;
+      state_.p.at(i, j) =
+          config_.pulse_amplitude * std::exp(-ln2 * (x * x + y * y) / hw2);
+      state_.rho.at(i, j) = 0.0;
+      state_.u.at(i, j) = 0.0;
+      state_.v.at(i, j) = 0.0;
+    }
+  }
+}
+
+void ParallelEulerSolver::exchange_field(RectField& f, int tag_base) {
+  mpi::Communicator& comm = cart_.comm();
+  const int west = cart_.neighbor(mpi::Direction::kWest);
+  const int east = cart_.neighbor(mpi::Direction::kEast);
+  const int south = cart_.neighbor(mpi::Direction::kSouth);
+  const int north = cart_.neighbor(mpi::Direction::kNorth);
+
+  // Buffered sends of all four edges first; matching receives afterwards.
+  std::vector<double> strip;
+  if (west != mpi::kProcNull) {
+    strip.resize(static_cast<std::size_t>(ny_));
+    for (int j = 0; j < ny_; ++j) strip[static_cast<std::size_t>(j)] = f.at(0, j);
+    comm.send<double>(west, tag_base + static_cast<int>(mpi::Direction::kWest),
+                      strip);
+  }
+  if (east != mpi::kProcNull) {
+    strip.resize(static_cast<std::size_t>(ny_));
+    for (int j = 0; j < ny_; ++j) {
+      strip[static_cast<std::size_t>(j)] = f.at(nx_ - 1, j);
+    }
+    comm.send<double>(east, tag_base + static_cast<int>(mpi::Direction::kEast),
+                      strip);
+  }
+  if (south != mpi::kProcNull) {
+    strip.resize(static_cast<std::size_t>(nx_));
+    for (int i = 0; i < nx_; ++i) strip[static_cast<std::size_t>(i)] = f.at(i, 0);
+    comm.send<double>(south, tag_base + static_cast<int>(mpi::Direction::kSouth),
+                      strip);
+  }
+  if (north != mpi::kProcNull) {
+    strip.resize(static_cast<std::size_t>(nx_));
+    for (int i = 0; i < nx_; ++i) {
+      strip[static_cast<std::size_t>(i)] = f.at(i, ny_ - 1);
+    }
+    comm.send<double>(north, tag_base + static_cast<int>(mpi::Direction::kNorth),
+                      strip);
+  }
+
+  // A message that travelled west arrives from our east neighbour, etc.
+  if (east != mpi::kProcNull) {
+    const auto ghost =
+        comm.recv<double>(east, tag_base + static_cast<int>(mpi::Direction::kWest));
+    for (int j = 0; j < ny_; ++j) f.at(nx_, j) = ghost[static_cast<std::size_t>(j)];
+  }
+  if (west != mpi::kProcNull) {
+    const auto ghost =
+        comm.recv<double>(west, tag_base + static_cast<int>(mpi::Direction::kEast));
+    for (int j = 0; j < ny_; ++j) f.at(-1, j) = ghost[static_cast<std::size_t>(j)];
+  }
+  if (north != mpi::kProcNull) {
+    const auto ghost = comm.recv<double>(
+        north, tag_base + static_cast<int>(mpi::Direction::kSouth));
+    for (int i = 0; i < nx_; ++i) f.at(i, ny_) = ghost[static_cast<std::size_t>(i)];
+  }
+  if (south != mpi::kProcNull) {
+    const auto ghost = comm.recv<double>(
+        south, tag_base + static_cast<int>(mpi::Direction::kNorth));
+    for (int i = 0; i < nx_; ++i) f.at(i, -1) = ghost[static_cast<std::size_t>(i)];
+  }
+}
+
+void ParallelEulerSolver::apply_physical_boundary(RectState& s) {
+  const bool at_west = cart_.neighbor(mpi::Direction::kWest) == mpi::kProcNull;
+  const bool at_east = cart_.neighbor(mpi::Direction::kEast) == mpi::kProcNull;
+  const bool at_south = cart_.neighbor(mpi::Direction::kSouth) == mpi::kProcNull;
+  const bool at_north = cart_.neighbor(mpi::Direction::kNorth) == mpi::kProcNull;
+
+  // Outflow (Sec. IV-A): p' antisymmetric (zero at the face), others mirror.
+  auto fill_x = [&](int ghost_i, int interior_i) {
+    for (int j = 0; j < ny_; ++j) {
+      s.p.at(ghost_i, j) = -s.p.at(interior_i, j);
+      s.rho.at(ghost_i, j) = s.rho.at(interior_i, j);
+      s.u.at(ghost_i, j) = s.u.at(interior_i, j);
+      s.v.at(ghost_i, j) = s.v.at(interior_i, j);
+    }
+  };
+  auto fill_y = [&](int ghost_j, int interior_j) {
+    for (int i = 0; i < nx_; ++i) {
+      s.p.at(i, ghost_j) = -s.p.at(i, interior_j);
+      s.rho.at(i, ghost_j) = s.rho.at(i, interior_j);
+      s.u.at(i, ghost_j) = s.u.at(i, interior_j);
+      s.v.at(i, ghost_j) = s.v.at(i, interior_j);
+    }
+  };
+  if (at_west) fill_x(-1, 0);
+  if (at_east) fill_x(nx_, nx_ - 1);
+  if (at_south) fill_y(-1, 0);
+  if (at_north) fill_y(ny_, ny_ - 1);
+}
+
+void ParallelEulerSolver::refresh_ghosts(RectState& s) {
+  comm_timer_.start();
+  exchange_field(s.rho, kTagSolverBase + 0);
+  exchange_field(s.u, kTagSolverBase + 10);
+  exchange_field(s.v, kTagSolverBase + 20);
+  exchange_field(s.p, kTagSolverBase + 30);
+  comm_timer_.stop();
+  apply_physical_boundary(s);
+}
+
+void ParallelEulerSolver::local_rhs(const RectState& s, RectState& out) const {
+  // Identical discretization to euler::compute_rhs, on the local block.
+  const double inv2dx = 1.0 / (2.0 * config_.dx());
+  const double invdx2 = 1.0 / (config_.dx() * config_.dx());
+  const double nu = config_.dissipation * config_.sound_speed() * config_.dx();
+  const double uc = config_.uc;
+  const double vc = config_.vc;
+  const double rho_c = config_.rho_c;
+  const double gp = config_.gamma * config_.p_c;
+
+  auto dx = [&](const RectField& f, int i, int j) {
+    return (f.at(i + 1, j) - f.at(i - 1, j)) * inv2dx;
+  };
+  auto dy = [&](const RectField& f, int i, int j) {
+    return (f.at(i, j + 1) - f.at(i, j - 1)) * inv2dx;
+  };
+  auto lap = [&](const RectField& f, int i, int j) {
+    return (f.at(i + 1, j) + f.at(i - 1, j) + f.at(i, j + 1) + f.at(i, j - 1) -
+            4.0 * f.at(i, j)) *
+           invdx2;
+  };
+
+  for (int j = 0; j < ny_; ++j) {
+    for (int i = 0; i < nx_; ++i) {
+      const double div_u = dx(s.u, i, j) + dy(s.v, i, j);
+      out.rho.at(i, j) = -(uc * dx(s.rho, i, j) + vc * dy(s.rho, i, j)) -
+                         rho_c * div_u + nu * lap(s.rho, i, j);
+      out.u.at(i, j) = -(uc * dx(s.u, i, j) + vc * dy(s.u, i, j)) -
+                       dx(s.p, i, j) / rho_c + nu * lap(s.u, i, j);
+      out.v.at(i, j) = -(uc * dx(s.v, i, j) + vc * dy(s.v, i, j)) -
+                       dy(s.p, i, j) / rho_c + nu * lap(s.v, i, j);
+      out.p.at(i, j) = -(uc * dx(s.p, i, j) + vc * dy(s.p, i, j)) - gp * div_u +
+                       nu * lap(s.p, i, j);
+    }
+  }
+}
+
+void ParallelEulerSolver::axpy(RectState& y, const RectState& a, double s,
+                               const RectState& b) {
+  const int nx = y.rho.nx(), ny = y.rho.ny();
+  for (int j = 0; j < ny; ++j) {
+    for (int i = 0; i < nx; ++i) {
+      y.rho.at(i, j) = a.rho.at(i, j) + s * b.rho.at(i, j);
+      y.u.at(i, j) = a.u.at(i, j) + s * b.u.at(i, j);
+      y.v.at(i, j) = a.v.at(i, j) + s * b.v.at(i, j);
+      y.p.at(i, j) = a.p.at(i, j) + s * b.p.at(i, j);
+    }
+  }
+}
+
+void ParallelEulerSolver::step(double dt) {
+  auto rhs = [&](RectState& s, RectState& out) {
+    refresh_ghosts(s);
+    local_rhs(s, out);
+  };
+  rhs(state_, k1_);
+  axpy(tmp_, state_, dt / 2.0, k1_);
+  rhs(tmp_, k2_);
+  axpy(tmp_, state_, dt / 2.0, k2_);
+  rhs(tmp_, k3_);
+  axpy(tmp_, state_, dt, k3_);
+  rhs(tmp_, k4_);
+  for (int j = 0; j < ny_; ++j) {
+    for (int i = 0; i < nx_; ++i) {
+      state_.rho.at(i, j) += dt / 6.0 * (k1_.rho.at(i, j) + 2.0 * k2_.rho.at(i, j) +
+                                         2.0 * k3_.rho.at(i, j) + k4_.rho.at(i, j));
+      state_.u.at(i, j) += dt / 6.0 * (k1_.u.at(i, j) + 2.0 * k2_.u.at(i, j) +
+                                       2.0 * k3_.u.at(i, j) + k4_.u.at(i, j));
+      state_.v.at(i, j) += dt / 6.0 * (k1_.v.at(i, j) + 2.0 * k2_.v.at(i, j) +
+                                       2.0 * k3_.v.at(i, j) + k4_.v.at(i, j));
+      state_.p.at(i, j) += dt / 6.0 * (k1_.p.at(i, j) + 2.0 * k2_.p.at(i, j) +
+                                       2.0 * k3_.p.at(i, j) + k4_.p.at(i, j));
+    }
+  }
+}
+
+Tensor ParallelEulerSolver::gather(bool include_background) const {
+  Tensor local({kNumChannels, ny_, nx_});
+  const float p_bg = include_background ? static_cast<float>(config_.p_c) : 0.0f;
+  const float rho_bg =
+      include_background ? static_cast<float>(config_.rho_c) : 0.0f;
+  for (int j = 0; j < ny_; ++j) {
+    for (int i = 0; i < nx_; ++i) {
+      local.at(kPressure, j, i) = static_cast<float>(state_.p.at(i, j)) + p_bg;
+      local.at(kDensity, j, i) = static_cast<float>(state_.rho.at(i, j)) + rho_bg;
+      local.at(kVelX, j, i) = static_cast<float>(state_.u.at(i, j));
+      local.at(kVelY, j, i) = static_cast<float>(state_.v.at(i, j));
+    }
+  }
+  return domain::gather_field(cart_, partition_, local);
+}
+
+}  // namespace parpde::euler

@@ -1,0 +1,46 @@
+#include "euler/rhs.hpp"
+
+#include <stdexcept>
+
+namespace parpde::euler {
+
+void compute_rhs(const EulerState& state, const EulerConfig& config,
+                 EulerState& out) {
+  const int n = state.n();
+  if (out.n() != n) throw std::invalid_argument("compute_rhs: size mismatch");
+  const double inv2dx = 1.0 / (2.0 * config.dx());
+  const double invdx2 = 1.0 / (config.dx() * config.dx());
+  const double nu = config.dissipation * config.sound_speed() * config.dx();
+  const double uc = config.uc;
+  const double vc = config.vc;
+  const double rho_c = config.rho_c;
+  const double gp = config.gamma * config.p_c;
+
+  auto dx = [&](const ScalarField& f, int i, int j) {
+    return (f.at(i + 1, j) - f.at(i - 1, j)) * inv2dx;
+  };
+  auto dy = [&](const ScalarField& f, int i, int j) {
+    return (f.at(i, j + 1) - f.at(i, j - 1)) * inv2dx;
+  };
+  auto lap = [&](const ScalarField& f, int i, int j) {
+    return (f.at(i + 1, j) + f.at(i - 1, j) + f.at(i, j + 1) + f.at(i, j - 1) -
+            4.0 * f.at(i, j)) *
+           invdx2;
+  };
+
+  for (int j = 0; j < n; ++j) {
+    for (int i = 0; i < n; ++i) {
+      const double div_u = dx(state.u, i, j) + dy(state.v, i, j);
+      out.rho.at(i, j) = -(uc * dx(state.rho, i, j) + vc * dy(state.rho, i, j)) -
+                         rho_c * div_u + nu * lap(state.rho, i, j);
+      out.u.at(i, j) = -(uc * dx(state.u, i, j) + vc * dy(state.u, i, j)) -
+                       dx(state.p, i, j) / rho_c + nu * lap(state.u, i, j);
+      out.v.at(i, j) = -(uc * dx(state.v, i, j) + vc * dy(state.v, i, j)) -
+                       dy(state.p, i, j) / rho_c + nu * lap(state.v, i, j);
+      out.p.at(i, j) = -(uc * dx(state.p, i, j) + vc * dy(state.p, i, j)) -
+                       gp * div_u + nu * lap(state.p, i, j);
+    }
+  }
+}
+
+}  // namespace parpde::euler

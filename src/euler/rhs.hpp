@@ -1,0 +1,23 @@
+#pragma once
+
+// Spatial discretization of the linearized Euler equations (Eq. (8)):
+// second-order central differences on the cell-centered grid, plus an
+// optional Laplacian smoothing term (coefficient `dissipation * c * dx`)
+// that damps the odd-even mode the pure central scheme leaves undamped.
+//
+// With constant background (u_c, v_c, rho_c, p_c) the semi-discrete system is
+//   d rho'/dt = -(u_c dx(rho') + v_c dy(rho')) - rho_c (dx(u') + dy(v'))
+//   d u'  /dt = -(u_c dx(u')   + v_c dy(u'))   - dx(p') / rho_c
+//   d v'  /dt = -(u_c dx(v')   + v_c dy(v'))   - dy(p') / rho_c
+//   d p'  /dt = -(u_c dx(p')   + v_c dy(p'))   - gamma p_c (dx(u') + dy(v'))
+
+#include "euler/state.hpp"
+
+namespace parpde::euler {
+
+// Evaluates the right-hand side into `out` (same grid size as `state`).
+// `state`'s ghost layer must be filled (apply_boundary) before the call.
+void compute_rhs(const EulerState& state, const EulerConfig& config,
+                 EulerState& out);
+
+}  // namespace parpde::euler

@@ -1,0 +1,71 @@
+#include "euler/simulate.hpp"
+
+#include <stdexcept>
+
+#include "euler/initial.hpp"
+#include "euler/integrator.hpp"
+#include "euler/parallel_solver.hpp"
+#include "minimpi/environment.hpp"
+
+namespace parpde::euler {
+
+SimulationResult simulate(const EulerConfig& config,
+                          const SimulateOptions& options) {
+  if (options.num_frames < 2) {
+    throw std::invalid_argument("simulate: need at least 2 frames");
+  }
+  if (options.steps_per_frame < 1) {
+    throw std::invalid_argument("simulate: steps_per_frame must be >= 1");
+  }
+  SimulationResult result;
+  result.config = config;
+  result.include_background = options.include_background;
+  const double dt = config.dt();
+  result.frame_dt = dt * options.steps_per_frame;
+  result.frames.reserve(static_cast<std::size_t>(options.num_frames));
+
+  EulerState state = make_initial_state(config);
+  Integrator integrator(config, Scheme::kRK4);
+  result.frames.push_back(
+      state_to_tensor(state, config, options.include_background));
+  for (int f = 1; f < options.num_frames; ++f) {
+    for (int s = 0; s < options.steps_per_frame; ++s) integrator.step(state, dt);
+    result.frames.push_back(
+        state_to_tensor(state, config, options.include_background));
+  }
+  return result;
+}
+
+SimulationResult simulate_parallel(const EulerConfig& config,
+                                   const SimulateOptions& options, int ranks) {
+  if (options.num_frames < 2 || options.steps_per_frame < 1) {
+    throw std::invalid_argument("simulate_parallel: bad frame options");
+  }
+  SimulationResult result;
+  result.config = config;
+  result.include_background = options.include_background;
+  const double dt = config.dt();
+  result.frame_dt = dt * options.steps_per_frame;
+  result.frames.assign(static_cast<std::size_t>(options.num_frames), Tensor{});
+
+  const mpi::Dims dims = mpi::dims_create(ranks);
+  const domain::Partition partition(config.n, config.n, dims.px, dims.py);
+  mpi::Environment env(ranks);
+  env.run([&](mpi::Communicator& comm) {
+    mpi::CartComm cart(comm, dims.px, dims.py);
+    ParallelEulerSolver solver(cart, partition, config);
+    solver.initialize();
+    for (int f = 0; f < options.num_frames; ++f) {
+      if (f > 0) {
+        for (int s = 0; s < options.steps_per_frame; ++s) solver.step(dt);
+      }
+      Tensor full = solver.gather(options.include_background);
+      if (comm.rank() == 0) {
+        result.frames[static_cast<std::size_t>(f)] = std::move(full);
+      }
+    }
+  });
+  return result;
+}
+
+}  // namespace parpde::euler

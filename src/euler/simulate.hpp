@@ -1,0 +1,37 @@
+#pragma once
+
+// End-to-end data generation: runs the linearized Euler solver and records a
+// sequence of float32 frames [4, n, n] for network training — the role Ateles
+// plays in the paper (Sec. IV-B: 1500 frames from a single simulation).
+
+#include <vector>
+
+#include "euler/state.hpp"
+
+namespace parpde::euler {
+
+struct SimulationResult {
+  EulerConfig config;
+  double frame_dt = 0.0;        // physical time between recorded frames
+  bool include_background = true;
+  std::vector<Tensor> frames;   // each [4, n, n], Channel order
+};
+
+struct SimulateOptions {
+  int num_frames = 100;         // recorded frames (paper: 1500)
+  int steps_per_frame = 1;      // solver steps between recorded frames
+  bool include_background = true;
+};
+
+// Runs the solver from the Gaussian-pulse initial condition and records
+// `num_frames` frames (the initial state is frame 0).
+SimulationResult simulate(const EulerConfig& config, const SimulateOptions& options);
+
+// Same result computed with the domain-decomposed solver on `ranks` thread
+// ranks (ghost exchange per RK stage, frames gathered on rank 0). Produces
+// the same frames as simulate() up to float export rounding — the way the
+// paper's training data would be generated on a real cluster.
+SimulationResult simulate_parallel(const EulerConfig& config,
+                                   const SimulateOptions& options, int ranks);
+
+}  // namespace parpde::euler

@@ -1,0 +1,52 @@
+#include "euler/state.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace parpde::euler {
+
+double EulerConfig::sound_speed() const {
+  return std::sqrt(gamma * p_c / rho_c);
+}
+
+double EulerConfig::dt() const {
+  const double wave = sound_speed() + std::abs(uc) + std::abs(vc);
+  return cfl * dx() / wave;
+}
+
+Tensor state_to_tensor(const EulerState& state, const EulerConfig& config,
+                       bool include_background) {
+  const int n = state.n();
+  Tensor t({kNumChannels, n, n});
+  const float p_bg = include_background ? static_cast<float>(config.p_c) : 0.0f;
+  const float rho_bg =
+      include_background ? static_cast<float>(config.rho_c) : 0.0f;
+  for (int j = 0; j < n; ++j) {
+    for (int i = 0; i < n; ++i) {
+      t.at(kPressure, j, i) = static_cast<float>(state.p.at(i, j)) + p_bg;
+      t.at(kDensity, j, i) = static_cast<float>(state.rho.at(i, j)) + rho_bg;
+      t.at(kVelX, j, i) = static_cast<float>(state.u.at(i, j));
+      t.at(kVelY, j, i) = static_cast<float>(state.v.at(i, j));
+    }
+  }
+  return t;
+}
+
+double acoustic_energy(const EulerState& state, const EulerConfig& config) {
+  const int n = state.n();
+  const double c2 = config.sound_speed() * config.sound_speed();
+  const double cell = config.dx() * config.dx();
+  double e = 0.0;
+  for (int j = 0; j < n; ++j) {
+    for (int i = 0; i < n; ++i) {
+      const double p = state.p.at(i, j);
+      const double u = state.u.at(i, j);
+      const double v = state.v.at(i, j);
+      e += p * p / (2.0 * config.rho_c * c2) +
+           config.rho_c * (u * u + v * v) / 2.0;
+    }
+  }
+  return e * cell;
+}
+
+}  // namespace parpde::euler

@@ -1,0 +1,97 @@
+#pragma once
+
+// Discrete state of the 2-d linearized Euler equations (Eq. (8) of the paper):
+// perturbation fields rho', u', v', p' on an n x n cell-centered grid over the
+// square domain [-L, L]^2, with one ghost-cell layer for boundary conditions.
+// The solver works in double precision; frames are converted to float32
+// tensors only when handed to the network.
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace parpde::euler {
+
+// Channel order used for all 4-channel NN tensors in this library.
+enum Channel : std::int64_t {
+  kPressure = 0,
+  kDensity = 1,
+  kVelX = 2,
+  kVelY = 3,
+};
+inline constexpr std::int64_t kNumChannels = 4;
+
+// Scalar field with a single ghost layer: valid indices i, j in [-1, n].
+class ScalarField {
+ public:
+  ScalarField() = default;
+  explicit ScalarField(int n) : n_(n), data_(static_cast<std::size_t>((n + 2) * (n + 2)), 0.0) {}
+
+  [[nodiscard]] int n() const noexcept { return n_; }
+
+  double& at(int i, int j) noexcept {
+    return data_[static_cast<std::size_t>((j + 1) * (n_ + 2) + (i + 1))];
+  }
+  double at(int i, int j) const noexcept {
+    return data_[static_cast<std::size_t>((j + 1) * (n_ + 2) + (i + 1))];
+  }
+
+  void fill(double value) { std::fill(data_.begin(), data_.end(), value); }
+
+  [[nodiscard]] const std::vector<double>& raw() const noexcept { return data_; }
+
+ private:
+  int n_ = 0;
+  std::vector<double> data_;
+};
+
+// Physical/numerical configuration. Defaults follow Sec. IV-A of the paper in
+// bar-based units: background pressure 1 (bar), background density 1, fluid at
+// rest, Gaussian pulse of amplitude 0.5 and half-width 0.3 m at the center.
+struct EulerConfig {
+  int n = 64;                    // grid points per direction (paper: 256)
+  double domain_half = 2.0;      // domain is [-domain_half, domain_half]^2
+  double rho_c = 1.0;            // background density [kg/m^3]
+  double p_c = 1.0;              // background pressure [bar]
+  double uc = 0.0;               // background x-velocity
+  double vc = 0.0;               // background y-velocity
+  double gamma = 1.4;            // ratio of specific heats
+  double cfl = 0.4;              // CFL number for the explicit time step
+  double dissipation = 0.02;    // Laplacian smoothing coefficient (x c dx)
+  double pulse_amplitude = 0.5;  // Gaussian pulse amplitude (pressure)
+  double pulse_halfwidth = 0.3;  // radius where the pulse drops to A/2
+  double pulse_x = 0.0;          // pulse center
+  double pulse_y = 0.0;
+
+  [[nodiscard]] double dx() const { return 2.0 * domain_half / n; }
+  // Acoustic speed of the background state.
+  [[nodiscard]] double sound_speed() const;
+  // Stable explicit time step.
+  [[nodiscard]] double dt() const;
+};
+
+struct EulerState {
+  EulerState() = default;
+  explicit EulerState(int n) : rho(n), u(n), v(n), p(n) {}
+
+  [[nodiscard]] int n() const noexcept { return rho.n(); }
+
+  ScalarField rho;  // density perturbation rho'
+  ScalarField u;    // x-velocity perturbation u'
+  ScalarField v;    // y-velocity perturbation v'
+  ScalarField p;    // pressure perturbation p'
+};
+
+// Converts the interior of a state to a [4, n, n] float tensor in Channel
+// order. If `include_background` is set, the constant background is added to
+// pressure and density (the form the networks train on; see DESIGN.md §6).
+Tensor state_to_tensor(const EulerState& state, const EulerConfig& config,
+                       bool include_background);
+
+// Acoustic energy of the perturbation: integral of
+// p'^2 / (2 rho_c c^2) + rho_c (u'^2 + v'^2) / 2 over the domain.
+double acoustic_energy(const EulerState& state, const EulerConfig& config);
+
+}  // namespace parpde::euler

@@ -1,0 +1,74 @@
+#include "minimpi/cart.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace parpde::mpi {
+
+Direction opposite(Direction d) noexcept {
+  switch (d) {
+    case Direction::kWest:
+      return Direction::kEast;
+    case Direction::kEast:
+      return Direction::kWest;
+    case Direction::kSouth:
+      return Direction::kNorth;
+    case Direction::kNorth:
+      return Direction::kSouth;
+  }
+  return Direction::kWest;
+}
+
+std::string direction_name(Direction d) {
+  switch (d) {
+    case Direction::kWest:
+      return "west";
+    case Direction::kEast:
+      return "east";
+    case Direction::kSouth:
+      return "south";
+    case Direction::kNorth:
+      return "north";
+  }
+  return "?";
+}
+
+Dims dims_create(int nranks) {
+  if (nranks <= 0) throw std::invalid_argument("dims_create: nranks must be > 0");
+  // Largest divisor of nranks that is <= sqrt(nranks) becomes py.
+  int py = 1;
+  for (int d = 1; d * d <= nranks; ++d) {
+    if (nranks % d == 0) py = d;
+  }
+  return Dims{nranks / py, py};
+}
+
+CartComm::CartComm(Communicator& comm, int px, int py)
+    : comm_(comm), px_(px), py_(py) {
+  if (px <= 0 || py <= 0 || px * py != comm.size()) {
+    throw std::invalid_argument("CartComm: px * py must equal communicator size");
+  }
+  cx_ = comm.rank() % px_;
+  cy_ = comm.rank() / px_;
+}
+
+int CartComm::rank_of(int cx, int cy) const noexcept {
+  if (cx < 0 || cx >= px_ || cy < 0 || cy >= py_) return kProcNull;
+  return cy * px_ + cx;
+}
+
+int CartComm::neighbor(Direction d) const noexcept {
+  switch (d) {
+    case Direction::kWest:
+      return rank_of(cx_ - 1, cy_);
+    case Direction::kEast:
+      return rank_of(cx_ + 1, cy_);
+    case Direction::kSouth:
+      return rank_of(cx_, cy_ - 1);
+    case Direction::kNorth:
+      return rank_of(cx_, cy_ + 1);
+  }
+  return kProcNull;
+}
+
+}  // namespace parpde::mpi

@@ -1,0 +1,56 @@
+#pragma once
+
+// 2-d Cartesian process topology over a communicator — the layout the paper's
+// domain decomposition uses. Rank r sits at coordinates
+// (cx, cy) = (r % px, r / px); x increases "east", y increases "north".
+// Non-periodic: off-grid neighbors are kProcNull (sends to them are dropped).
+
+#include <array>
+#include <string>
+
+#include "minimpi/communicator.hpp"
+
+namespace parpde::mpi {
+
+enum class Direction : int { kWest = 0, kEast = 1, kSouth = 2, kNorth = 3 };
+
+inline constexpr std::array<Direction, 4> kAllDirections = {
+    Direction::kWest, Direction::kEast, Direction::kSouth, Direction::kNorth};
+
+[[nodiscard]] Direction opposite(Direction d) noexcept;
+[[nodiscard]] std::string direction_name(Direction d);
+
+// Balanced 2-d factorization of `nranks` (px * py == nranks, px >= py,
+// px/py as close to square as possible) — the MPI_Dims_create equivalent.
+struct Dims {
+  int px = 1;
+  int py = 1;
+};
+[[nodiscard]] Dims dims_create(int nranks);
+
+class CartComm {
+ public:
+  // `comm` must have exactly px * py ranks.
+  CartComm(Communicator& comm, int px, int py);
+
+  [[nodiscard]] Communicator& comm() noexcept { return comm_; }
+  [[nodiscard]] int px() const noexcept { return px_; }
+  [[nodiscard]] int py() const noexcept { return py_; }
+  [[nodiscard]] int cx() const noexcept { return cx_; }
+  [[nodiscard]] int cy() const noexcept { return cy_; }
+
+  // Rank at coordinates, or kProcNull if off-grid.
+  [[nodiscard]] int rank_of(int cx, int cy) const noexcept;
+
+  // Neighbor of this rank in the given direction (kProcNull at boundary).
+  [[nodiscard]] int neighbor(Direction d) const noexcept;
+
+ private:
+  Communicator& comm_;
+  int px_;
+  int py_;
+  int cx_;
+  int cy_;
+};
+
+}  // namespace parpde::mpi

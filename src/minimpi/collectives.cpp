@@ -1,0 +1,19 @@
+#include "minimpi/collectives.hpp"
+
+namespace parpde::mpi {
+
+void barrier(Communicator& comm) {
+  SharedState& state = comm.shared();
+  std::unique_lock<std::mutex> lock(state.barrier_mutex);
+  const std::uint64_t generation = state.barrier_generation;
+  if (++state.barrier_arrived == comm.size()) {
+    state.barrier_arrived = 0;
+    ++state.barrier_generation;
+    state.barrier_cv.notify_all();
+    return;
+  }
+  state.barrier_cv.wait(
+      lock, [&] { return state.barrier_generation != generation; });
+}
+
+}  // namespace parpde::mpi

@@ -1,0 +1,216 @@
+#pragma once
+
+// Collective operations built on the point-to-point layer. All ranks of a
+// communicator must call each collective in the same order (standard MPI
+// contract). Broadcast and reduction use binomial trees (log P rounds); the
+// message tags live in a reserved range so collectives and user p2p traffic
+// never match each other.
+
+#include <algorithm>
+#include <span>
+#include <vector>
+
+#include "minimpi/communicator.hpp"
+
+namespace parpde::mpi {
+
+enum class ReduceOp { kSum, kMin, kMax };
+
+// Reserved tag block for collective traffic.
+inline constexpr int kTagBarrier = 1 << 20;
+inline constexpr int kTagBcast = (1 << 20) + 1;
+inline constexpr int kTagReduce = (1 << 20) + 2;
+inline constexpr int kTagGather = (1 << 20) + 3;
+inline constexpr int kTagScatter = (1 << 20) + 4;
+inline constexpr int kTagScan = (1 << 20) + 5;
+inline constexpr int kTagAlltoall = (1 << 20) + 6;
+inline constexpr int kTagSendrecv = (1 << 20) + 7;
+
+// Blocks until all ranks have entered the barrier.
+void barrier(Communicator& comm);
+
+namespace detail {
+
+template <typename T>
+void apply_op(ReduceOp op, std::span<T> acc, std::span<const T> other) {
+  for (std::size_t i = 0; i < acc.size(); ++i) {
+    switch (op) {
+      case ReduceOp::kSum:
+        acc[i] += other[i];
+        break;
+      case ReduceOp::kMin:
+        acc[i] = std::min(acc[i], other[i]);
+        break;
+      case ReduceOp::kMax:
+        acc[i] = std::max(acc[i], other[i]);
+        break;
+    }
+  }
+}
+
+}  // namespace detail
+
+// Broadcasts `data` from `root` to all ranks (binomial tree). Non-root ranks
+// resize `data` to the root's payload.
+template <typename T>
+void bcast(Communicator& comm, std::vector<T>& data, int root) {
+  const int size = comm.size();
+  const int vrank = (comm.rank() - root + size) % size;
+  // Receive once from the parent...
+  for (int mask = 1; mask < size; mask <<= 1) {
+    if (vrank >= mask && vrank < 2 * mask) {
+      const int parent = (vrank - mask + root) % size;
+      data = comm.recv<T>(parent, kTagBcast);
+      break;
+    }
+  }
+  // ...then forward to all children.
+  for (int mask = 1; mask < size; mask <<= 1) {
+    if (vrank < mask && vrank + mask < size) {
+      const int child = (vrank + mask + root) % size;
+      comm.send<T>(child, kTagBcast, data);
+    }
+  }
+}
+
+// Reduces elementwise into `inout` at `root` (binomial tree); other ranks'
+// `inout` is left as their contribution.
+template <typename T>
+void reduce(Communicator& comm, std::span<T> inout, ReduceOp op, int root) {
+  const int size = comm.size();
+  const int vrank = (comm.rank() - root + size) % size;
+  for (int mask = 1; mask < size; mask <<= 1) {
+    if ((vrank & mask) != 0) {
+      const int parent = ((vrank & ~mask) + root) % size;
+      comm.send<T>(parent, kTagReduce, std::span<const T>(inout.data(), inout.size()));
+      return;
+    }
+    if (vrank + mask < size) {
+      const int child = (vrank + mask + root) % size;
+      const auto partial = comm.recv<T>(child, kTagReduce);
+      if (partial.size() != inout.size()) {
+        throw std::runtime_error("reduce: contribution size mismatch");
+      }
+      detail::apply_op<T>(op, inout, partial);
+    }
+  }
+}
+
+// Elementwise reduction visible on every rank: tree-reduce to rank 0, then
+// broadcast the result.
+template <typename T>
+void allreduce(Communicator& comm, std::span<T> inout, ReduceOp op) {
+  reduce(comm, inout, op, /*root=*/0);
+  std::vector<T> buffer;
+  if (comm.rank() == 0) buffer.assign(inout.begin(), inout.end());
+  bcast(comm, buffer, /*root=*/0);
+  std::copy(buffer.begin(), buffer.end(), inout.begin());
+}
+
+// Concatenates each rank's `local` block at `root` in rank order. Non-root
+// ranks receive an empty vector. Blocks may have different lengths.
+template <typename T>
+std::vector<T> gather(Communicator& comm, std::span<const T> local, int root) {
+  if (comm.rank() != root) {
+    comm.send<T>(root, kTagGather, local);
+    return {};
+  }
+  std::vector<T> out;
+  for (int r = 0; r < comm.size(); ++r) {
+    if (r == comm.rank()) {
+      out.insert(out.end(), local.begin(), local.end());
+    } else {
+      const auto block = comm.recv<T>(r, kTagGather);
+      out.insert(out.end(), block.begin(), block.end());
+    }
+  }
+  return out;
+}
+
+// Gather to rank 0 followed by broadcast: every rank gets the concatenation.
+template <typename T>
+std::vector<T> allgather(Communicator& comm, std::span<const T> local) {
+  std::vector<T> out = gather(comm, local, /*root=*/0);
+  bcast(comm, out, /*root=*/0);
+  return out;
+}
+
+// Root splits `data` (size must be a multiple of the communicator size) into
+// equal contiguous blocks; every rank returns its block. Non-root ranks
+// ignore `data`.
+template <typename T>
+std::vector<T> scatter(Communicator& comm, std::span<const T> data, int root) {
+  const int size = comm.size();
+  if (comm.rank() == root) {
+    if (data.size() % static_cast<std::size_t>(size) != 0) {
+      throw std::invalid_argument("scatter: size not divisible by ranks");
+    }
+    const std::size_t block = data.size() / static_cast<std::size_t>(size);
+    for (int r = 0; r < size; ++r) {
+      if (r == root) continue;
+      comm.send<T>(r, kTagScatter,
+                   data.subspan(static_cast<std::size_t>(r) * block, block));
+    }
+    const auto mine = data.subspan(static_cast<std::size_t>(root) * block, block);
+    return std::vector<T>(mine.begin(), mine.end());
+  }
+  return comm.recv<T>(root, kTagScatter);
+}
+
+// Inclusive prefix reduction: rank r's `inout` becomes op(contribution of
+// ranks 0..r), elementwise. Linear chain (latency O(P)), fine at these rank
+// counts.
+template <typename T>
+void scan(Communicator& comm, std::span<T> inout, ReduceOp op) {
+  const int rank = comm.rank();
+  if (rank > 0) {
+    const auto prefix = comm.recv<T>(rank - 1, kTagScan);
+    if (prefix.size() != inout.size()) {
+      throw std::runtime_error("scan: contribution size mismatch");
+    }
+    detail::apply_op<T>(op, inout, prefix);
+  }
+  if (rank + 1 < comm.size()) {
+    comm.send<T>(rank + 1, kTagScan,
+                 std::span<const T>(inout.data(), inout.size()));
+  }
+}
+
+// Personalized all-to-all: `data` holds one equal block per destination rank
+// (size must be size() * block); returns the blocks received from every rank
+// in rank order.
+template <typename T>
+std::vector<T> alltoall(Communicator& comm, std::span<const T> data) {
+  const int size = comm.size();
+  if (data.size() % static_cast<std::size_t>(size) != 0) {
+    throw std::invalid_argument("alltoall: size not divisible by ranks");
+  }
+  const std::size_t block = data.size() / static_cast<std::size_t>(size);
+  for (int r = 0; r < size; ++r) {
+    comm.send<T>(r, kTagAlltoall,
+                 data.subspan(static_cast<std::size_t>(r) * block, block));
+  }
+  std::vector<T> out;
+  out.reserve(data.size());
+  for (int r = 0; r < size; ++r) {
+    const auto recv_block = comm.recv<T>(r, kTagAlltoall);
+    if (recv_block.size() != block) {
+      throw std::runtime_error("alltoall: block size mismatch");
+    }
+    out.insert(out.end(), recv_block.begin(), recv_block.end());
+  }
+  return out;
+}
+
+// Combined exchange with two (possibly different) peers — the MPI_Sendrecv
+// shape used by shift communication. Either peer may be kProcNull (no-op on
+// that side; an empty vector is returned when the source is null).
+template <typename T>
+std::vector<T> sendrecv(Communicator& comm, int dest, std::span<const T> send_data,
+                        int source) {
+  comm.send<T>(dest, kTagSendrecv, send_data);
+  if (source == kProcNull) return {};
+  return comm.recv<T>(source, kTagSendrecv);
+}
+
+}  // namespace parpde::mpi

@@ -1,0 +1,53 @@
+#include "minimpi/communicator.hpp"
+
+namespace parpde::mpi {
+
+Communicator::Communicator(int rank, int size, std::shared_ptr<SharedState> state)
+    : rank_(rank), size_(size), state_(std::move(state)) {
+  if (size <= 0 || rank < 0 || rank >= size) {
+    throw std::invalid_argument("Communicator: bad rank/size");
+  }
+  if (!state_) throw std::invalid_argument("Communicator: null shared state");
+}
+
+void Communicator::check_peer(int peer, const char* what) const {
+  if (peer < 0 || peer >= size_) {
+    throw std::invalid_argument(std::string(what) + ": peer rank " +
+                                std::to_string(peer) + " out of range");
+  }
+}
+
+void Communicator::send_bytes(int dest, int tag,
+                              std::span<const std::byte> payload) {
+  if (dest == kProcNull) return;
+  check_peer(dest, "send");
+  Message m;
+  m.source = rank_;
+  m.tag = tag;
+  m.payload.assign(payload.begin(), payload.end());
+  bytes_sent_ += payload.size();
+  ++messages_sent_;
+  state_->mailboxes[static_cast<std::size_t>(dest)].push(std::move(m));
+}
+
+std::vector<std::byte> Communicator::recv_bytes(int source, int tag,
+                                                int* actual_source) {
+  if (source == kProcNull) {
+    throw std::invalid_argument("recv: source is kProcNull");
+  }
+  if (source != kAnySource) check_peer(source, "recv");
+  Message m =
+      state_->mailboxes[static_cast<std::size_t>(rank_)].pop_matching(source, tag);
+  if (actual_source != nullptr) *actual_source = m.source;
+  return std::move(m.payload);
+}
+
+bool Communicator::probe(int source, int tag) {
+  Message m;
+  Mailbox& box = state_->mailboxes[static_cast<std::size_t>(rank_)];
+  if (!box.try_pop_matching(source, tag, &m)) return false;
+  box.push(std::move(m));  // put it back; probe is non-destructive
+  return true;
+}
+
+}  // namespace parpde::mpi

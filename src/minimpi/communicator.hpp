@@ -1,0 +1,154 @@
+#pragma once
+
+// Rank-local communication endpoint. Mirrors the subset of MPI the paper's
+// scheme needs: blocking and nonblocking point-to-point with tags, plus the
+// collectives in collectives.hpp. Ranks are threads of one process; payloads
+// are copied through shared mailboxes, so the programming model (no shared
+// mutable state between ranks, explicit messages) is preserved even though
+// the transport is shared memory.
+
+#include <atomic>
+#include <cstdint>
+#include <cstring>
+#include <functional>
+#include <memory>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+#include "minimpi/mailbox.hpp"
+
+namespace parpde::mpi {
+
+// State shared by all ranks of one Environment::run invocation.
+struct SharedState {
+  explicit SharedState(int size) : mailboxes(static_cast<std::size_t>(size)) {}
+
+  std::vector<Mailbox> mailboxes;
+
+  // Central barrier (sense-reversing via generation counter).
+  std::mutex barrier_mutex;
+  std::condition_variable barrier_cv;
+  int barrier_arrived = 0;
+  std::uint64_t barrier_generation = 0;
+};
+
+// Completion handle for nonblocking operations. isend completes immediately
+// (sends are buffered); irecv completes at wait(), which performs the matching
+// blocking receive. This is a legal MPI execution (completion delayed until
+// wait) and is sufficient for the exchange patterns in this library.
+class Request {
+ public:
+  Request() = default;
+  explicit Request(std::function<void()> on_wait) : on_wait_(std::move(on_wait)) {}
+
+  void wait() {
+    if (on_wait_) {
+      auto f = std::move(on_wait_);
+      on_wait_ = nullptr;
+      f();
+    }
+  }
+
+  [[nodiscard]] bool pending() const { return static_cast<bool>(on_wait_); }
+
+ private:
+  std::function<void()> on_wait_;
+};
+
+inline void wait_all(std::span<Request> requests) {
+  for (auto& r : requests) r.wait();
+}
+
+class Communicator {
+ public:
+  Communicator(int rank, int size, std::shared_ptr<SharedState> state);
+
+  [[nodiscard]] int rank() const noexcept { return rank_; }
+  [[nodiscard]] int size() const noexcept { return size_; }
+
+  // --- byte-level point-to-point -----------------------------------------
+
+  // Buffered send: copies the payload into the destination mailbox and
+  // returns immediately. dest == kProcNull is a no-op (boundary neighbors).
+  void send_bytes(int dest, int tag, std::span<const std::byte> payload);
+
+  // Blocking receive matching (source|kAnySource, tag). Returns the payload;
+  // if `actual_source` is non-null it receives the sender's rank.
+  std::vector<std::byte> recv_bytes(int source, int tag,
+                                    int* actual_source = nullptr);
+
+  // --- typed convenience (trivially copyable element types) ---------------
+
+  template <typename T>
+  void send(int dest, int tag, std::span<const T> values) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    send_bytes(dest, tag, std::as_bytes(values));
+  }
+
+  template <typename T>
+  std::vector<T> recv(int source, int tag, int* actual_source = nullptr) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    const auto bytes = recv_bytes(source, tag, actual_source);
+    if (bytes.size() % sizeof(T) != 0) {
+      throw std::runtime_error("recv: payload size not a multiple of T");
+    }
+    std::vector<T> out(bytes.size() / sizeof(T));
+    std::memcpy(out.data(), bytes.data(), bytes.size());
+    return out;
+  }
+
+  template <typename T>
+  void send_value(int dest, int tag, const T& value) {
+    send<T>(dest, tag, std::span<const T>(&value, 1));
+  }
+
+  template <typename T>
+  T recv_value(int source, int tag, int* actual_source = nullptr) {
+    const auto v = recv<T>(source, tag, actual_source);
+    if (v.size() != 1) throw std::runtime_error("recv_value: wrong element count");
+    return v.front();
+  }
+
+  // --- nonblocking ---------------------------------------------------------
+
+  template <typename T>
+  Request isend(int dest, int tag, std::span<const T> values) {
+    send(dest, tag, values);  // buffered: completes immediately
+    return Request{};
+  }
+
+  // The receive runs when the returned Request is waited on; `out` must stay
+  // alive until then.
+  template <typename T>
+  Request irecv(int source, int tag, std::vector<T>* out) {
+    return Request([this, source, tag, out] { *out = recv<T>(source, tag); });
+  }
+
+  // Non-destructive check whether a matching message is queued.
+  [[nodiscard]] bool probe(int source, int tag);
+
+  // --- traffic accounting (used by the communication benchmarks) ----------
+
+  [[nodiscard]] std::uint64_t bytes_sent() const noexcept { return bytes_sent_; }
+  [[nodiscard]] std::uint64_t messages_sent() const noexcept {
+    return messages_sent_;
+  }
+  void reset_counters() noexcept {
+    bytes_sent_ = 0;
+    messages_sent_ = 0;
+  }
+
+  [[nodiscard]] SharedState& shared() noexcept { return *state_; }
+
+ private:
+  void check_peer(int peer, const char* what) const;
+
+  int rank_;
+  int size_;
+  std::shared_ptr<SharedState> state_;
+  std::uint64_t bytes_sent_ = 0;
+  std::uint64_t messages_sent_ = 0;
+};
+
+}  // namespace parpde::mpi

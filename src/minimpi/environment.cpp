@@ -1,0 +1,34 @@
+#include "minimpi/environment.hpp"
+
+#include <exception>
+#include <stdexcept>
+#include <thread>
+
+namespace parpde::mpi {
+
+Environment::Environment(int size) : size_(size) {
+  if (size <= 0) throw std::invalid_argument("Environment: size must be > 0");
+}
+
+void Environment::run(const std::function<void(Communicator&)>& fn) const {
+  auto state = std::make_shared<SharedState>(size_);
+  std::vector<std::exception_ptr> errors(static_cast<std::size_t>(size_));
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(size_));
+  for (int r = 0; r < size_; ++r) {
+    threads.emplace_back([&, r] {
+      try {
+        Communicator comm(r, size_, state);
+        fn(comm);
+      } catch (...) {
+        errors[static_cast<std::size_t>(r)] = std::current_exception();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (const auto& e : errors) {
+    if (e) std::rethrow_exception(e);
+  }
+}
+
+}  // namespace parpde::mpi

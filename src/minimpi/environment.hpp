@@ -1,0 +1,28 @@
+#pragma once
+
+// Launches an SPMD region: `run(fn)` spawns one thread per rank, hands each a
+// Communicator over a fresh shared state, joins all ranks and rethrows the
+// first rank exception. Substitutes for `mpirun -np <size>` in this
+// single-process reproduction (see DESIGN.md §2).
+
+#include <functional>
+
+#include "minimpi/communicator.hpp"
+
+namespace parpde::mpi {
+
+class Environment {
+ public:
+  explicit Environment(int size);
+
+  [[nodiscard]] int size() const noexcept { return size_; }
+
+  // Runs `fn` on every rank. Blocks until all ranks return. If any rank
+  // throws, the first exception (by rank order) is rethrown after the join.
+  void run(const std::function<void(Communicator&)>& fn) const;
+
+ private:
+  int size_;
+};
+
+}  // namespace parpde::mpi

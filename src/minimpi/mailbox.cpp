@@ -1,0 +1,51 @@
+#include "minimpi/mailbox.hpp"
+
+namespace parpde::mpi {
+
+namespace {
+constexpr std::size_t kNpos = static_cast<std::size_t>(-1);
+}  // namespace
+
+void Mailbox::push(Message message) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    queue_.push_back(std::move(message));
+  }
+  cv_.notify_all();
+}
+
+std::size_t Mailbox::find_locked(int source, int tag) const {
+  for (std::size_t i = 0; i < queue_.size(); ++i) {
+    const Message& m = queue_[i];
+    if (m.tag == tag && (source == kAnySource || m.source == source)) return i;
+  }
+  return kNpos;
+}
+
+Message Mailbox::pop_matching(int source, int tag) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  std::size_t idx = kNpos;
+  cv_.wait(lock, [&] {
+    idx = find_locked(source, tag);
+    return idx != kNpos;
+  });
+  Message out = std::move(queue_[idx]);
+  queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(idx));
+  return out;
+}
+
+bool Mailbox::try_pop_matching(int source, int tag, Message* out) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const std::size_t idx = find_locked(source, tag);
+  if (idx == kNpos) return false;
+  *out = std::move(queue_[idx]);
+  queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(idx));
+  return true;
+}
+
+std::size_t Mailbox::pending() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return queue_.size();
+}
+
+}  // namespace parpde::mpi

@@ -1,0 +1,52 @@
+#pragma once
+
+// Per-rank message queue. Messages are matched MPI-style by (source, tag);
+// within a matching (source, tag) pair, delivery order equals send order
+// (non-overtaking), as required by the halo-exchange protocol.
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <vector>
+
+namespace parpde::mpi {
+
+// Matches any source in recv operations.
+inline constexpr int kAnySource = -1;
+// Null neighbor (off-domain); sends to it are dropped, recvs are invalid.
+inline constexpr int kProcNull = -2;
+
+struct Message {
+  int source = 0;
+  int tag = 0;
+  std::vector<std::byte> payload;
+};
+
+class Mailbox {
+ public:
+  // Enqueues a message and wakes matching receivers. Never blocks: the
+  // substrate implements buffered (eager) sends, so any send/recv ordering
+  // that is deadlock-free under buffered MPI semantics is deadlock-free here.
+  void push(Message message);
+
+  // Blocks until a message matching (source|kAnySource, tag) is available and
+  // removes the earliest such message.
+  Message pop_matching(int source, int tag);
+
+  // Non-blocking variant; returns false if no matching message is queued.
+  bool try_pop_matching(int source, int tag, Message* out);
+
+  // Number of queued (undelivered) messages; used by shutdown sanity checks.
+  [[nodiscard]] std::size_t pending() const;
+
+ private:
+  // Finds the first queued index matching the criteria, or npos.
+  [[nodiscard]] std::size_t find_locked(int source, int tag) const;
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<Message> queue_;
+};
+
+}  // namespace parpde::mpi

@@ -1,0 +1,76 @@
+#include "nn/activation.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace parpde::nn {
+
+Tensor LeakyReLU::forward(const Tensor& x) {
+  input_ = x;
+  Tensor y(x.shape());
+  const float eps = negative_slope_;
+  for (std::int64_t i = 0; i < x.size(); ++i) {
+    const float v = x[i];
+    y[i] = v >= 0.0f ? v : eps * v;
+  }
+  return y;
+}
+
+Tensor LeakyReLU::backward(const Tensor& grad_out) {
+  if (input_.empty()) throw std::logic_error("LeakyReLU::backward before forward");
+  if (!grad_out.same_shape(input_)) {
+    throw std::invalid_argument("LeakyReLU::backward: gradient shape mismatch");
+  }
+  Tensor grad_in(input_.shape());
+  const float eps = negative_slope_;
+  for (std::int64_t i = 0; i < input_.size(); ++i) {
+    // Subgradient at exactly 0 follows the positive branch (paper Sec. II:
+    // "a value for this unlikely case should be selected").
+    grad_in[i] = input_[i] >= 0.0f ? grad_out[i] : eps * grad_out[i];
+  }
+  return grad_in;
+}
+
+std::string LeakyReLU::name() const {
+  return "leaky_relu(" + std::to_string(negative_slope_) + ")";
+}
+
+Tensor ReLU::forward(const Tensor& x) {
+  input_ = x;
+  Tensor y(x.shape());
+  for (std::int64_t i = 0; i < x.size(); ++i) y[i] = x[i] > 0.0f ? x[i] : 0.0f;
+  return y;
+}
+
+Tensor ReLU::backward(const Tensor& grad_out) {
+  if (input_.empty()) throw std::logic_error("ReLU::backward before forward");
+  if (!grad_out.same_shape(input_)) {
+    throw std::invalid_argument("ReLU::backward: gradient shape mismatch");
+  }
+  Tensor grad_in(input_.shape());
+  for (std::int64_t i = 0; i < input_.size(); ++i) {
+    grad_in[i] = input_[i] > 0.0f ? grad_out[i] : 0.0f;
+  }
+  return grad_in;
+}
+
+Tensor Tanh::forward(const Tensor& x) {
+  Tensor y(x.shape());
+  for (std::int64_t i = 0; i < x.size(); ++i) y[i] = std::tanh(x[i]);
+  output_ = y;
+  return y;
+}
+
+Tensor Tanh::backward(const Tensor& grad_out) {
+  if (output_.empty()) throw std::logic_error("Tanh::backward before forward");
+  if (!grad_out.same_shape(output_)) {
+    throw std::invalid_argument("Tanh::backward: gradient shape mismatch");
+  }
+  Tensor grad_in(output_.shape());
+  for (std::int64_t i = 0; i < output_.size(); ++i) {
+    grad_in[i] = grad_out[i] * (1.0f - output_[i] * output_[i]);
+  }
+  return grad_in;
+}
+
+}  // namespace parpde::nn

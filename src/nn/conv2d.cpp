@@ -1,0 +1,116 @@
+#include "nn/conv2d.hpp"
+
+#include <stdexcept>
+
+#include "nn/init.hpp"
+#include "tensor/gemm.hpp"
+
+namespace parpde::nn {
+
+Conv2d::Conv2d(std::int64_t in_channels, std::int64_t out_channels,
+               std::int64_t kernel, std::int64_t pad)
+    : in_channels_(in_channels),
+      out_channels_(out_channels),
+      kernel_(kernel),
+      pad_(pad < 0 ? (kernel - 1) / 2 : pad),
+      weight_({out_channels, in_channels, kernel, kernel}),
+      bias_({out_channels}),
+      weight_grad_({out_channels, in_channels, kernel, kernel}),
+      bias_grad_({out_channels}) {
+  if (in_channels <= 0 || out_channels <= 0 || kernel <= 0) {
+    throw std::invalid_argument("Conv2d: bad configuration");
+  }
+}
+
+void Conv2d::init(util::Rng& rng) {
+  glorot_uniform(weight_, in_channels_ * kernel_ * kernel_,
+                 out_channels_ * kernel_ * kernel_, rng);
+  bias_.fill(0.0f);
+}
+
+Tensor Conv2d::forward(const Tensor& x) {
+  if (x.ndim() != 4 || x.dim(1) != in_channels_) {
+    throw std::invalid_argument("Conv2d::forward: expected [N," +
+                                std::to_string(in_channels_) + ",H,W], got " +
+                                shape_to_string(x.shape()));
+  }
+  input_ = x;
+  const ConvGeometry g{in_channels_, x.dim(2), x.dim(3), kernel_, pad_};
+  const std::int64_t oh = g.out_height();
+  const std::int64_t ow = g.out_width();
+  if (oh <= 0 || ow <= 0) {
+    throw std::invalid_argument("Conv2d::forward: input smaller than kernel");
+  }
+  const std::int64_t n = x.dim(0);
+  Tensor y({n, out_channels_, oh, ow});
+  col_.resize(static_cast<std::size_t>(g.col_rows() * g.col_cols()));
+
+  const std::int64_t in_stride = in_channels_ * g.height * g.width;
+  const std::int64_t out_stride = out_channels_ * oh * ow;
+  for (std::int64_t s = 0; s < n; ++s) {
+    im2col(x.data() + s * in_stride, g, col_.data());
+    // y_s [Cout x OH*OW] = W [Cout x Cin*k*k] * col
+    gemm(weight_.data(), col_.data(), y.data() + s * out_stride, out_channels_,
+         g.col_rows(), g.col_cols());
+    // Add bias per output channel.
+    for (std::int64_t c = 0; c < out_channels_; ++c) {
+      float* plane = y.data() + s * out_stride + c * oh * ow;
+      const float b = bias_[c];
+      for (std::int64_t i = 0; i < oh * ow; ++i) plane[i] += b;
+    }
+  }
+  return y;
+}
+
+Tensor Conv2d::backward(const Tensor& grad_out) {
+  if (input_.empty()) throw std::logic_error("Conv2d::backward before forward");
+  const ConvGeometry g{in_channels_, input_.dim(2), input_.dim(3), kernel_, pad_};
+  const std::int64_t oh = g.out_height();
+  const std::int64_t ow = g.out_width();
+  const std::int64_t n = input_.dim(0);
+  if (grad_out.ndim() != 4 || grad_out.dim(0) != n ||
+      grad_out.dim(1) != out_channels_ || grad_out.dim(2) != oh ||
+      grad_out.dim(3) != ow) {
+    throw std::invalid_argument("Conv2d::backward: gradient shape mismatch");
+  }
+
+  Tensor grad_in(input_.shape());
+  std::vector<float> dcol(static_cast<std::size_t>(g.col_rows() * g.col_cols()));
+  col_.resize(static_cast<std::size_t>(g.col_rows() * g.col_cols()));
+
+  const std::int64_t in_stride = in_channels_ * g.height * g.width;
+  const std::int64_t out_stride = out_channels_ * oh * ow;
+  for (std::int64_t s = 0; s < n; ++s) {
+    const float* dy = grad_out.data() + s * out_stride;
+    // dW [Cout x Cin*k*k] += dY [Cout x P] * col^T, recomputing col to avoid
+    // caching one column matrix per sample.
+    im2col(input_.data() + s * in_stride, g, col_.data());
+    gemm_bt_acc(dy, col_.data(), weight_grad_.data(), out_channels_,
+                g.col_cols(), g.col_rows());
+    // db[c] += sum of dY over the spatial plane.
+    for (std::int64_t c = 0; c < out_channels_; ++c) {
+      const float* plane = dy + c * oh * ow;
+      float acc = 0.0f;
+      for (std::int64_t i = 0; i < oh * ow; ++i) acc += plane[i];
+      bias_grad_[c] += acc;
+    }
+    // dcol [Cin*k*k x P] = W^T * dY, then scatter back to input gradients.
+    gemm_at(weight_.data(), dy, dcol.data(), g.col_rows(), out_channels_,
+            g.col_cols());
+    col2im(dcol.data(), g, grad_in.data() + s * in_stride);
+  }
+  return grad_in;
+}
+
+std::vector<ParamRef> Conv2d::parameters() {
+  return {{&weight_, &weight_grad_, name() + ".weight"},
+          {&bias_, &bias_grad_, name() + ".bias"}};
+}
+
+std::string Conv2d::name() const {
+  return "conv2d(" + std::to_string(in_channels_) + "->" +
+         std::to_string(out_channels_) + ",k=" + std::to_string(kernel_) +
+         ",p=" + std::to_string(pad_) + ")";
+}
+
+}  // namespace parpde::nn

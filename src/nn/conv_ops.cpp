@@ -1,0 +1,93 @@
+#include "nn/conv_ops.hpp"
+
+#include <stdexcept>
+
+#include "tensor/gemm.hpp"
+
+namespace parpde::nn {
+
+namespace {
+
+ConvGeometry geometry_of(const Tensor& x, const Tensor& w, std::int64_t pad,
+                         const char* what) {
+  if (x.ndim() != 3 || w.ndim() != 4 || w.dim(1) != x.dim(0)) {
+    throw std::invalid_argument(std::string(what) +
+                                ": expected x [Cin,H,W], w [Cout,Cin,k,k]");
+  }
+  if (w.dim(2) != w.dim(3)) {
+    throw std::invalid_argument(std::string(what) + ": kernel must be square");
+  }
+  return ConvGeometry{x.dim(0), x.dim(1), x.dim(2), w.dim(2), pad};
+}
+
+}  // namespace
+
+void conv2d_forward(const Tensor& x, const Tensor& w, const Tensor& b,
+                    std::int64_t pad, Tensor& y, std::vector<float>& col) {
+  const ConvGeometry g = geometry_of(x, w, pad, "conv2d_forward");
+  const std::int64_t cout = w.dim(0);
+  const std::int64_t oh = g.out_height(), ow = g.out_width();
+  if (oh <= 0 || ow <= 0) {
+    throw std::invalid_argument("conv2d_forward: input smaller than kernel");
+  }
+  if (y.ndim() != 3 || y.dim(0) != cout || y.dim(1) != oh || y.dim(2) != ow) {
+    y = Tensor({cout, oh, ow});
+  }
+  col.resize(static_cast<std::size_t>(g.col_rows() * g.col_cols()));
+  im2col(x.data(), g, col.data());
+  gemm(w.data(), col.data(), y.data(), cout, g.col_rows(), g.col_cols());
+  if (!b.empty()) {
+    if (b.size() != cout) {
+      throw std::invalid_argument("conv2d_forward: bias size mismatch");
+    }
+    for (std::int64_t c = 0; c < cout; ++c) {
+      float* plane = y.data() + c * oh * ow;
+      const float bias = b[c];
+      for (std::int64_t i = 0; i < oh * ow; ++i) plane[i] += bias;
+    }
+  }
+}
+
+void conv2d_backward_data(const Tensor& dy, const Tensor& w, std::int64_t pad,
+                          Tensor& dx, std::vector<float>& col) {
+  if (dy.ndim() != 3 || w.ndim() != 4 || dy.dim(0) != w.dim(0)) {
+    throw std::invalid_argument(
+        "conv2d_backward_data: expected dy [Cout,OH,OW], w [Cout,Cin,k,k]");
+  }
+  if (dx.ndim() != 3 || dx.dim(0) != w.dim(1)) {
+    throw std::invalid_argument("conv2d_backward_data: dx must be [Cin,H,W]");
+  }
+  const ConvGeometry g{w.dim(1), dx.dim(1), dx.dim(2), w.dim(2), pad};
+  if (g.out_height() != dy.dim(1) || g.out_width() != dy.dim(2)) {
+    throw std::invalid_argument("conv2d_backward_data: shape mismatch");
+  }
+  col.resize(static_cast<std::size_t>(g.col_rows() * g.col_cols()));
+  gemm_at(w.data(), dy.data(), col.data(), g.col_rows(), w.dim(0), g.col_cols());
+  dx.fill(0.0f);
+  col2im(col.data(), g, dx.data());
+}
+
+void conv2d_backward_weights(const Tensor& x, const Tensor& dy, std::int64_t pad,
+                             Tensor& dw, Tensor& db, std::vector<float>& col) {
+  const ConvGeometry g = geometry_of(x, dw, pad, "conv2d_backward_weights");
+  const std::int64_t cout = dw.dim(0);
+  if (dy.dim(0) != cout || dy.dim(1) != g.out_height() ||
+      dy.dim(2) != g.out_width()) {
+    throw std::invalid_argument("conv2d_backward_weights: dy shape mismatch");
+  }
+  col.resize(static_cast<std::size_t>(g.col_rows() * g.col_cols()));
+  im2col(x.data(), g, col.data());
+  gemm_bt_acc(dy.data(), col.data(), dw.data(), cout, g.col_cols(),
+              g.col_rows());
+  if (!db.empty()) {
+    const std::int64_t plane = g.out_height() * g.out_width();
+    for (std::int64_t c = 0; c < cout; ++c) {
+      const float* p = dy.data() + c * plane;
+      float acc = 0.0f;
+      for (std::int64_t i = 0; i < plane; ++i) acc += p[i];
+      db[c] += acc;
+    }
+  }
+}
+
+}  // namespace parpde::nn

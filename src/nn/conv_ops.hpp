@@ -1,0 +1,28 @@
+#pragma once
+
+// Functional single-sample convolution primitives (stride 1, square kernel,
+// symmetric zero padding) built on im2col + GEMM. The Conv2d layer wraps the
+// same lowering with caching; these stateless versions exist for recurrent
+// cells (ConvLSTM) whose backward-through-time pass needs per-timestep
+// re-evaluation instead of a single cached activation.
+
+#include "tensor/im2col.hpp"
+#include "tensor/tensor.hpp"
+
+namespace parpde::nn {
+
+// y [Cout, OH, OW] = w (*) x + b, where x is [Cin, H, W], w is
+// [Cout, Cin, k, k] and b is [Cout] (b may be empty to skip the bias).
+// `col` is caller-provided scratch resized as needed.
+void conv2d_forward(const Tensor& x, const Tensor& w, const Tensor& b,
+                    std::int64_t pad, Tensor& y, std::vector<float>& col);
+
+// dx = w^T (*) dy (backward-data). dx is overwritten, shaped like x.
+void conv2d_backward_data(const Tensor& dy, const Tensor& w, std::int64_t pad,
+                          Tensor& dx, std::vector<float>& col);
+
+// dw += dy (*) x, db += sum(dy) (backward-weights, accumulating).
+void conv2d_backward_weights(const Tensor& x, const Tensor& dy, std::int64_t pad,
+                             Tensor& dw, Tensor& db, std::vector<float>& col);
+
+}  // namespace parpde::nn

@@ -1,0 +1,24 @@
+#include "nn/init.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace parpde::nn {
+
+void glorot_uniform(Tensor& w, std::int64_t fan_in, std::int64_t fan_out,
+                    util::Rng& rng) {
+  if (fan_in <= 0 || fan_out <= 0) {
+    throw std::invalid_argument("glorot_uniform: bad fan sizes");
+  }
+  const float a =
+      std::sqrt(6.0f / static_cast<float>(fan_in + fan_out));
+  rng.fill_uniform(w.values(), -a, a);
+}
+
+void he_uniform(Tensor& w, std::int64_t fan_in, util::Rng& rng) {
+  if (fan_in <= 0) throw std::invalid_argument("he_uniform: bad fan_in");
+  const float a = std::sqrt(6.0f / static_cast<float>(fan_in));
+  rng.fill_uniform(w.values(), -a, a);
+}
+
+}  // namespace parpde::nn

@@ -1,0 +1,19 @@
+#pragma once
+
+// Weight initialization schemes. Glorot (Xavier) uniform is the default, as
+// appropriate for the shallow leaky-ReLU CNN of Table I; He (Kaiming) uniform
+// is provided for deeper/ReLU-heavy variants.
+
+#include "tensor/tensor.hpp"
+#include "util/random.hpp"
+
+namespace parpde::nn {
+
+// U(-a, a) with a = sqrt(6 / (fan_in + fan_out)).
+void glorot_uniform(Tensor& w, std::int64_t fan_in, std::int64_t fan_out,
+                    util::Rng& rng);
+
+// U(-a, a) with a = sqrt(6 / fan_in).
+void he_uniform(Tensor& w, std::int64_t fan_in, util::Rng& rng);
+
+}  // namespace parpde::nn

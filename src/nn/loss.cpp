@@ -1,0 +1,126 @@
+#include "nn/loss.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace parpde::nn {
+
+namespace {
+
+void check(const Tensor& prediction, const Tensor& target, const char* what) {
+  if (!prediction.same_shape(target)) {
+    throw std::invalid_argument(std::string(what) + ": shape mismatch " +
+                                shape_to_string(prediction.shape()) + " vs " +
+                                shape_to_string(target.shape()));
+  }
+  if (prediction.size() == 0) {
+    throw std::invalid_argument(std::string(what) + ": empty tensors");
+  }
+}
+
+}  // namespace
+
+double MAPELoss::compute(const Tensor& prediction, const Tensor& target,
+                         Tensor* grad) const {
+  check(prediction, target, "MAPELoss");
+  const double m = static_cast<double>(prediction.size());
+  const double scale = 100.0 / m;
+  if (grad != nullptr) *grad = Tensor(prediction.shape());
+  double loss = 0.0;
+  for (std::int64_t i = 0; i < prediction.size(); ++i) {
+    const double y = target[i];
+    const double denom = std::max(std::fabs(y), eps_);
+    const double diff = static_cast<double>(prediction[i]) - y;
+    loss += std::fabs(diff) / denom;
+    if (grad != nullptr) {
+      const double sign = diff > 0.0 ? 1.0 : (diff < 0.0 ? -1.0 : 0.0);
+      (*grad)[i] = static_cast<float>(scale * sign / denom);
+    }
+  }
+  return scale * loss;
+}
+
+double MSELoss::compute(const Tensor& prediction, const Tensor& target,
+                        Tensor* grad) const {
+  check(prediction, target, "MSELoss");
+  const double m = static_cast<double>(prediction.size());
+  if (grad != nullptr) *grad = Tensor(prediction.shape());
+  double loss = 0.0;
+  for (std::int64_t i = 0; i < prediction.size(); ++i) {
+    const double diff =
+        static_cast<double>(prediction[i]) - static_cast<double>(target[i]);
+    loss += diff * diff;
+    if (grad != nullptr) (*grad)[i] = static_cast<float>(2.0 * diff / m);
+  }
+  return loss / m;
+}
+
+double MAELoss::compute(const Tensor& prediction, const Tensor& target,
+                        Tensor* grad) const {
+  check(prediction, target, "MAELoss");
+  const double m = static_cast<double>(prediction.size());
+  if (grad != nullptr) *grad = Tensor(prediction.shape());
+  double loss = 0.0;
+  for (std::int64_t i = 0; i < prediction.size(); ++i) {
+    const double diff =
+        static_cast<double>(prediction[i]) - static_cast<double>(target[i]);
+    loss += std::fabs(diff);
+    if (grad != nullptr) {
+      const double sign = diff > 0.0 ? 1.0 : (diff < 0.0 ? -1.0 : 0.0);
+      (*grad)[i] = static_cast<float>(sign / m);
+    }
+  }
+  return loss / m;
+}
+
+WeightedMSELoss::WeightedMSELoss(std::vector<double> channel_weights)
+    : weights_(std::move(channel_weights)) {
+  if (weights_.empty()) {
+    throw std::invalid_argument("WeightedMSELoss: no weights");
+  }
+  for (const double w : weights_) {
+    if (!(w >= 0.0)) throw std::invalid_argument("WeightedMSELoss: bad weight");
+  }
+}
+
+double WeightedMSELoss::compute(const Tensor& prediction, const Tensor& target,
+                                Tensor* grad) const {
+  check(prediction, target, "WeightedMSELoss");
+  const bool batched = prediction.ndim() == 4;
+  if (!batched && prediction.ndim() != 3) {
+    throw std::invalid_argument("WeightedMSELoss: expected [C,H,W] or [N,C,H,W]");
+  }
+  const auto c = batched ? prediction.dim(1) : prediction.dim(0);
+  if (c != static_cast<std::int64_t>(weights_.size())) {
+    throw std::invalid_argument("WeightedMSELoss: weight/channel mismatch");
+  }
+  const auto n = batched ? prediction.dim(0) : 1;
+  const auto plane = prediction.size() / (n * c);
+  const double m = static_cast<double>(prediction.size());
+  if (grad != nullptr) *grad = Tensor(prediction.shape());
+  double loss = 0.0;
+  for (std::int64_t in = 0; in < n; ++in) {
+    for (std::int64_t ic = 0; ic < c; ++ic) {
+      const double w = weights_[static_cast<std::size_t>(ic)];
+      const std::int64_t base = (in * c + ic) * plane;
+      for (std::int64_t i = 0; i < plane; ++i) {
+        const double diff = static_cast<double>(prediction[base + i]) -
+                            static_cast<double>(target[base + i]);
+        loss += w * diff * diff;
+        if (grad != nullptr) {
+          (*grad)[base + i] = static_cast<float>(2.0 * w * diff / m);
+        }
+      }
+    }
+  }
+  return loss / m;
+}
+
+LossPtr make_loss(const std::string& name) {
+  if (name == "mape") return std::make_unique<MAPELoss>();
+  if (name == "mse") return std::make_unique<MSELoss>();
+  if (name == "mae") return std::make_unique<MAELoss>();
+  throw std::invalid_argument("make_loss: unknown loss '" + name + "'");
+}
+
+}  // namespace parpde::nn

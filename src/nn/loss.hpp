@@ -1,0 +1,80 @@
+#pragma once
+
+// Loss functions. The paper uses the mean absolute percentage error
+// (Eq. (7)) because the four physical channels differ by orders of magnitude;
+// MSE and MAE are implemented for the loss ablation. MAPE is stabilized with
+// a denominator floor max(|y|, eps) — velocity targets are exactly zero at
+// rest, where the textbook form is singular (see DESIGN.md §6).
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace parpde::nn {
+
+class Loss {
+ public:
+  virtual ~Loss() = default;
+
+  // Returns the scalar loss; if `grad` is non-null it is resized to the
+  // prediction shape and filled with dL/dprediction.
+  virtual double compute(const Tensor& prediction, const Tensor& target,
+                         Tensor* grad) const = 0;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+using LossPtr = std::unique_ptr<Loss>;
+
+// L = 100/m * sum |ŷ - y| / max(|y|, eps)   (percent).
+class MAPELoss final : public Loss {
+ public:
+  // The default denominator floor is 1e-2: about 1% of the characteristic
+  // field magnitude of the paper's test case, large enough that the
+  // zero-crossing velocity channels do not blow the percentage up.
+  explicit MAPELoss(double eps = 1e-2) : eps_(eps) {}
+  double compute(const Tensor& prediction, const Tensor& target,
+                 Tensor* grad) const override;
+  [[nodiscard]] std::string name() const override { return "mape"; }
+
+ private:
+  double eps_;
+};
+
+// L = 1/m * sum (ŷ - y)^2.
+class MSELoss final : public Loss {
+ public:
+  double compute(const Tensor& prediction, const Tensor& target,
+                 Tensor* grad) const override;
+  [[nodiscard]] std::string name() const override { return "mse"; }
+};
+
+// L = 1/m * sum |ŷ - y|.
+class MAELoss final : public Loss {
+ public:
+  double compute(const Tensor& prediction, const Tensor& target,
+                 Tensor* grad) const override;
+  [[nodiscard]] std::string name() const override { return "mae"; }
+};
+
+// Per-channel weighted MSE: L = 1/m * sum_c w_c * sum_i (ŷ - y)^2. An
+// alternative to input normalization for balancing channels of very
+// different magnitudes (cf. the Sec. II loss discussion); weights are
+// typically 1/var_c of the training data.
+class WeightedMSELoss final : public Loss {
+ public:
+  explicit WeightedMSELoss(std::vector<double> channel_weights);
+  double compute(const Tensor& prediction, const Tensor& target,
+                 Tensor* grad) const override;
+  [[nodiscard]] std::string name() const override { return "wmse"; }
+
+ private:
+  std::vector<double> weights_;
+};
+
+// Factory: "mape" | "mse" | "mae".
+LossPtr make_loss(const std::string& name);
+
+}  // namespace parpde::nn

@@ -1,0 +1,131 @@
+#include "nn/optimizer.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace parpde::nn {
+
+void Optimizer::set_learning_rate(double lr) {
+  if (lr <= 0.0) throw std::invalid_argument("set_learning_rate: lr <= 0");
+  lr_ = lr;
+}
+
+double Optimizer::clip_grad_norm(double max_norm) {
+  if (max_norm <= 0.0) {
+    throw std::invalid_argument("clip_grad_norm: max_norm <= 0");
+  }
+  double sq = 0.0;
+  for (const auto& p : params_) {
+    for (std::int64_t i = 0; i < p.grad->size(); ++i) {
+      const double g = (*p.grad)[i];
+      sq += g * g;
+    }
+  }
+  const double norm = std::sqrt(sq);
+  if (norm > max_norm && norm > 0.0) {
+    const auto scale = static_cast<float>(max_norm / norm);
+    for (auto& p : params_) {
+      for (std::int64_t i = 0; i < p.grad->size(); ++i) (*p.grad)[i] *= scale;
+    }
+  }
+  return norm;
+}
+
+StepDecaySchedule::StepDecaySchedule(double factor, int every)
+    : factor_(factor), every_(every) {
+  if (factor <= 0.0 || factor > 1.0 || every <= 0) {
+    throw std::invalid_argument("StepDecaySchedule: bad configuration");
+  }
+}
+
+void StepDecaySchedule::advance(Optimizer& optimizer) {
+  ++epoch_;
+  if (epoch_ % every_ == 0) {
+    optimizer.set_learning_rate(optimizer.learning_rate() * factor_);
+  }
+}
+
+SGD::SGD(std::vector<ParamRef> params, double lr, double momentum)
+    : Optimizer(std::move(params), lr), momentum_(momentum) {
+  if (lr <= 0.0) throw std::invalid_argument("SGD: lr must be positive");
+  if (momentum < 0.0 || momentum >= 1.0) {
+    throw std::invalid_argument("SGD: momentum must be in [0, 1)");
+  }
+  velocity_.resize(params_.size());
+}
+
+void SGD::step() {
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    Tensor& w = *params_[i].value;
+    const Tensor& g = *params_[i].grad;
+    if (momentum_ == 0.0) {
+      for (std::int64_t j = 0; j < w.size(); ++j) {
+        w[j] -= static_cast<float>(lr_) * g[j];
+      }
+      continue;
+    }
+    Tensor& vel = velocity_[i];
+    if (vel.size() != w.size()) vel = Tensor(w.shape());
+    const auto mom = static_cast<float>(momentum_);
+    const auto lr = static_cast<float>(lr_);
+    for (std::int64_t j = 0; j < w.size(); ++j) {
+      vel[j] = mom * vel[j] + g[j];
+      w[j] -= lr * vel[j];
+    }
+  }
+}
+
+std::string SGD::name() const {
+  return momentum_ == 0.0 ? "sgd" : "sgd+momentum";
+}
+
+Adam::Adam(std::vector<ParamRef> params, double lr, double beta1, double beta2,
+           double eps)
+    : Optimizer(std::move(params), lr),
+      beta1_(beta1),
+      beta2_(beta2),
+      eps_(eps) {
+  if (lr <= 0.0) throw std::invalid_argument("Adam: lr must be positive");
+  if (beta1 < 0.0 || beta1 >= 1.0 || beta2 < 0.0 || beta2 >= 1.0) {
+    throw std::invalid_argument("Adam: betas must be in [0, 1)");
+  }
+  m_.resize(params_.size());
+  v_.resize(params_.size());
+}
+
+void Adam::step() {
+  ++t_;
+  // Bias corrections 1/(1 - rho^t) of Eq. (5).
+  const double bc1 = 1.0 - std::pow(beta1_, static_cast<double>(t_));
+  const double bc2 = 1.0 - std::pow(beta2_, static_cast<double>(t_));
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    Tensor& w = *params_[i].value;
+    const Tensor& g = *params_[i].grad;
+    Tensor& m = m_[i];
+    Tensor& v = v_[i];
+    if (m.size() != w.size()) m = Tensor(w.shape());
+    if (v.size() != w.size()) v = Tensor(w.shape());
+    for (std::int64_t j = 0; j < w.size(); ++j) {
+      const double gj = g[j];
+      const double mj = beta1_ * m[j] + (1.0 - beta1_) * gj;        // Eq. (3)
+      const double vj = beta2_ * v[j] + (1.0 - beta2_) * gj * gj;   // Eq. (4)
+      m[j] = static_cast<float>(mj);
+      v[j] = static_cast<float>(vj);
+      const double mhat = mj / bc1;                                 // Eq. (5)
+      const double vhat = vj / bc2;
+      w[j] -= static_cast<float>(lr_ * mhat / (std::sqrt(vhat) + eps_));  // Eq. (6)
+    }
+  }
+}
+
+OptimizerPtr make_optimizer(const std::string& name, std::vector<ParamRef> params,
+                            double lr) {
+  if (name == "adam") return std::make_unique<Adam>(std::move(params), lr);
+  if (name == "sgd") return std::make_unique<SGD>(std::move(params), lr);
+  if (name == "momentum") {
+    return std::make_unique<SGD>(std::move(params), lr, 0.9);
+  }
+  throw std::invalid_argument("make_optimizer: unknown optimizer '" + name + "'");
+}
+
+}  // namespace parpde::nn

@@ -1,0 +1,101 @@
+#pragma once
+
+// First-order optimizers. ADAM implements exactly Eqs. (3)-(6) of the paper
+// (first/second moments with bias correction); SGD with optional momentum is
+// the ablation baseline. State (moments) is kept per parameter tensor and
+// keyed by position in the parameter list, which is stable for a fixed model.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nn/module.hpp"
+
+namespace parpde::nn {
+
+class Optimizer {
+ public:
+  Optimizer(std::vector<ParamRef> params, double lr)
+      : params_(std::move(params)), lr_(lr) {}
+  virtual ~Optimizer() = default;
+
+  Optimizer(const Optimizer&) = delete;
+  Optimizer& operator=(const Optimizer&) = delete;
+
+  // Applies one update using the currently accumulated gradients.
+  virtual void step() = 0;
+
+  void zero_grad() {
+    for (auto& p : params_) p.grad->fill(0.0f);
+  }
+
+  // Current learning rate; mutable to support decay schedules.
+  [[nodiscard]] double learning_rate() const noexcept { return lr_; }
+  void set_learning_rate(double lr);
+
+  // Rescales all gradients so their global L2 norm is at most `max_norm`;
+  // returns the pre-clip norm. No-op (returns the norm) when already within
+  // bounds.
+  double clip_grad_norm(double max_norm);
+
+  [[nodiscard]] virtual std::string name() const = 0;
+  [[nodiscard]] const std::vector<ParamRef>& params() const { return params_; }
+
+ protected:
+  std::vector<ParamRef> params_;
+  double lr_;
+};
+
+// Multiplies the learning rate by `factor` every `every` epochs. A scheduler
+// object is advanced once per epoch by the trainer.
+class StepDecaySchedule {
+ public:
+  StepDecaySchedule(double factor, int every);
+
+  // Call once per finished epoch; applies the decay when due.
+  void advance(Optimizer& optimizer);
+
+  [[nodiscard]] int epochs_seen() const noexcept { return epoch_; }
+
+ private:
+  double factor_;
+  int every_;
+  int epoch_ = 0;
+};
+
+using OptimizerPtr = std::unique_ptr<Optimizer>;
+
+class SGD final : public Optimizer {
+ public:
+  SGD(std::vector<ParamRef> params, double lr, double momentum = 0.0);
+  void step() override;
+  [[nodiscard]] std::string name() const override;
+
+ private:
+  double momentum_;
+  std::vector<Tensor> velocity_;  // one per parameter, lazily shaped
+};
+
+class Adam final : public Optimizer {
+ public:
+  Adam(std::vector<ParamRef> params, double lr = 1e-3, double beta1 = 0.9,
+       double beta2 = 0.999, double eps = 1e-8);
+  void step() override;
+  [[nodiscard]] std::string name() const override { return "adam"; }
+
+  [[nodiscard]] std::int64_t step_count() const { return t_; }
+
+ private:
+  double beta1_;
+  double beta2_;
+  double eps_;
+  std::int64_t t_ = 0;
+  std::vector<Tensor> m_;  // first moments
+  std::vector<Tensor> v_;  // second moments
+};
+
+// Factory: "adam" | "sgd" | "momentum" (SGD with 0.9 momentum).
+OptimizerPtr make_optimizer(const std::string& name, std::vector<ParamRef> params,
+                            double lr);
+
+}  // namespace parpde::nn

@@ -1,0 +1,47 @@
+#include "nn/serialize.hpp"
+
+#include <cstdint>
+#include <fstream>
+#include <stdexcept>
+
+#include "tensor/serialize.hpp"
+
+namespace parpde::nn {
+
+void save_parameters(std::ostream& out, Module& module) {
+  const auto params = module.parameters();
+  const auto count = static_cast<std::uint32_t>(params.size());
+  out.write(reinterpret_cast<const char*>(&count), sizeof(count));
+  for (const auto& p : params) write_tensor(out, *p.value);
+  if (!out) throw std::runtime_error("save_parameters: stream failure");
+}
+
+void load_parameters(std::istream& in, Module& module) {
+  auto params = module.parameters();
+  std::uint32_t count = 0;
+  in.read(reinterpret_cast<char*>(&count), sizeof(count));
+  if (!in || count != params.size()) {
+    throw std::runtime_error("load_parameters: parameter count mismatch");
+  }
+  for (auto& p : params) {
+    Tensor t = read_tensor(in);
+    if (!t.same_shape(*p.value)) {
+      throw std::runtime_error("load_parameters: shape mismatch for " + p.name);
+    }
+    *p.value = std::move(t);
+  }
+}
+
+void save_checkpoint(const std::string& path, Module& module) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("save_checkpoint: cannot open " + path);
+  save_parameters(out, module);
+}
+
+void load_checkpoint(const std::string& path, Module& module) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("load_checkpoint: cannot open " + path);
+  load_parameters(in, module);
+}
+
+}  // namespace parpde::nn

@@ -1,0 +1,22 @@
+#pragma once
+
+// Model checkpointing: saves/restores the parameter tensors of a module in
+// declaration order. The architecture itself is rebuilt by the caller (the
+// checkpoint stores values, not structure), matching the common
+// "state_dict"-style workflow.
+
+#include <istream>
+#include <ostream>
+#include <string>
+
+#include "nn/module.hpp"
+
+namespace parpde::nn {
+
+void save_parameters(std::ostream& out, Module& module);
+void load_parameters(std::istream& in, Module& module);
+
+void save_checkpoint(const std::string& path, Module& module);
+void load_checkpoint(const std::string& path, Module& module);
+
+}  // namespace parpde::nn

@@ -1,0 +1,28 @@
+#pragma once
+
+// Single-precision matrix multiplication kernels. The convolution layers are
+// lowered to GEMM through im2col, so this is the compute hot spot of the whole
+// library. A register-blocked micro-kernel with k-major packing keeps it fast
+// enough for the 256x256 full-scale runs without external BLAS.
+
+#include <cstdint>
+
+namespace parpde {
+
+// C[m x n] = A[m x k] * B[k x n], row-major, C overwritten.
+void gemm(const float* a, const float* b, float* c, std::int64_t m,
+          std::int64_t k, std::int64_t n);
+
+// C[m x n] += A[m x k] * B[k x n].
+void gemm_acc(const float* a, const float* b, float* c, std::int64_t m,
+              std::int64_t k, std::int64_t n);
+
+// C[m x n] = A^T[k x m]^T * B ... i.e. A is stored [k x m] and used transposed.
+void gemm_at(const float* a, const float* b, float* c, std::int64_t m,
+             std::int64_t k, std::int64_t n);
+
+// C[m x n] += A[m x k] * B^T where B is stored [n x k].
+void gemm_bt_acc(const float* a, const float* b, float* c, std::int64_t m,
+                 std::int64_t k, std::int64_t n);
+
+}  // namespace parpde

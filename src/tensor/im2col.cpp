@@ -1,0 +1,74 @@
+#include "tensor/im2col.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+namespace parpde {
+
+void im2col(const float* x, const ConvGeometry& g, float* col) {
+  const std::int64_t oh = g.out_height();
+  const std::int64_t ow = g.out_width();
+  const std::int64_t cols = oh * ow;
+  std::int64_t row = 0;
+  for (std::int64_t c = 0; c < g.in_channels; ++c) {
+    const float* plane = x + c * g.height * g.width;
+    for (std::int64_t ky = 0; ky < g.kernel; ++ky) {
+      for (std::int64_t kx = 0; kx < g.kernel; ++kx, ++row) {
+        float* out = col + row * cols;
+        for (std::int64_t y = 0; y < oh; ++y) {
+          const std::int64_t sy = y + ky - g.pad;
+          float* orow = out + y * ow;
+          if (sy < 0 || sy >= g.height) {
+            std::memset(orow, 0, static_cast<std::size_t>(ow) * sizeof(float));
+            continue;
+          }
+          const float* srow = plane + sy * g.width;
+          // Valid x-range of the shifted row: sx = x' + kx - pad in [0, W).
+          const std::int64_t x_lo = std::max<std::int64_t>(0, g.pad - kx);
+          const std::int64_t x_hi =
+              std::min<std::int64_t>(ow, g.width + g.pad - kx);
+          if (x_lo > 0) {
+            std::memset(orow, 0, static_cast<std::size_t>(x_lo) * sizeof(float));
+          }
+          if (x_hi > x_lo) {
+            std::memcpy(orow + x_lo, srow + x_lo + kx - g.pad,
+                        static_cast<std::size_t>(x_hi - x_lo) * sizeof(float));
+          }
+          if (x_hi < ow) {
+            std::memset(orow + x_hi, 0,
+                        static_cast<std::size_t>(ow - x_hi) * sizeof(float));
+          }
+        }
+      }
+    }
+  }
+}
+
+void col2im(const float* col, const ConvGeometry& g, float* x_grad) {
+  const std::int64_t oh = g.out_height();
+  const std::int64_t ow = g.out_width();
+  const std::int64_t cols = oh * ow;
+  std::int64_t row = 0;
+  for (std::int64_t c = 0; c < g.in_channels; ++c) {
+    float* plane = x_grad + c * g.height * g.width;
+    for (std::int64_t ky = 0; ky < g.kernel; ++ky) {
+      for (std::int64_t kx = 0; kx < g.kernel; ++kx, ++row) {
+        const float* in = col + row * cols;
+        for (std::int64_t y = 0; y < oh; ++y) {
+          const std::int64_t sy = y + ky - g.pad;
+          if (sy < 0 || sy >= g.height) continue;
+          const float* irow = in + y * ow;
+          float* drow = plane + sy * g.width;
+          const std::int64_t x_lo = std::max<std::int64_t>(0, g.pad - kx);
+          const std::int64_t x_hi =
+              std::min<std::int64_t>(ow, g.width + g.pad - kx);
+          for (std::int64_t xi = x_lo; xi < x_hi; ++xi) {
+            drow[xi + kx - g.pad] += irow[xi];
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace parpde

@@ -1,0 +1,36 @@
+#pragma once
+
+// im2col / col2im lowering for 2-d convolution (stride 1, square kernels,
+// symmetric zero padding). The column matrix layout is
+//   [Cin * kh * kw,  Hout * Wout]
+// so that conv forward is a single GEMM with the [Cout, Cin*kh*kw] weight
+// matrix.
+
+#include <cstdint>
+
+#include "tensor/tensor.hpp"
+
+namespace parpde {
+
+struct ConvGeometry {
+  std::int64_t in_channels = 0;
+  std::int64_t height = 0;      // input height (unpadded)
+  std::int64_t width = 0;       // input width (unpadded)
+  std::int64_t kernel = 0;      // square kernel extent
+  std::int64_t pad = 0;         // symmetric zero padding
+
+  [[nodiscard]] std::int64_t out_height() const { return height + 2 * pad - kernel + 1; }
+  [[nodiscard]] std::int64_t out_width() const { return width + 2 * pad - kernel + 1; }
+  [[nodiscard]] std::int64_t col_rows() const { return in_channels * kernel * kernel; }
+  [[nodiscard]] std::int64_t col_cols() const { return out_height() * out_width(); }
+};
+
+// Expands one CHW sample `x` into the column matrix `col` (preallocated,
+// col_rows x col_cols, row-major). Out-of-range taps contribute zeros.
+void im2col(const float* x, const ConvGeometry& g, float* col);
+
+// Scatters a column matrix back into CHW sample gradients, accumulating
+// overlapping contributions. `x_grad` must be zero-initialized by the caller.
+void col2im(const float* col, const ConvGeometry& g, float* x_grad);
+
+}  // namespace parpde

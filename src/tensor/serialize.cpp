@@ -1,0 +1,71 @@
+#include "tensor/serialize.hpp"
+
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+
+namespace parpde {
+
+namespace {
+
+constexpr char kMagic[4] = {'P', 'P', 'D', 'T'};
+constexpr std::uint32_t kVersion = 1;
+
+template <typename T>
+void write_pod(std::ostream& out, const T& value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+T read_pod(std::istream& in) {
+  T value{};
+  in.read(reinterpret_cast<char*>(&value), sizeof(T));
+  if (!in) throw std::runtime_error("read_tensor: truncated stream");
+  return value;
+}
+
+}  // namespace
+
+void write_tensor(std::ostream& out, const Tensor& t) {
+  out.write(kMagic, sizeof(kMagic));
+  write_pod(out, kVersion);
+  write_pod(out, static_cast<std::uint32_t>(t.ndim()));
+  for (int i = 0; i < t.ndim(); ++i) write_pod(out, t.dim(i));
+  out.write(reinterpret_cast<const char*>(t.data()),
+            static_cast<std::streamsize>(t.size() * sizeof(float)));
+  if (!out) throw std::runtime_error("write_tensor: stream failure");
+}
+
+Tensor read_tensor(std::istream& in) {
+  char magic[4];
+  in.read(magic, sizeof(magic));
+  if (!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    throw std::runtime_error("read_tensor: bad magic");
+  }
+  const auto version = read_pod<std::uint32_t>(in);
+  if (version != kVersion) throw std::runtime_error("read_tensor: bad version");
+  const auto ndim = read_pod<std::uint32_t>(in);
+  if (ndim > 8) throw std::runtime_error("read_tensor: implausible rank");
+  Shape shape(ndim);
+  for (auto& d : shape) d = read_pod<std::int64_t>(in);
+  Tensor t(shape);
+  in.read(reinterpret_cast<char*>(t.data()),
+          static_cast<std::streamsize>(t.size() * sizeof(float)));
+  if (!in) throw std::runtime_error("read_tensor: truncated data");
+  return t;
+}
+
+void save_tensor(const std::string& path, const Tensor& t) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("save_tensor: cannot open " + path);
+  write_tensor(out, t);
+}
+
+Tensor load_tensor(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("load_tensor: cannot open " + path);
+  return read_tensor(in);
+}
+
+}  // namespace parpde

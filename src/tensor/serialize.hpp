@@ -1,0 +1,24 @@
+#pragma once
+
+// Binary tensor (de)serialization: a small self-describing container used for
+// model checkpoints and dataset dumps.
+//
+// Layout (little-endian):
+//   magic "PPDT"  | u32 version | u32 ndim | i64 dims[ndim] | f32 data[numel]
+
+#include <istream>
+#include <ostream>
+#include <string>
+
+#include "tensor/tensor.hpp"
+
+namespace parpde {
+
+void write_tensor(std::ostream& out, const Tensor& t);
+Tensor read_tensor(std::istream& in);
+
+// Whole-file convenience wrappers.
+void save_tensor(const std::string& path, const Tensor& t);
+Tensor load_tensor(const std::string& path);
+
+}  // namespace parpde

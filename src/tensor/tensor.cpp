@@ -1,0 +1,67 @@
+#include "tensor/tensor.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+namespace parpde {
+
+std::int64_t numel(const Shape& shape) {
+  std::int64_t n = 1;
+  for (const auto d : shape) {
+    if (d < 0) throw std::invalid_argument("numel: negative extent");
+    n *= d;
+  }
+  return shape.empty() ? 0 : n;
+}
+
+std::string shape_to_string(const Shape& shape) {
+  std::ostringstream out;
+  out << '[';
+  for (std::size_t i = 0; i < shape.size(); ++i) {
+    if (i > 0) out << ", ";
+    out << shape[i];
+  }
+  out << ']';
+  return out.str();
+}
+
+Tensor::Tensor(Shape shape) : shape_(std::move(shape)) {
+  data_.assign(static_cast<std::size_t>(numel(shape_)), 0.0f);
+}
+
+Tensor Tensor::full(Shape shape, float value) {
+  Tensor t(std::move(shape));
+  t.fill(value);
+  return t;
+}
+
+Tensor Tensor::from(Shape shape, std::vector<float> values) {
+  if (numel(shape) != static_cast<std::int64_t>(values.size())) {
+    throw std::invalid_argument("Tensor::from: size mismatch for shape " +
+                                shape_to_string(shape));
+  }
+  Tensor t;
+  t.shape_ = std::move(shape);
+  t.data_ = std::move(values);
+  return t;
+}
+
+void Tensor::fill(float value) { std::fill(data_.begin(), data_.end(), value); }
+
+Tensor Tensor::reshaped(Shape shape) const {
+  Tensor t = *this;
+  t.reshape(std::move(shape));
+  return t;
+}
+
+void Tensor::reshape(Shape shape) {
+  if (numel(shape) != size()) {
+    throw std::invalid_argument("Tensor::reshape: element count mismatch (" +
+                                shape_to_string(shape_) + " -> " +
+                                shape_to_string(shape) + ")");
+  }
+  shape_ = std::move(shape);
+}
+
+}  // namespace parpde

@@ -1,0 +1,99 @@
+#pragma once
+
+// Dense row-major float32 tensor. The whole library standardizes on the NCHW
+// layout for 4-d tensors (batch, channels, height, width); lower-rank tensors
+// are used for weights, flattened buffers and im2col matrices.
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace parpde {
+
+using Shape = std::vector<std::int64_t>;
+
+// Number of elements of a shape (product of extents).
+std::int64_t numel(const Shape& shape);
+
+// Human-readable "[2, 4, 64, 64]".
+std::string shape_to_string(const Shape& shape);
+
+class Tensor {
+ public:
+  Tensor() = default;
+
+  // Allocates zero-initialized storage of the given shape.
+  explicit Tensor(Shape shape);
+
+  static Tensor zeros(Shape shape) { return Tensor(std::move(shape)); }
+  static Tensor full(Shape shape, float value);
+  // Takes ownership of `values`; size must match the shape.
+  static Tensor from(Shape shape, std::vector<float> values);
+
+  [[nodiscard]] const Shape& shape() const noexcept { return shape_; }
+  [[nodiscard]] int ndim() const noexcept { return static_cast<int>(shape_.size()); }
+  [[nodiscard]] std::int64_t dim(int i) const { return shape_.at(static_cast<std::size_t>(i)); }
+  [[nodiscard]] std::int64_t size() const noexcept {
+    return static_cast<std::int64_t>(data_.size());
+  }
+  [[nodiscard]] bool empty() const noexcept { return data_.empty(); }
+  [[nodiscard]] bool same_shape(const Tensor& other) const noexcept {
+    return shape_ == other.shape_;
+  }
+
+  [[nodiscard]] float* data() noexcept { return data_.data(); }
+  [[nodiscard]] const float* data() const noexcept { return data_.data(); }
+  [[nodiscard]] std::span<float> values() noexcept { return data_; }
+  [[nodiscard]] std::span<const float> values() const noexcept { return data_; }
+
+  float& operator[](std::int64_t i) { return data_[static_cast<std::size_t>(i)]; }
+  float operator[](std::int64_t i) const { return data_[static_cast<std::size_t>(i)]; }
+
+  // 4-d NCHW accessors (bounds unchecked in release; asserted in debug).
+  float& at(std::int64_t n, std::int64_t c, std::int64_t h, std::int64_t w) {
+    return data_[static_cast<std::size_t>(offset4(n, c, h, w))];
+  }
+  float at(std::int64_t n, std::int64_t c, std::int64_t h, std::int64_t w) const {
+    return data_[static_cast<std::size_t>(offset4(n, c, h, w))];
+  }
+
+  // 3-d CHW accessors (single-sample fields).
+  float& at(std::int64_t c, std::int64_t h, std::int64_t w) {
+    return data_[static_cast<std::size_t>(offset3(c, h, w))];
+  }
+  float at(std::int64_t c, std::int64_t h, std::int64_t w) const {
+    return data_[static_cast<std::size_t>(offset3(c, h, w))];
+  }
+
+  // 2-d accessors (matrices).
+  float& at(std::int64_t r, std::int64_t c) {
+    return data_[static_cast<std::size_t>(r * shape_[1] + c)];
+  }
+  float at(std::int64_t r, std::int64_t c) const {
+    return data_[static_cast<std::size_t>(r * shape_[1] + c)];
+  }
+
+  void fill(float value);
+
+  // Returns a copy with a new shape; element count must be preserved.
+  [[nodiscard]] Tensor reshaped(Shape shape) const;
+
+  // In-place reinterpretation of the shape (no data movement).
+  void reshape(Shape shape);
+
+ private:
+  [[nodiscard]] std::int64_t offset4(std::int64_t n, std::int64_t c,
+                                     std::int64_t h, std::int64_t w) const {
+    return ((n * shape_[1] + c) * shape_[2] + h) * shape_[3] + w;
+  }
+  [[nodiscard]] std::int64_t offset3(std::int64_t c, std::int64_t h,
+                                     std::int64_t w) const {
+    return (c * shape_[1] + h) * shape_[2] + w;
+  }
+
+  Shape shape_;
+  std::vector<float> data_;
+};
+
+}  // namespace parpde

@@ -1,0 +1,112 @@
+#include "util/ascii_plot.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace parpde::util {
+
+namespace {
+
+// Perceptual density ramp, light to dark.
+constexpr const char kRamp[] = " .:-=+*#%@";
+constexpr int kRampSize = static_cast<int>(sizeof(kRamp)) - 1;
+
+void check_frame(const Tensor& frame, std::int64_t channel) {
+  if (frame.ndim() != 3 || channel < 0 || channel >= frame.dim(0)) {
+    throw std::invalid_argument("ascii_plot: need [C,H,W] frame and valid channel");
+  }
+}
+
+// Average-pools the channel to at most (rows x cols) and renders with the
+// given range.
+std::string render_plane(const Tensor& frame, std::int64_t channel, int rows,
+                         int cols, double lo, double hi) {
+  const auto h = frame.dim(1), w = frame.dim(2);
+  rows = static_cast<int>(std::min<std::int64_t>(rows, h));
+  cols = static_cast<int>(std::min<std::int64_t>(cols, w));
+  const double span = hi > lo ? hi - lo : 1.0;
+  std::ostringstream out;
+  for (int r = 0; r < rows; ++r) {
+    const std::int64_t y0 = r * h / rows;
+    const std::int64_t y1 = std::max<std::int64_t>(y0 + 1, (r + 1) * h / rows);
+    for (int c = 0; c < cols; ++c) {
+      const std::int64_t x0 = c * w / cols;
+      const std::int64_t x1 = std::max<std::int64_t>(x0 + 1, (c + 1) * w / cols);
+      double acc = 0.0;
+      for (std::int64_t y = y0; y < y1; ++y) {
+        for (std::int64_t x = x0; x < x1; ++x) {
+          acc += frame.at(channel, y, x);
+        }
+      }
+      acc /= static_cast<double>((y1 - y0) * (x1 - x0));
+      const double t = std::clamp((acc - lo) / span, 0.0, 1.0);
+      const int idx = std::min(kRampSize - 1,
+                               static_cast<int>(t * kRampSize));
+      out << kRamp[idx];
+    }
+    out << '\n';
+  }
+  return out.str();
+}
+
+void field_range(const Tensor& frame, std::int64_t channel, double& lo,
+                 double& hi) {
+  const auto plane = frame.dim(1) * frame.dim(2);
+  const float* p = frame.data() + channel * plane;
+  lo = hi = p[0];
+  for (std::int64_t i = 1; i < plane; ++i) {
+    lo = std::min<double>(lo, p[i]);
+    hi = std::max<double>(hi, p[i]);
+  }
+}
+
+}  // namespace
+
+std::string render_field(const Tensor& frame, std::int64_t channel,
+                         const AsciiPlotOptions& options) {
+  check_frame(frame, channel);
+  double lo = options.lo, hi = options.hi;
+  if (!(lo < hi)) field_range(frame, channel, lo, hi);
+  return render_plane(frame, channel, options.max_height, options.max_width, lo,
+                      hi);
+}
+
+std::string render_comparison(const Tensor& prediction, const Tensor& target,
+                              std::int64_t channel, const std::string& label,
+                              const AsciiPlotOptions& options) {
+  check_frame(prediction, channel);
+  check_frame(target, channel);
+  if (!prediction.same_shape(target)) {
+    throw std::invalid_argument("render_comparison: shape mismatch");
+  }
+  double lo_t, hi_t, lo_p, hi_p;
+  field_range(target, channel, lo_t, hi_t);
+  field_range(prediction, channel, lo_p, hi_p);
+  const double lo = std::min(lo_t, lo_p);
+  const double hi = std::max(hi_t, hi_p);
+
+  AsciiPlotOptions shared = options;
+  shared.lo = lo;
+  shared.hi = hi;
+  const std::string left = render_field(target, channel, shared);
+  const std::string right = render_field(prediction, channel, shared);
+
+  // Stitch the two renders side by side; pad to the actual render width.
+  const auto cols = static_cast<std::size_t>(
+      std::min<std::int64_t>(shared.max_width, target.dim(2)));
+  std::ostringstream out;
+  out << label << "  [" << lo << ", " << hi << "]\n";
+  out << "target" << std::string(cols > 6 ? cols - 6 + 2 : 2, ' ')
+      << "| prediction\n";
+  std::istringstream ls(left), rs(right);
+  std::string ll, rl;
+  while (std::getline(ls, ll) && std::getline(rs, rl)) {
+    if (ll.size() < cols + 2) ll.resize(cols + 2, ' ');
+    out << ll << "| " << rl << '\n';
+  }
+  return out.str();
+}
+
+}  // namespace parpde::util

@@ -1,0 +1,32 @@
+#pragma once
+
+// Terminal rendering of 2-d scalar fields — the text-mode stand-in for the
+// paper's Fig. 3 color plots. Maps values to a density ramp, with optional
+// shared scaling so a prediction and its target render comparably.
+
+#include <string>
+
+#include "tensor/tensor.hpp"
+
+namespace parpde::util {
+
+struct AsciiPlotOptions {
+  int max_width = 64;   // columns in characters (field is downsampled)
+  int max_height = 32;  // rows in characters
+  // When both are set (lo < hi) the ramp uses this fixed range; otherwise the
+  // field's own min/max is used.
+  double lo = 0.0;
+  double hi = 0.0;
+};
+
+// Renders channel `channel` of a [C, H, W] tensor.
+std::string render_field(const Tensor& frame, std::int64_t channel,
+                         const AsciiPlotOptions& options = {});
+
+// Renders prediction and target side by side with a shared value range,
+// annotated with the channel name/min/max.
+std::string render_comparison(const Tensor& prediction, const Tensor& target,
+                              std::int64_t channel, const std::string& label,
+                              const AsciiPlotOptions& options = {});
+
+}  // namespace parpde::util

@@ -1,0 +1,62 @@
+#pragma once
+
+// Deterministic random number generation. Every stochastic component takes an
+// explicit seed so that parallel and sequential runs are reproducible.
+
+#include <algorithm>
+#include <cstdint>
+#include <random>
+#include <span>
+
+namespace parpde::util {
+
+// Thin wrapper around a 64-bit Mersenne Twister with convenience fills.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : engine_(seed) {}
+
+  // Derives an independent stream, e.g. one per MPI rank.
+  [[nodiscard]] Rng fork(std::uint64_t stream) const {
+    // SplitMix64-style mixing of (seed, stream) into a new seed.
+    std::uint64_t z = seed_mix_ + 0x9E3779B97F4A7C15ull * (stream + 1);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return Rng(z ^ (z >> 31));
+  }
+
+  double uniform(double lo, double hi) {
+    return std::uniform_real_distribution<double>(lo, hi)(engine_);
+  }
+
+  double normal(double mean, double stddev) {
+    return std::normal_distribution<double>(mean, stddev)(engine_);
+  }
+
+  // Uniform integer in [0, n).
+  std::uint64_t index(std::uint64_t n) {
+    return std::uniform_int_distribution<std::uint64_t>(0, n - 1)(engine_);
+  }
+
+  void fill_uniform(std::span<float> out, float lo, float hi) {
+    std::uniform_real_distribution<float> dist(lo, hi);
+    for (float& v : out) v = dist(engine_);
+  }
+
+  void fill_normal(std::span<float> out, float mean, float stddev) {
+    std::normal_distribution<float> dist(mean, stddev);
+    for (float& v : out) v = dist(engine_);
+  }
+
+  template <typename T>
+  void shuffle(std::span<T> values) {
+    std::shuffle(values.begin(), values.end(), engine_);
+  }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+  std::uint64_t seed_mix_ = engine_();
+};
+
+}  // namespace parpde::util

@@ -1,0 +1,36 @@
+#pragma once
+
+// Streaming statistics (Welford) and simple percentile helpers used by the
+// metric collectors and benchmark harnesses.
+
+#include <cstddef>
+#include <vector>
+
+namespace parpde::util {
+
+// Single-pass mean/variance/min/max accumulator.
+class RunningStat {
+ public:
+  void add(double x) noexcept;
+  void merge(const RunningStat& other) noexcept;
+
+  [[nodiscard]] std::size_t count() const noexcept { return n_; }
+  [[nodiscard]] double mean() const noexcept { return n_ > 0 ? mean_ : 0.0; }
+  [[nodiscard]] double variance() const noexcept;
+  [[nodiscard]] double stddev() const noexcept;
+  [[nodiscard]] double min() const noexcept { return n_ > 0 ? min_ : 0.0; }
+  [[nodiscard]] double max() const noexcept { return n_ > 0 ? max_ : 0.0; }
+  [[nodiscard]] double sum() const noexcept { return mean_ * static_cast<double>(n_); }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+// Percentile of a sample (q in [0,1]); copies and sorts internally.
+double percentile(std::vector<double> values, double q);
+
+}  // namespace parpde::util

@@ -1,0 +1,39 @@
+#pragma once
+
+// Aligned console tables and CSV output for the benchmark harnesses. Every
+// figure/table reproduction prints its rows through this so the output format
+// is uniform across benches.
+
+#include <string>
+#include <vector>
+
+namespace parpde::util {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> columns);
+
+  // Adds a row; values must match the number of columns.
+  void add_row(std::vector<std::string> values);
+
+  // Convenience: formats doubles with the given precision.
+  static std::string fmt(double value, int precision = 4);
+  static std::string fmt_sci(double value, int precision = 3);
+
+  // Renders with aligned columns; `title` printed above if non-empty.
+  [[nodiscard]] std::string to_string(const std::string& title = "") const;
+
+  // Comma-separated values (header + rows).
+  [[nodiscard]] std::string to_csv() const;
+
+  // Prints to stdout.
+  void print(const std::string& title = "") const;
+
+  [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace parpde::util

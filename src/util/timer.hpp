@@ -1,0 +1,42 @@
+#pragma once
+
+// Wall-clock timing helpers built on std::chrono::steady_clock.
+
+#include <chrono>
+
+namespace parpde::util {
+
+// Stopwatch measuring elapsed wall time since construction or last reset().
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  void reset() { start_ = Clock::now(); }
+
+  [[nodiscard]] double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  [[nodiscard]] double milliseconds() const { return seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+// Accumulates time across multiple start/stop windows (e.g. "time spent in
+// communication" summed over all exchanges of a run).
+class AccumulatingTimer {
+ public:
+  void start() { timer_.reset(); }
+  void stop() { total_ += timer_.seconds(); }
+  void add(double seconds) { total_ += seconds; }
+  void reset() { total_ = 0.0; }
+  [[nodiscard]] double seconds() const { return total_; }
+
+ private:
+  WallTimer timer_;
+  double total_ = 0.0;
+};
+
+}  // namespace parpde::util

@@ -1,0 +1,51 @@
+#pragma once
+
+// Shared test utilities: finite-difference gradients and tensor comparisons.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+
+#include "tensor/tensor.hpp"
+
+namespace parpde::testing {
+
+// Central-difference numerical gradient of a scalar function with respect to
+// every entry of `x`. `fn` must not mutate `x` permanently (it is restored
+// between evaluations).
+inline Tensor numeric_gradient(const std::function<double()>& fn, Tensor& x,
+                               float h = 1e-2f) {
+  Tensor grad(x.shape());
+  for (std::int64_t i = 0; i < x.size(); ++i) {
+    const float saved = x[i];
+    x[i] = saved + h;
+    const double up = fn();
+    x[i] = saved - h;
+    const double down = fn();
+    x[i] = saved;
+    grad[i] = static_cast<float>((up - down) / (2.0 * h));
+  }
+  return grad;
+}
+
+// Expects |a - b| <= atol + rtol * |b| elementwise.
+inline void expect_tensors_close(const Tensor& a, const Tensor& b,
+                                 double atol = 1e-5, double rtol = 1e-4) {
+  ASSERT_TRUE(a.same_shape(b))
+      << shape_to_string(a.shape()) << " vs " << shape_to_string(b.shape());
+  for (std::int64_t i = 0; i < a.size(); ++i) {
+    const double av = a[i];
+    const double bv = b[i];
+    EXPECT_NEAR(av, bv, atol + rtol * std::fabs(bv)) << "at index " << i;
+  }
+}
+
+inline void expect_tensors_equal(const Tensor& a, const Tensor& b) {
+  ASSERT_TRUE(a.same_shape(b));
+  for (std::int64_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i], b[i]) << "at index " << i;
+  }
+}
+
+}  // namespace parpde::testing

@@ -1,0 +1,150 @@
+// Advection-diffusion substrate: analytic behavior (translation at the
+// advection velocity, diffusive spreading, mass conservation) and the frame
+// pipeline.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "pde/advection.hpp"
+
+namespace parpde::pde {
+namespace {
+
+AdvectionConfig tiny(int n = 48) {
+  AdvectionConfig cfg;
+  cfg.n = n;
+  return cfg;
+}
+
+// Location of the field maximum in physical coordinates.
+std::pair<double, double> peak_location(const AdvectionSolver& solver) {
+  const Tensor f = solver.frame();
+  const auto n = f.dim(1);
+  std::int64_t bi = 0, bj = 0;
+  float best = f.at(0, 0, 0);
+  for (std::int64_t j = 0; j < n; ++j) {
+    for (std::int64_t i = 0; i < n; ++i) {
+      if (f.at(0, j, i) > best) {
+        best = f.at(0, j, i);
+        bi = i;
+        bj = j;
+      }
+    }
+  }
+  const double dx = solver.config().dx();
+  return {-solver.config().domain_half + (bi + 0.5) * dx,
+          -solver.config().domain_half + (bj + 0.5) * dx};
+}
+
+TEST(Advection, TimeStepRespectsBothLimits) {
+  AdvectionConfig cfg = tiny();
+  const double dt = cfg.dt();
+  EXPECT_LE(dt, cfg.cfl * cfg.dx() / (std::abs(cfg.ax) + std::abs(cfg.ay)) + 1e-15);
+  EXPECT_LE(dt, 0.2 * cfg.dx() * cfg.dx() / cfg.nu + 1e-15);
+  cfg.nu = 0.0;
+  EXPECT_GT(cfg.dt(), 0.0);  // diffusive limit disabled
+}
+
+TEST(Advection, InitialBlobAtConfiguredCenter) {
+  AdvectionConfig cfg = tiny();
+  AdvectionSolver solver(cfg);
+  solver.initialize();
+  const auto [px, py] = peak_location(solver);
+  EXPECT_NEAR(px, cfg.blob_x, 2 * cfg.dx());
+  EXPECT_NEAR(py, cfg.blob_y, 2 * cfg.dx());
+}
+
+TEST(Advection, BlobTranslatesAtAdvectionVelocity) {
+  AdvectionConfig cfg = tiny(64);
+  cfg.nu = 1e-4;  // almost pure advection
+  AdvectionSolver solver(cfg);
+  solver.initialize();
+  const double dt = cfg.dt();
+  const int steps = 120;
+  for (int s = 0; s < steps; ++s) solver.step(dt);
+  const double t = steps * dt;
+  const auto [px, py] = peak_location(solver);
+  EXPECT_NEAR(px, cfg.blob_x + cfg.ax * t, 3 * cfg.dx());
+  EXPECT_NEAR(py, cfg.blob_y + cfg.ay * t, 3 * cfg.dx());
+}
+
+TEST(Advection, DiffusionLowersThePeak) {
+  AdvectionConfig cfg = tiny();
+  cfg.ax = cfg.ay = 0.0;
+  cfg.nu = 5e-3;
+  AdvectionSolver solver(cfg);
+  solver.initialize();
+  const Tensor before = solver.frame();
+  for (int s = 0; s < 100; ++s) solver.step(cfg.dt());
+  const Tensor after = solver.frame();
+  float peak_before = 0.0f, peak_after = 0.0f;
+  for (std::int64_t i = 0; i < before.size(); ++i) {
+    peak_before = std::max(peak_before, before[i]);
+    peak_after = std::max(peak_after, after[i]);
+  }
+  EXPECT_LT(peak_after, peak_before * 0.95f);
+}
+
+TEST(Advection, PureDiffusionPreservesMass) {
+  // Neumann boundaries: no flux, so sum(q) is conserved while the blob stays
+  // inside the domain.
+  AdvectionConfig cfg = tiny();
+  cfg.ax = cfg.ay = 0.0;
+  cfg.blob_x = cfg.blob_y = 0.0;
+  AdvectionSolver solver(cfg);
+  solver.initialize();
+  const double mass0 = solver.total_mass();
+  for (int s = 0; s < 100; ++s) solver.step(cfg.dt());
+  EXPECT_NEAR(solver.total_mass(), mass0, 1e-6 * std::abs(mass0));
+}
+
+TEST(Advection, GaussianSpreadMatchesDiffusionTheory) {
+  // For pure diffusion, sigma^2(t) = sigma0^2 + 2 nu t; check the second
+  // moment of the field.
+  AdvectionConfig cfg = tiny(64);
+  cfg.ax = cfg.ay = 0.0;
+  cfg.blob_x = cfg.blob_y = 0.0;
+  cfg.nu = 4e-3;
+  AdvectionSolver solver(cfg);
+  solver.initialize();
+  auto second_moment = [&] {
+    const Tensor f = solver.frame();
+    double m = 0.0, mxx = 0.0;
+    for (std::int64_t j = 0; j < cfg.n; ++j) {
+      const double y = -cfg.domain_half + (j + 0.5) * cfg.dx();
+      for (std::int64_t i = 0; i < cfg.n; ++i) {
+        const double x = -cfg.domain_half + (i + 0.5) * cfg.dx();
+        const double q = f.at(0, j, i);
+        m += q;
+        mxx += q * (x * x + y * y);
+      }
+    }
+    return mxx / m / 2.0;  // isotropic: sigma^2 = <r^2>/2
+  };
+  const double var0 = second_moment();
+  const double dt = cfg.dt();
+  const int steps = 150;
+  for (int s = 0; s < steps; ++s) solver.step(dt);
+  const double var1 = second_moment();
+  EXPECT_NEAR(var1 - var0, 2.0 * cfg.nu * steps * dt,
+              0.15 * (var1 - var0));
+}
+
+TEST(Advection, SimulateProducesSingleChannelFrames) {
+  const auto sim = simulate_advection(tiny(32), 10, 2);
+  EXPECT_EQ(sim.frames.size(), 10u);
+  EXPECT_EQ(sim.frames.front().shape(), (Shape{1, 32, 32}));
+  EXPECT_NEAR(sim.frame_dt, 2 * sim.config.dt(), 1e-12);
+  EXPECT_THROW(simulate_advection(tiny(), 1), std::invalid_argument);
+  EXPECT_THROW(simulate_advection(tiny(), 5, 0), std::invalid_argument);
+}
+
+TEST(Advection, RejectsTinyGrid) {
+  AdvectionConfig cfg;
+  cfg.n = 2;
+  EXPECT_THROW(AdvectionSolver{cfg}, std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace parpde::pde

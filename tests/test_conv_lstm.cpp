@@ -1,0 +1,166 @@
+// ConvLSTM cell: shapes, temporal memory, full BPTT gradient check, and
+// training convergence on a temporal toy problem a memoryless model cannot
+// solve.
+
+#include <gtest/gtest.h>
+
+#include "helpers.hpp"
+#include "nn/conv_lstm.hpp"
+#include "nn/loss.hpp"
+#include "nn/optimizer.hpp"
+#include "util/random.hpp"
+
+namespace parpde::nn {
+namespace {
+
+using parpde::testing::expect_tensors_close;
+using parpde::testing::numeric_gradient;
+
+Tensor random_tensor(const Shape& shape, std::uint64_t seed) {
+  Tensor t(shape);
+  util::Rng rng(seed);
+  rng.fill_uniform(t.values(), -1.0f, 1.0f);
+  return t;
+}
+
+TEST(ConvLSTM, OutputShapeMatchesSequence) {
+  ConvLSTM cell(4, 6, 4, 3);
+  util::Rng rng(1);
+  cell.init(rng);
+  const Tensor y = cell.forward(Tensor({5, 4, 8, 8}));
+  EXPECT_EQ(y.shape(), (Shape{5, 4, 8, 8}));
+}
+
+TEST(ConvLSTM, RejectsBadConfigurations) {
+  EXPECT_THROW(ConvLSTM(0, 4, 4, 3), std::invalid_argument);
+  EXPECT_THROW(ConvLSTM(4, 4, 4, 4), std::invalid_argument);  // even kernel
+  ConvLSTM cell(4, 6, 4, 3);
+  EXPECT_THROW(cell.forward(Tensor({2, 3, 8, 8})), std::invalid_argument);
+  EXPECT_THROW(cell.backward(Tensor({2, 4, 8, 8})), std::logic_error);
+}
+
+TEST(ConvLSTM, ParameterShapes) {
+  ConvLSTM cell(4, 6, 4, 3);
+  const auto params = cell.parameters();
+  ASSERT_EQ(params.size(), 5u);
+  EXPECT_EQ(params[0].value->shape(), (Shape{24, 4, 3, 3}));  // wx
+  EXPECT_EQ(params[1].value->shape(), (Shape{24, 6, 3, 3}));  // wh
+  EXPECT_EQ(params[2].value->shape(), (Shape{24}));           // b
+  EXPECT_EQ(params[3].value->shape(), (Shape{4, 6, 1, 1}));   // wy
+  EXPECT_EQ(params[4].value->shape(), (Shape{4}));            // by
+}
+
+TEST(ConvLSTM, ForgetGateBiasStartsOpen) {
+  ConvLSTM cell(2, 3, 2, 3);
+  util::Rng rng(2);
+  cell.init(rng);
+  const auto params = cell.parameters();
+  const Tensor& b = *params[2].value;
+  // Gate order i, f, g, o; forget block is [Ch, 2Ch).
+  for (std::int64_t c = 3; c < 6; ++c) EXPECT_FLOAT_EQ(b[c], 1.0f);
+  for (std::int64_t c = 0; c < 3; ++c) EXPECT_FLOAT_EQ(b[c], 0.0f);
+}
+
+TEST(ConvLSTM, LaterOutputsDependOnEarlierInputs) {
+  // Temporal memory: perturbing x_0 must change y_2.
+  ConvLSTM cell(1, 4, 1, 3);
+  util::Rng rng(3);
+  cell.init(rng);
+  Tensor x = random_tensor({3, 1, 6, 6}, 4);
+  const Tensor y_base = cell.forward(x);
+  x[0] += 1.0f;  // perturb the first frame only
+  const Tensor y_pert = cell.forward(x);
+  const std::int64_t plane = 6 * 6;
+  double diff_last = 0.0;
+  for (std::int64_t i = 2 * plane; i < 3 * plane; ++i) {
+    diff_last = std::max(
+        diff_last, std::abs(static_cast<double>(y_base[i]) - y_pert[i]));
+  }
+  EXPECT_GT(diff_last, 1e-6);
+}
+
+TEST(ConvLSTM, EarlierOutputsDoNotSeeTheFuture) {
+  // Causality: perturbing x_2 must not change y_0 or y_1.
+  ConvLSTM cell(1, 4, 1, 3);
+  util::Rng rng(5);
+  cell.init(rng);
+  Tensor x = random_tensor({3, 1, 5, 5}, 6);
+  const Tensor y_base = cell.forward(x);
+  const std::int64_t plane = 5 * 5;
+  x[2 * plane] += 1.0f;  // perturb frame 2
+  const Tensor y_pert = cell.forward(x);
+  for (std::int64_t i = 0; i < 2 * plane; ++i) {
+    EXPECT_EQ(y_base[i], y_pert[i]) << "future leaked into step " << i / plane;
+  }
+}
+
+TEST(ConvLSTM, GradCheckFullBPTT) {
+  ConvLSTM cell(2, 3, 2, 3);
+  util::Rng rng(7);
+  cell.init(rng);
+  Tensor x = random_tensor({3, 2, 4, 4}, 8);
+  Tensor g = random_tensor({3, 2, 4, 4}, 9);
+
+  auto dot = [](const Tensor& a, const Tensor& b) {
+    double acc = 0.0;
+    for (std::int64_t i = 0; i < a.size(); ++i) {
+      acc += static_cast<double>(a[i]) * b[i];
+    }
+    return acc;
+  };
+
+  cell.zero_grad();
+  cell.forward(x);
+  const Tensor dx = cell.backward(g);
+
+  auto objective = [&] { return dot(cell.forward(x), g); };
+  const Tensor dx_num = numeric_gradient(objective, x);
+  expect_tensors_close(dx, dx_num, 4e-3, 4e-2);
+
+  for (auto& p : cell.parameters()) {
+    SCOPED_TRACE(p.name);
+    const Tensor dp_num = numeric_gradient(objective, *p.value);
+    expect_tensors_close(*p.grad, dp_num, 4e-3, 4e-2);
+  }
+}
+
+TEST(ConvLSTM, LearnsTwoStepDelayTask) {
+  // Predict y_t = x_{t-1} (one-frame delay): impossible for a memoryless
+  // per-frame map when frames are independent noise, easy with a cell state.
+  ConvLSTM cell(1, 8, 1, 3);
+  util::Rng rng(10);
+  cell.init(rng);
+  MSELoss loss;
+  Adam opt(cell.parameters(), 2e-2);
+
+  const std::int64_t T = 6;
+  double first = 0.0, last = 0.0;
+  for (int step = 0; step < 150; ++step) {
+    Tensor x = random_tensor({T, 1, 4, 4}, 100 + step);
+    // Target: previous input frame (zero target for t = 0).
+    Tensor target({T, 1, 4, 4});
+    std::copy(x.data(), x.data() + (T - 1) * 16, target.data() + 16);
+    opt.zero_grad();
+    const Tensor y = cell.forward(x);
+    Tensor grad;
+    last = loss.compute(y, target, &grad);
+    if (step == 0) first = last;
+    cell.backward(grad);
+    opt.step();
+  }
+  EXPECT_LT(last, 0.35 * first);
+}
+
+TEST(ConvLSTM, DeterministicGivenSeed) {
+  const Tensor x = random_tensor({2, 2, 5, 5}, 11);
+  auto run = [&] {
+    ConvLSTM cell(2, 4, 2, 3);
+    util::Rng rng(12);
+    cell.init(rng);
+    return cell.forward(x);
+  };
+  parpde::testing::expect_tensors_equal(run(), run());
+}
+
+}  // namespace
+}  // namespace parpde::nn

@@ -1,0 +1,119 @@
+// Ensemble checkpointing: roundtrip through streams and files, error paths,
+// and functional equivalence of predictions after restore.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/checkpoint.hpp"
+#include "core/inference.hpp"
+#include "euler/simulate.hpp"
+#include "helpers.hpp"
+
+namespace parpde::core {
+namespace {
+
+TrainConfig tiny_config() {
+  TrainConfig cfg;
+  cfg.network.channels = {4, 6, 4};
+  cfg.network.kernel = 3;
+  cfg.epochs = 2;
+  cfg.batch_size = 4;
+  cfg.loss = "mse";
+  return cfg;
+}
+
+ParallelTrainReport trained_report(const TrainConfig& cfg, int ranks) {
+  euler::EulerConfig ec;
+  ec.n = 16;
+  euler::SimulateOptions opts;
+  opts.num_frames = 9;
+  auto sim = euler::simulate(ec, opts);
+  const data::FrameDataset ds(std::move(sim.frames));
+  return ParallelTrainer(cfg, ranks).train(ds, ExecutionMode::kIsolated);
+}
+
+TEST(Checkpoint, StreamRoundtripPreservesEverything) {
+  const TrainConfig cfg = tiny_config();
+  const auto checkpoint = make_checkpoint(cfg, trained_report(cfg, 4));
+  std::stringstream ss;
+  write_ensemble(ss, checkpoint);
+  const auto restored = read_ensemble(ss);
+
+  EXPECT_EQ(restored.network.channels, cfg.network.channels);
+  EXPECT_EQ(restored.network.kernel, cfg.network.kernel);
+  EXPECT_FLOAT_EQ(restored.network.leaky_slope, cfg.network.leaky_slope);
+  EXPECT_EQ(restored.network.final_activation, cfg.network.final_activation);
+  EXPECT_EQ(restored.border, cfg.border);
+
+  const auto& report = checkpoint.report;
+  EXPECT_EQ(restored.report.ranks, report.ranks);
+  EXPECT_EQ(restored.report.dims.px, report.dims.px);
+  EXPECT_EQ(restored.report.dims.py, report.dims.py);
+  ASSERT_EQ(restored.report.rank_outcomes.size(), report.rank_outcomes.size());
+  for (std::size_t r = 0; r < report.rank_outcomes.size(); ++r) {
+    EXPECT_EQ(restored.report.rank_outcomes[r].block,
+              report.rank_outcomes[r].block);
+    ASSERT_EQ(restored.report.rank_outcomes[r].parameters.size(),
+              report.rank_outcomes[r].parameters.size());
+    for (std::size_t k = 0; k < report.rank_outcomes[r].parameters.size(); ++k) {
+      parpde::testing::expect_tensors_equal(
+          restored.report.rank_outcomes[r].parameters[k],
+          report.rank_outcomes[r].parameters[k]);
+    }
+  }
+}
+
+TEST(Checkpoint, RestoredEnsemblePredictsIdentically) {
+  const TrainConfig cfg = tiny_config();
+  const auto checkpoint = make_checkpoint(cfg, trained_report(cfg, 4));
+  std::stringstream ss;
+  write_ensemble(ss, checkpoint);
+  const auto restored = read_ensemble(ss);
+
+  Tensor frame({4, 16, 16});
+  util::Rng rng(3);
+  rng.fill_uniform(frame.values(), 0.5f, 1.5f);
+
+  // Rebuild the inference config purely from the checkpoint.
+  TrainConfig inference_cfg;
+  inference_cfg.network = restored.network;
+  inference_cfg.border = restored.border;
+  const SubdomainEnsemble before(cfg, checkpoint.report, 16, 16);
+  const SubdomainEnsemble after(inference_cfg, restored.report, 16, 16);
+  parpde::testing::expect_tensors_equal(before.predict(frame),
+                                        after.predict(frame));
+}
+
+TEST(Checkpoint, FileRoundtrip) {
+  const TrainConfig cfg = tiny_config();
+  const auto checkpoint = make_checkpoint(cfg, trained_report(cfg, 2));
+  const std::string path = ::testing::TempDir() + "/parpde_ensemble.ckpt";
+  save_ensemble(path, checkpoint);
+  const auto restored = load_ensemble(path);
+  EXPECT_EQ(restored.report.ranks, 2);
+  EXPECT_EQ(restored.network.channels, cfg.network.channels);
+}
+
+TEST(Checkpoint, RejectsGarbage) {
+  std::stringstream ss;
+  ss << "definitely not an ensemble checkpoint";
+  EXPECT_THROW(read_ensemble(ss), std::runtime_error);
+}
+
+TEST(Checkpoint, RejectsTruncation) {
+  const TrainConfig cfg = tiny_config();
+  const auto checkpoint = make_checkpoint(cfg, trained_report(cfg, 2));
+  std::stringstream ss;
+  write_ensemble(ss, checkpoint);
+  const std::string full = ss.str();
+  std::stringstream truncated(full.substr(0, full.size() / 2));
+  EXPECT_THROW(read_ensemble(truncated), std::runtime_error);
+}
+
+TEST(Checkpoint, MissingFileThrows) {
+  EXPECT_THROW(load_ensemble("/nonexistent/path.ckpt"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace parpde::core

@@ -1,0 +1,127 @@
+// Model builder: Table I architecture, border-mode padding policy, shrink
+// computation, parameter export/import.
+
+#include <gtest/gtest.h>
+
+#include "core/model.hpp"
+#include "helpers.hpp"
+#include "nn/conv2d.hpp"
+
+namespace parpde::core {
+namespace {
+
+using parpde::testing::expect_tensors_equal;
+
+TEST(NetworkConfig, TableIDefaults) {
+  const NetworkConfig net;
+  EXPECT_EQ(net.layers(), 4);
+  EXPECT_EQ(net.channels, (std::vector<std::int64_t>{4, 6, 16, 6, 4}));
+  EXPECT_EQ(net.kernel, 5);
+  EXPECT_EQ(net.receptive_halo(), 8);  // 4 layers * (5-1)/2
+  EXPECT_FLOAT_EQ(net.leaky_slope, 0.01f);
+}
+
+TEST(BorderMode, NameRoundtrip) {
+  for (const auto mode : {BorderMode::kZeroPad, BorderMode::kHaloPad,
+                          BorderMode::kValidInner}) {
+    EXPECT_EQ(border_mode_from_string(border_mode_name(mode)), mode);
+  }
+  EXPECT_EQ(border_mode_from_string("zero"), BorderMode::kZeroPad);
+  EXPECT_EQ(border_mode_from_string("halo"), BorderMode::kHaloPad);
+  EXPECT_EQ(border_mode_from_string("valid"), BorderMode::kValidInner);
+  EXPECT_THROW(border_mode_from_string("mirror"), std::invalid_argument);
+}
+
+TEST(ModelShrink, ZeroForSamePadding) {
+  const NetworkConfig net;
+  EXPECT_EQ(model_shrink(net, BorderMode::kZeroPad), 0);
+  EXPECT_EQ(model_shrink(net, BorderMode::kHaloPad), 8);
+  EXPECT_EQ(model_shrink(net, BorderMode::kValidInner), 8);
+}
+
+TEST(BuildModel, ZeroPadPreservesShape) {
+  const NetworkConfig net;
+  util::Rng rng(1);
+  auto model = build_model(net, BorderMode::kZeroPad, rng);
+  const Tensor y = model->forward(Tensor({1, 4, 20, 20}));
+  EXPECT_EQ(y.shape(), (Shape{1, 4, 20, 20}));
+}
+
+TEST(BuildModel, HaloPadShrinksByReceptiveHalo) {
+  const NetworkConfig net;
+  util::Rng rng(2);
+  auto model = build_model(net, BorderMode::kHaloPad, rng);
+  // Input enlarged by 8 per side -> output back at the interior size.
+  const Tensor y = model->forward(Tensor({1, 4, 16 + 16, 16 + 16}));
+  EXPECT_EQ(y.shape(), (Shape{1, 4, 16, 16}));
+}
+
+TEST(BuildModel, ParameterCountMatchesTableI) {
+  const NetworkConfig net;
+  util::Rng rng(3);
+  auto model = build_model(net, BorderMode::kZeroPad, rng);
+  // Conv weights: 25 * (4*6 + 6*16 + 16*6 + 6*4) + biases 6+16+6+4.
+  const std::int64_t expected = 25 * (24 + 96 + 96 + 24) + 32;
+  EXPECT_EQ(model->parameter_count(), expected);
+  // 4 conv layers + 3 inner activations (linear head by default).
+  EXPECT_EQ(model->layer_count(), 7u);
+}
+
+TEST(BuildModel, FinalActivationOptionAddsLayer) {
+  NetworkConfig net;
+  net.final_activation = true;
+  util::Rng rng(4);
+  auto model = build_model(net, BorderMode::kZeroPad, rng);
+  EXPECT_EQ(model->layer_count(), 8u);
+}
+
+TEST(BuildModel, CustomArchitecture) {
+  NetworkConfig net;
+  net.channels = {4, 8, 4};
+  net.kernel = 3;
+  util::Rng rng(5);
+  auto model = build_model(net, BorderMode::kHaloPad, rng);
+  EXPECT_EQ(net.receptive_halo(), 2);
+  const Tensor y = model->forward(Tensor({1, 4, 12, 12}));
+  EXPECT_EQ(y.shape(), (Shape{1, 4, 8, 8}));
+}
+
+TEST(BuildModel, SameSeedSameWeights) {
+  const NetworkConfig net;
+  util::Rng a(9), b(9);
+  auto ma = build_model(net, BorderMode::kZeroPad, a);
+  auto mb = build_model(net, BorderMode::kZeroPad, b);
+  const auto pa = export_parameters(*ma);
+  const auto pb = export_parameters(*mb);
+  ASSERT_EQ(pa.size(), pb.size());
+  for (std::size_t i = 0; i < pa.size(); ++i) {
+    expect_tensors_equal(pa[i], pb[i]);
+  }
+}
+
+TEST(Parameters, ExportImportRoundtrip) {
+  const NetworkConfig net;
+  util::Rng rng(6);
+  auto model = build_model(net, BorderMode::kZeroPad, rng);
+  Tensor x({1, 4, 12, 12});
+  util::Rng in_rng(7);
+  in_rng.fill_uniform(x.values(), -1.0f, 1.0f);
+  const Tensor y_before = model->forward(x);
+  const auto saved = export_parameters(*model);
+
+  for (auto& p : model->parameters()) p.value->fill(0.0f);
+  import_parameters(*model, saved);
+  expect_tensors_equal(model->forward(x), y_before);
+}
+
+TEST(Parameters, ImportRejectsMismatch) {
+  const NetworkConfig net;
+  util::Rng rng(8);
+  auto model = build_model(net, BorderMode::kZeroPad, rng);
+  auto params = export_parameters(*model);
+  params.pop_back();
+  EXPECT_THROW(import_parameters(*model, params), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace parpde::core

@@ -1,0 +1,270 @@
+// Linearized Euler solver: initial condition, boundary conditions, symmetry,
+// stability/energy behavior, temporal convergence order, and frame export.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "euler/boundary.hpp"
+#include "euler/initial.hpp"
+#include "euler/integrator.hpp"
+#include "euler/rhs.hpp"
+#include "euler/simulate.hpp"
+
+namespace parpde::euler {
+namespace {
+
+EulerConfig small_config(int n = 32) {
+  EulerConfig cfg;
+  cfg.n = n;
+  return cfg;
+}
+
+TEST(Config, SoundSpeedAndTimeStep) {
+  EulerConfig cfg;
+  cfg.gamma = 1.4;
+  cfg.p_c = 1.0;
+  cfg.rho_c = 1.0;
+  EXPECT_NEAR(cfg.sound_speed(), std::sqrt(1.4), 1e-12);
+  EXPECT_NEAR(cfg.dt(), cfg.cfl * cfg.dx() / std::sqrt(1.4), 1e-12);
+}
+
+TEST(Config, BackgroundAdvectionReducesTimeStep) {
+  EulerConfig cfg;
+  const double dt0 = cfg.dt();
+  cfg.uc = 1.0;
+  EXPECT_LT(cfg.dt(), dt0);
+}
+
+TEST(Initial, GaussianPulseProperties) {
+  const EulerConfig cfg = small_config(64);
+  const EulerState state = make_initial_state(cfg);
+  // Peak near the center at the configured amplitude.
+  double peak = 0.0;
+  for (int j = 0; j < cfg.n; ++j) {
+    for (int i = 0; i < cfg.n; ++i) {
+      peak = std::max(peak, state.p.at(i, j));
+    }
+  }
+  EXPECT_NEAR(peak, cfg.pulse_amplitude, 0.01);
+  // Half-width: at r = 0.3 the pulse is A/2.
+  const int center = cfg.n / 2;
+  const int offset = static_cast<int>(std::round(0.3 / cfg.dx()));
+  EXPECT_NEAR(state.p.at(center - 1 + offset, center - 1),
+              cfg.pulse_amplitude / 2.0, 0.05);
+  // Fluid at rest, no density perturbation.
+  for (int j = 0; j < cfg.n; ++j) {
+    for (int i = 0; i < cfg.n; ++i) {
+      EXPECT_EQ(state.u.at(i, j), 0.0);
+      EXPECT_EQ(state.v.at(i, j), 0.0);
+      EXPECT_EQ(state.rho.at(i, j), 0.0);
+    }
+  }
+}
+
+TEST(Initial, CellCentersSpanDomain) {
+  const EulerConfig cfg = small_config(10);
+  EXPECT_NEAR(cell_center(cfg, 0), -cfg.domain_half + cfg.dx() / 2, 1e-12);
+  EXPECT_NEAR(cell_center(cfg, cfg.n - 1), cfg.domain_half - cfg.dx() / 2,
+              1e-12);
+}
+
+TEST(Boundary, NeumannGhostsMirrorInterior) {
+  ScalarField f(4);
+  for (int j = 0; j < 4; ++j) {
+    for (int i = 0; i < 4; ++i) f.at(i, j) = i + 10.0 * j;
+  }
+  apply_neumann(f);
+  EXPECT_EQ(f.at(-1, 2), f.at(0, 2));
+  EXPECT_EQ(f.at(4, 1), f.at(3, 1));
+  EXPECT_EQ(f.at(2, -1), f.at(2, 0));
+  EXPECT_EQ(f.at(2, 4), f.at(2, 3));
+}
+
+TEST(Boundary, DirichletGhostsAntisymmetric) {
+  ScalarField f(4);
+  for (int j = 0; j < 4; ++j) {
+    for (int i = 0; i < 4; ++i) f.at(i, j) = 1.0 + i + j;
+  }
+  apply_dirichlet_zero(f);
+  EXPECT_EQ(f.at(-1, 2), -f.at(0, 2));
+  EXPECT_EQ(f.at(4, 1), -f.at(3, 1));
+  // Face value (average of ghost and first interior) vanishes.
+  EXPECT_NEAR((f.at(-1, 2) + f.at(0, 2)) / 2.0, 0.0, 1e-15);
+}
+
+TEST(Rhs, ZeroStateHasZeroRhs) {
+  const EulerConfig cfg = small_config(8);
+  EulerState state(8), out(8);
+  apply_boundary(state);
+  compute_rhs(state, cfg, out);
+  for (int j = 0; j < 8; ++j) {
+    for (int i = 0; i < 8; ++i) {
+      EXPECT_EQ(out.rho.at(i, j), 0.0);
+      EXPECT_EQ(out.p.at(i, j), 0.0);
+    }
+  }
+}
+
+TEST(Rhs, PressureGradientAcceleratesFluid) {
+  // A pressure bump at rest must create velocity divergence away from it:
+  // du/dt < 0 left of the bump center, > 0 right of it (pressure pushes out).
+  EulerConfig cfg = small_config(16);
+  cfg.dissipation = 0.0;
+  EulerState state = make_initial_state(cfg);
+  EulerState out(16);
+  compute_rhs(state, cfg, out);
+  const int c = cfg.n / 2;
+  EXPECT_GT(out.u.at(c + 3, c), 0.0);
+  EXPECT_LT(out.u.at(c - 4, c), 0.0);
+  EXPECT_GT(out.v.at(c, c + 3), 0.0);
+  EXPECT_LT(out.v.at(c, c - 4), 0.0);
+}
+
+TEST(Integrator, PulseStaysSymmetricUnderRK4) {
+  // The centered Gaussian is symmetric under x <-> y and under reflection;
+  // the discrete solution must preserve that (to rounding).
+  EulerConfig cfg = small_config(32);
+  EulerState state = make_initial_state(cfg);
+  Integrator rk4(cfg, Scheme::kRK4);
+  for (int s = 0; s < 20; ++s) rk4.step(state, cfg.dt());
+  const int n = cfg.n;
+  for (int j = 0; j < n; ++j) {
+    for (int i = 0; i < n; ++i) {
+      // Reflection symmetry of pressure.
+      EXPECT_NEAR(state.p.at(i, j), state.p.at(n - 1 - i, j), 1e-10);
+      EXPECT_NEAR(state.p.at(i, j), state.p.at(i, n - 1 - j), 1e-10);
+      // x/y transpose symmetry couples u and v.
+      EXPECT_NEAR(state.u.at(i, j), state.v.at(j, i), 1e-10);
+    }
+  }
+}
+
+TEST(Integrator, EnergyDoesNotBlowUp) {
+  EulerConfig cfg = small_config(32);
+  EulerState state = make_initial_state(cfg);
+  const double e0 = acoustic_energy(state, cfg);
+  Integrator rk4(cfg, Scheme::kRK4);
+  for (int s = 0; s < 200; ++s) rk4.step(state, cfg.dt());
+  const double e1 = acoustic_energy(state, cfg);
+  EXPECT_LT(e1, e0 * 1.05);  // dissipation + outflow: no growth
+  EXPECT_GE(e1, 0.0);
+}
+
+TEST(Integrator, WaveFrontMovesAtSoundSpeed) {
+  // After time t, the pressure ring should sit near radius c*t.
+  EulerConfig cfg = small_config(128);
+  cfg.dissipation = 0.01;
+  EulerState state = make_initial_state(cfg);
+  Integrator rk4(cfg, Scheme::kRK4);
+  const double dt = cfg.dt();
+  const int steps = 100;  // long enough for the ring to leave the 2-d wake
+  for (int s = 0; s < steps; ++s) rk4.step(state, dt);
+  const double t = steps * dt;
+  const double expected_r = cfg.sound_speed() * t;
+
+  // Find the radius of maximum |p| along the +x centerline, outside the
+  // central wake region.
+  const int cj = cfg.n / 2;
+  double best_r = 0.0, best_p = -1.0;
+  for (int i = cfg.n / 2; i < cfg.n; ++i) {
+    const double r = cell_center(cfg, i);
+    if (r < 0.5) continue;
+    const double p = std::abs(state.p.at(i, cj));
+    if (p > best_p) {
+      best_p = p;
+      best_r = r;
+    }
+  }
+  EXPECT_NEAR(best_r, expected_r, 0.31);  // within a pulse width
+}
+
+TEST(Integrator, TemporalConvergenceOrders) {
+  // Against a tiny-step RK4 reference, Euler is ~1st order, Heun ~2nd.
+  EulerConfig cfg = small_config(24);
+  cfg.dissipation = 0.0;
+  const double t_end = 0.2;
+
+  auto solve = [&](Scheme scheme, int steps) {
+    EulerState s = make_initial_state(cfg);
+    Integrator integ(cfg, scheme);
+    const double dt = t_end / steps;
+    for (int k = 0; k < steps; ++k) integ.step(s, dt);
+    return s;
+  };
+  auto error_vs = [&](const EulerState& a, const EulerState& b) {
+    double e = 0.0;
+    for (int j = 0; j < cfg.n; ++j) {
+      for (int i = 0; i < cfg.n; ++i) {
+        e = std::max(e, std::abs(a.p.at(i, j) - b.p.at(i, j)));
+      }
+    }
+    return e;
+  };
+
+  const EulerState ref = solve(Scheme::kRK4, 400);
+  const double euler_coarse = error_vs(solve(Scheme::kEuler, 50), ref);
+  const double euler_fine = error_vs(solve(Scheme::kEuler, 100), ref);
+  const double heun_coarse = error_vs(solve(Scheme::kHeun, 50), ref);
+  const double heun_fine = error_vs(solve(Scheme::kHeun, 100), ref);
+
+  const double euler_order = std::log2(euler_coarse / euler_fine);
+  const double heun_order = std::log2(heun_coarse / heun_fine);
+  EXPECT_NEAR(euler_order, 1.0, 0.35);
+  EXPECT_GT(heun_order, 1.6);
+}
+
+TEST(StateToTensor, ChannelLayoutAndBackground) {
+  EulerConfig cfg = small_config(8);
+  EulerState state(8);
+  state.p.at(2, 3) = 0.5;
+  state.rho.at(2, 3) = 0.25;
+  state.u.at(2, 3) = -1.0;
+  state.v.at(2, 3) = 2.0;
+  const Tensor with_bg = state_to_tensor(state, cfg, true);
+  EXPECT_EQ(with_bg.shape(), (Shape{4, 8, 8}));
+  // Tensor layout is [channel, row=j, col=i].
+  EXPECT_FLOAT_EQ(with_bg.at(kPressure, 3, 2), 1.5f);
+  EXPECT_FLOAT_EQ(with_bg.at(kDensity, 3, 2), 1.25f);
+  EXPECT_FLOAT_EQ(with_bg.at(kVelX, 3, 2), -1.0f);
+  EXPECT_FLOAT_EQ(with_bg.at(kVelY, 3, 2), 2.0f);
+  const Tensor no_bg = state_to_tensor(state, cfg, false);
+  EXPECT_FLOAT_EQ(no_bg.at(kPressure, 3, 2), 0.5f);
+  EXPECT_FLOAT_EQ(no_bg.at(kDensity, 3, 2), 0.25f);
+}
+
+TEST(Simulate, ProducesRequestedFrames) {
+  EulerConfig cfg = small_config(16);
+  SimulateOptions opts;
+  opts.num_frames = 12;
+  opts.steps_per_frame = 2;
+  const SimulationResult result = simulate(cfg, opts);
+  EXPECT_EQ(result.frames.size(), 12u);
+  EXPECT_EQ(result.frames.front().shape(), (Shape{4, 16, 16}));
+  EXPECT_NEAR(result.frame_dt, 2 * cfg.dt(), 1e-12);
+  // The field evolves: consecutive frames differ.
+  double diff = 0.0;
+  for (std::int64_t i = 0; i < result.frames[0].size(); ++i) {
+    diff = std::max(diff, std::abs(static_cast<double>(result.frames[0][i]) -
+                                   result.frames[5][i]));
+  }
+  EXPECT_GT(diff, 1e-3);
+}
+
+TEST(Simulate, RejectsBadOptions) {
+  const EulerConfig cfg = small_config(8);
+  SimulateOptions opts;
+  opts.num_frames = 1;
+  EXPECT_THROW(simulate(cfg, opts), std::invalid_argument);
+  opts.num_frames = 5;
+  opts.steps_per_frame = 0;
+  EXPECT_THROW(simulate(cfg, opts), std::invalid_argument);
+}
+
+TEST(Energy, ZeroStateHasZeroEnergy) {
+  const EulerConfig cfg = small_config(8);
+  EXPECT_EQ(acoustic_energy(EulerState(8), cfg), 0.0);
+}
+
+}  // namespace
+}  // namespace parpde::euler

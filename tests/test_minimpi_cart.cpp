@@ -1,0 +1,129 @@
+// Cartesian topology: dims_create factorization, coordinate mapping, and
+// neighbor resolution with kProcNull at the non-periodic boundary.
+
+#include <gtest/gtest.h>
+
+#include "minimpi/cart.hpp"
+#include "minimpi/environment.hpp"
+
+namespace parpde::mpi {
+namespace {
+
+TEST(DimsCreate, BalancedFactorizations) {
+  EXPECT_EQ(dims_create(1).px, 1);
+  EXPECT_EQ(dims_create(1).py, 1);
+  EXPECT_EQ(dims_create(4).px, 2);
+  EXPECT_EQ(dims_create(4).py, 2);
+  EXPECT_EQ(dims_create(8).px, 4);
+  EXPECT_EQ(dims_create(8).py, 2);
+  EXPECT_EQ(dims_create(64).px, 8);
+  EXPECT_EQ(dims_create(64).py, 8);
+  EXPECT_EQ(dims_create(12).px, 4);
+  EXPECT_EQ(dims_create(12).py, 3);
+}
+
+TEST(DimsCreate, PrimeFallsBackToStrip) {
+  EXPECT_EQ(dims_create(7).px, 7);
+  EXPECT_EQ(dims_create(7).py, 1);
+}
+
+TEST(DimsCreate, ProductAlwaysMatches) {
+  for (int n = 1; n <= 100; ++n) {
+    const Dims d = dims_create(n);
+    EXPECT_EQ(d.px * d.py, n) << n;
+    EXPECT_GE(d.px, d.py) << n;
+  }
+}
+
+TEST(DimsCreate, RejectsNonPositive) {
+  EXPECT_THROW(dims_create(0), std::invalid_argument);
+}
+
+TEST(Direction, OppositePairs) {
+  EXPECT_EQ(opposite(Direction::kWest), Direction::kEast);
+  EXPECT_EQ(opposite(Direction::kEast), Direction::kWest);
+  EXPECT_EQ(opposite(Direction::kNorth), Direction::kSouth);
+  EXPECT_EQ(opposite(Direction::kSouth), Direction::kNorth);
+}
+
+TEST(CartComm, CoordinatesRoundtrip) {
+  Environment env(6);
+  env.run([](Communicator& comm) {
+    CartComm cart(comm, 3, 2);
+    EXPECT_EQ(cart.rank_of(cart.cx(), cart.cy()), comm.rank());
+    EXPECT_EQ(cart.cx(), comm.rank() % 3);
+    EXPECT_EQ(cart.cy(), comm.rank() / 3);
+  });
+}
+
+TEST(CartComm, RejectsMismatchedGrid) {
+  Environment env(4);
+  env.run([](Communicator& comm) {
+    EXPECT_THROW(CartComm(comm, 3, 2), std::invalid_argument);
+  });
+}
+
+TEST(CartComm, BoundaryNeighborsAreProcNull) {
+  Environment env(4);
+  env.run([](Communicator& comm) {
+    CartComm cart(comm, 2, 2);
+    if (cart.cx() == 0) EXPECT_EQ(cart.neighbor(Direction::kWest), kProcNull);
+    if (cart.cx() == 1) EXPECT_EQ(cart.neighbor(Direction::kEast), kProcNull);
+    if (cart.cy() == 0) EXPECT_EQ(cart.neighbor(Direction::kSouth), kProcNull);
+    if (cart.cy() == 1) EXPECT_EQ(cart.neighbor(Direction::kNorth), kProcNull);
+  });
+}
+
+TEST(CartComm, NeighborsAreMutual) {
+  Environment env(12);
+  env.run([](Communicator& comm) {
+    CartComm cart(comm, 4, 3);
+    for (const Direction d : kAllDirections) {
+      const int nb = cart.neighbor(d);
+      if (nb == kProcNull) continue;
+      // Rebuild the neighbor's view and check it points back.
+      const int ncx = nb % 4;
+      const int ncy = nb / 4;
+      int back = kProcNull;
+      switch (opposite(d)) {
+        case Direction::kWest:
+          back = (ncx - 1 >= 0) ? ncy * 4 + (ncx - 1) : kProcNull;
+          break;
+        case Direction::kEast:
+          back = (ncx + 1 < 4) ? ncy * 4 + (ncx + 1) : kProcNull;
+          break;
+        case Direction::kSouth:
+          back = (ncy - 1 >= 0) ? (ncy - 1) * 4 + ncx : kProcNull;
+          break;
+        case Direction::kNorth:
+          back = (ncy + 1 < 3) ? (ncy + 1) * 4 + ncx : kProcNull;
+          break;
+      }
+      EXPECT_EQ(back, comm.rank());
+    }
+  });
+}
+
+TEST(CartComm, NeighborExchangeDeliversCorrectValues) {
+  // Each rank sends its rank id to each existing neighbor and checks what it
+  // receives against the topology.
+  Environment env(9);
+  env.run([](Communicator& comm) {
+    CartComm cart(comm, 3, 3);
+    for (const Direction d : kAllDirections) {
+      comm.send_value<int>(cart.neighbor(d), 100 + static_cast<int>(d),
+                           comm.rank());
+    }
+    for (const Direction d : kAllDirections) {
+      const int nb = cart.neighbor(d);
+      if (nb == kProcNull) continue;
+      // The neighbor sent toward us with the opposite direction tag.
+      const int got =
+          comm.recv_value<int>(nb, 100 + static_cast<int>(opposite(d)));
+      EXPECT_EQ(got, nb);
+    }
+  });
+}
+
+}  // namespace
+}  // namespace parpde::mpi

@@ -1,0 +1,143 @@
+// Collective operations across a sweep of rank counts (parameterized),
+// including non-power-of-two sizes that exercise the binomial-tree edge
+// cases.
+
+#include <gtest/gtest.h>
+
+#include "minimpi/collectives.hpp"
+#include "minimpi/environment.hpp"
+
+namespace parpde::mpi {
+namespace {
+
+class Collectives : public ::testing::TestWithParam<int> {};
+
+TEST_P(Collectives, BarrierSynchronizesPhases) {
+  const int ranks = GetParam();
+  Environment env(ranks);
+  std::atomic<int> phase_one{0};
+  std::atomic<bool> violated{false};
+  env.run([&](Communicator& comm) {
+    phase_one.fetch_add(1);
+    barrier(comm);
+    // After the barrier every rank must observe all arrivals.
+    if (phase_one.load() != comm.size()) violated.store(true);
+  });
+  EXPECT_FALSE(violated.load());
+}
+
+TEST_P(Collectives, BcastFromEveryRoot) {
+  const int ranks = GetParam();
+  Environment env(ranks);
+  env.run([&](Communicator& comm) {
+    for (int root = 0; root < comm.size(); ++root) {
+      std::vector<int> data;
+      if (comm.rank() == root) data = {root * 3, root * 3 + 1, root * 3 + 2};
+      bcast(comm, data, root);
+      ASSERT_EQ(data.size(), 3u);
+      EXPECT_EQ(data[0], root * 3);
+      EXPECT_EQ(data[2], root * 3 + 2);
+    }
+  });
+}
+
+TEST_P(Collectives, ReduceSumAtRoot) {
+  const int ranks = GetParam();
+  Environment env(ranks);
+  env.run([&](Communicator& comm) {
+    std::vector<double> contribution = {static_cast<double>(comm.rank() + 1),
+                                        1.0};
+    reduce<double>(comm, contribution, ReduceOp::kSum, /*root=*/0);
+    if (comm.rank() == 0) {
+      const double n = comm.size();
+      EXPECT_DOUBLE_EQ(contribution[0], n * (n + 1) / 2.0);
+      EXPECT_DOUBLE_EQ(contribution[1], n);
+    }
+  });
+}
+
+TEST_P(Collectives, AllreduceSumVisibleEverywhere) {
+  const int ranks = GetParam();
+  Environment env(ranks);
+  env.run([&](Communicator& comm) {
+    std::vector<float> v = {static_cast<float>(comm.rank()), 2.0f};
+    allreduce<float>(comm, v, ReduceOp::kSum);
+    const float n = static_cast<float>(comm.size());
+    EXPECT_FLOAT_EQ(v[0], n * (n - 1) / 2.0f);
+    EXPECT_FLOAT_EQ(v[1], 2.0f * n);
+  });
+}
+
+TEST_P(Collectives, AllreduceMinMax) {
+  const int ranks = GetParam();
+  Environment env(ranks);
+  env.run([&](Communicator& comm) {
+    std::vector<int> lo = {comm.rank() + 10};
+    allreduce<int>(comm, lo, ReduceOp::kMin);
+    EXPECT_EQ(lo[0], 10);
+    std::vector<int> hi = {comm.rank() + 10};
+    allreduce<int>(comm, hi, ReduceOp::kMax);
+    EXPECT_EQ(hi[0], comm.size() + 9);
+  });
+}
+
+TEST_P(Collectives, GatherConcatenatesInRankOrder) {
+  const int ranks = GetParam();
+  Environment env(ranks);
+  env.run([&](Communicator& comm) {
+    // Variable-length blocks: rank r contributes r+1 values of value r.
+    std::vector<int> mine(static_cast<std::size_t>(comm.rank() + 1), comm.rank());
+    const auto all = gather<int>(comm, mine, /*root=*/0);
+    if (comm.rank() != 0) {
+      EXPECT_TRUE(all.empty());
+      return;
+    }
+    std::size_t offset = 0;
+    for (int r = 0; r < comm.size(); ++r) {
+      for (int i = 0; i <= r; ++i) {
+        ASSERT_LT(offset, all.size());
+        EXPECT_EQ(all[offset++], r);
+      }
+    }
+    EXPECT_EQ(offset, all.size());
+  });
+}
+
+TEST_P(Collectives, AllgatherGivesEveryoneEverything) {
+  const int ranks = GetParam();
+  Environment env(ranks);
+  env.run([&](Communicator& comm) {
+    std::vector<int> mine = {comm.rank() * 2};
+    const auto all = allgather<int>(comm, mine);
+    ASSERT_EQ(all.size(), static_cast<std::size_t>(comm.size()));
+    for (int r = 0; r < comm.size(); ++r) EXPECT_EQ(all[r], r * 2);
+  });
+}
+
+TEST_P(Collectives, RepeatedCollectivesDoNotCrossTalk) {
+  const int ranks = GetParam();
+  Environment env(ranks);
+  env.run([&](Communicator& comm) {
+    for (int round = 0; round < 5; ++round) {
+      std::vector<int> v = {round + comm.rank()};
+      allreduce<int>(comm, v, ReduceOp::kMax);
+      EXPECT_EQ(v[0], round + comm.size() - 1);
+      barrier(comm);
+    }
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(RankSweep, Collectives,
+                         ::testing::Values(1, 2, 3, 4, 5, 7, 8, 16));
+
+TEST(Collectives, LargePayloadAllreduce) {
+  Environment env(4);
+  env.run([](Communicator& comm) {
+    std::vector<float> v(10000, 1.0f);
+    allreduce<float>(comm, v, ReduceOp::kSum);
+    for (const float x : v) EXPECT_FLOAT_EQ(x, 4.0f);
+  });
+}
+
+}  // namespace
+}  // namespace parpde::mpi

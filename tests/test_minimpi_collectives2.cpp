@@ -1,0 +1,134 @@
+// The second collective family: scatter, scan, alltoall, sendrecv — across a
+// rank-count sweep.
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "minimpi/collectives.hpp"
+#include "minimpi/environment.hpp"
+
+namespace parpde::mpi {
+namespace {
+
+class Collectives2 : public ::testing::TestWithParam<int> {};
+
+TEST_P(Collectives2, ScatterDistributesEqualBlocks) {
+  const int ranks = GetParam();
+  Environment env(ranks);
+  env.run([&](Communicator& comm) {
+    std::vector<int> data;
+    if (comm.rank() == 0) {
+      data.resize(static_cast<std::size_t>(comm.size()) * 3);
+      std::iota(data.begin(), data.end(), 0);
+    }
+    const auto mine = scatter<int>(comm, data, /*root=*/0);
+    ASSERT_EQ(mine.size(), 3u);
+    for (int i = 0; i < 3; ++i) EXPECT_EQ(mine[i], comm.rank() * 3 + i);
+  });
+}
+
+TEST_P(Collectives2, ScatterFromNonZeroRoot) {
+  const int ranks = GetParam();
+  if (ranks < 2) GTEST_SKIP();
+  Environment env(ranks);
+  env.run([&](Communicator& comm) {
+    const int root = comm.size() - 1;
+    std::vector<int> data;
+    if (comm.rank() == root) {
+      data.resize(static_cast<std::size_t>(comm.size()), 0);
+      for (int r = 0; r < comm.size(); ++r) data[static_cast<std::size_t>(r)] = r * 7;
+    }
+    const auto mine = scatter<int>(comm, data, root);
+    ASSERT_EQ(mine.size(), 1u);
+    EXPECT_EQ(mine[0], comm.rank() * 7);
+  });
+}
+
+TEST(Collectives2, ScatterRejectsIndivisibleSize) {
+  // Only the root participates: the validation throws before anything is
+  // sent, so no other rank may be blocked in a matching receive.
+  Environment env(3);
+  EXPECT_THROW(env.run([](Communicator& comm) {
+    if (comm.rank() != 0) return;
+    const std::vector<int> data = {1, 2, 3, 4};  // not divisible by 3
+    scatter<int>(comm, data, 0);
+  }),
+               std::invalid_argument);
+}
+
+TEST_P(Collectives2, InclusiveScanComputesPrefixSums) {
+  const int ranks = GetParam();
+  Environment env(ranks);
+  env.run([&](Communicator& comm) {
+    std::vector<int> v = {comm.rank() + 1, 10};
+    scan<int>(comm, v, ReduceOp::kSum);
+    const int r = comm.rank() + 1;
+    EXPECT_EQ(v[0], r * (r + 1) / 2);  // 1 + 2 + ... + (rank+1)
+    EXPECT_EQ(v[1], 10 * (comm.rank() + 1));
+  });
+}
+
+TEST_P(Collectives2, ScanWithMaxIsRunningMaximum) {
+  const int ranks = GetParam();
+  Environment env(ranks);
+  env.run([&](Communicator& comm) {
+    // Values descend with rank: running max stays at rank 0's value.
+    std::vector<int> v = {100 - comm.rank()};
+    scan<int>(comm, v, ReduceOp::kMax);
+    EXPECT_EQ(v[0], 100);
+  });
+}
+
+TEST_P(Collectives2, AlltoallTransposesBlocks) {
+  const int ranks = GetParam();
+  Environment env(ranks);
+  env.run([&](Communicator& comm) {
+    // Block for destination d = rank * 100 + d.
+    std::vector<int> data(static_cast<std::size_t>(comm.size()));
+    for (int d = 0; d < comm.size(); ++d) {
+      data[static_cast<std::size_t>(d)] = comm.rank() * 100 + d;
+    }
+    const auto out = alltoall<int>(comm, data);
+    ASSERT_EQ(out.size(), static_cast<std::size_t>(comm.size()));
+    for (int s = 0; s < comm.size(); ++s) {
+      EXPECT_EQ(out[static_cast<std::size_t>(s)], s * 100 + comm.rank());
+    }
+  });
+}
+
+TEST_P(Collectives2, SendrecvRingShift) {
+  const int ranks = GetParam();
+  Environment env(ranks);
+  env.run([&](Communicator& comm) {
+    const int next = (comm.rank() + 1) % comm.size();
+    const int prev = (comm.rank() + comm.size() - 1) % comm.size();
+    const std::vector<int> mine = {comm.rank() * 2};
+    const auto got = sendrecv<int>(comm, next, mine, prev);
+    ASSERT_EQ(got.size(), 1u);
+    EXPECT_EQ(got[0], prev * 2);
+  });
+}
+
+TEST(Collectives2, SendrecvWithNullPeers) {
+  Environment env(2);
+  env.run([](Communicator& comm) {
+    const std::vector<int> payload = {comm.rank()};
+    if (comm.rank() == 0) {
+      // Send into the void, receive from rank 1.
+      const auto got = sendrecv<int>(comm, kProcNull, payload, 1);
+      ASSERT_EQ(got.size(), 1u);
+      EXPECT_EQ(got[0], 1);
+    } else {
+      // Send to rank 0, receive nothing.
+      const auto got = sendrecv<int>(comm, 0, payload, kProcNull);
+      EXPECT_TRUE(got.empty());
+    }
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(RankSweep, Collectives2,
+                         ::testing::Values(1, 2, 3, 5, 8));
+
+}  // namespace
+}  // namespace parpde::mpi

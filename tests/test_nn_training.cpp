@@ -1,0 +1,256 @@
+// Losses, optimizers (including the exact ADAM update of Eqs. (3)-(6)), model
+// checkpointing, and end-to-end "loss goes down" training checks.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "helpers.hpp"
+#include "nn/activation.hpp"
+#include "nn/conv2d.hpp"
+#include "nn/loss.hpp"
+#include "nn/optimizer.hpp"
+#include "nn/sequential.hpp"
+#include "nn/serialize.hpp"
+#include "util/random.hpp"
+
+namespace parpde::nn {
+namespace {
+
+using parpde::testing::expect_tensors_close;
+using parpde::testing::expect_tensors_equal;
+
+TEST(Loss, MSEKnownValue) {
+  const Tensor pred = Tensor::from({2}, {1.0f, 3.0f});
+  const Tensor target = Tensor::from({2}, {0.0f, 1.0f});
+  EXPECT_DOUBLE_EQ(MSELoss{}.compute(pred, target, nullptr), (1.0 + 4.0) / 2.0);
+}
+
+TEST(Loss, MAEKnownValue) {
+  const Tensor pred = Tensor::from({2}, {1.0f, -3.0f});
+  const Tensor target = Tensor::from({2}, {0.0f, 1.0f});
+  EXPECT_DOUBLE_EQ(MAELoss{}.compute(pred, target, nullptr), (1.0 + 4.0) / 2.0);
+}
+
+TEST(Loss, MAPEKnownValueMatchesEq7) {
+  // Eq. (7): 100%/m * sum |(pred - target)/target|.
+  const Tensor pred = Tensor::from({2}, {1.1f, 1.8f});
+  const Tensor target = Tensor::from({2}, {1.0f, 2.0f});
+  EXPECT_NEAR(MAPELoss{}.compute(pred, target, nullptr),
+              100.0 / 2.0 * (0.1 / 1.0 + 0.2 / 2.0), 1e-4);
+}
+
+TEST(Loss, MAPEStabilizedAtZeroTarget) {
+  const Tensor pred = Tensor::from({1}, {0.5f});
+  const Tensor target = Tensor::from({1}, {0.0f});
+  const double loss = MAPELoss{/*eps=*/1.0}.compute(pred, target, nullptr);
+  EXPECT_NEAR(loss, 100.0 * 0.5, 1e-5);  // denominator floored at eps = 1
+}
+
+TEST(Loss, ZeroAtPerfectPrediction) {
+  const Tensor t = Tensor::from({3}, {1.0f, 2.0f, 3.0f});
+  EXPECT_DOUBLE_EQ(MSELoss{}.compute(t, t, nullptr), 0.0);
+  EXPECT_DOUBLE_EQ(MAELoss{}.compute(t, t, nullptr), 0.0);
+  EXPECT_DOUBLE_EQ(MAPELoss{}.compute(t, t, nullptr), 0.0);
+}
+
+TEST(Loss, ShapeMismatchThrows) {
+  EXPECT_THROW(MSELoss{}.compute(Tensor({2}), Tensor({3}), nullptr),
+               std::invalid_argument);
+}
+
+TEST(Loss, FactoryResolvesNames) {
+  EXPECT_EQ(make_loss("mape")->name(), "mape");
+  EXPECT_EQ(make_loss("mse")->name(), "mse");
+  EXPECT_EQ(make_loss("mae")->name(), "mae");
+  EXPECT_THROW(make_loss("huber"), std::invalid_argument);
+}
+
+// A single scalar parameter wrapped as a module-free param list.
+struct ScalarParam {
+  Tensor value{Shape{1}};
+  Tensor grad{Shape{1}};
+  std::vector<ParamRef> refs() { return {{&value, &grad, "w"}}; }
+};
+
+TEST(SGD, PlainStepIsGradientDescent) {
+  ScalarParam p;
+  p.value[0] = 1.0f;
+  p.grad[0] = 0.5f;
+  SGD opt(p.refs(), /*lr=*/0.1);
+  opt.step();
+  EXPECT_NEAR(p.value[0], 1.0f - 0.1f * 0.5f, 1e-6);
+}
+
+TEST(SGD, MomentumAccumulates) {
+  ScalarParam p;
+  p.value[0] = 0.0f;
+  SGD opt(p.refs(), /*lr=*/1.0, /*momentum=*/0.5);
+  p.grad[0] = 1.0f;
+  opt.step();  // v = 1, w = -1
+  EXPECT_NEAR(p.value[0], -1.0f, 1e-6);
+  opt.step();  // v = 0.5 * 1 + 1 = 1.5, w = -2.5
+  EXPECT_NEAR(p.value[0], -2.5f, 1e-6);
+}
+
+TEST(SGD, RejectsBadHyperparameters) {
+  ScalarParam p;
+  EXPECT_THROW(SGD(p.refs(), 0.0), std::invalid_argument);
+  EXPECT_THROW(SGD(p.refs(), 0.1, 1.0), std::invalid_argument);
+}
+
+TEST(Adam, FirstStepMatchesHandComputation) {
+  // With g constant: m = (1-b1) g, v = (1-b2) g^2; after bias correction
+  // mhat = g, vhat = g^2, so the first update is -lr * g / (|g| + eps).
+  ScalarParam p;
+  p.value[0] = 1.0f;
+  p.grad[0] = 0.3f;
+  const double lr = 0.01;
+  Adam opt(p.refs(), lr);
+  opt.step();
+  EXPECT_NEAR(p.value[0], 1.0f - lr * 0.3 / (0.3 + 1e-8), 1e-6);
+  EXPECT_EQ(opt.step_count(), 1);
+}
+
+TEST(Adam, SecondStepMatchesHandComputation) {
+  const double b1 = 0.9, b2 = 0.999, lr = 0.01, eps = 1e-8;
+  const double g = 0.3;
+  ScalarParam p;
+  p.value[0] = 1.0f;
+  p.grad[0] = static_cast<float>(g);
+  Adam opt(p.refs(), lr, b1, b2, eps);
+  opt.step();
+  opt.step();
+  // Hand-rolled Eqs. (3)-(6), two steps with constant gradient.
+  double m = 0, v = 0, w = 1.0;
+  for (int t = 1; t <= 2; ++t) {
+    m = b1 * m + (1 - b1) * g;
+    v = b2 * v + (1 - b2) * g * g;
+    const double mhat = m / (1 - std::pow(b1, t));
+    const double vhat = v / (1 - std::pow(b2, t));
+    w -= lr * mhat / (std::sqrt(vhat) + eps);
+  }
+  EXPECT_NEAR(p.value[0], w, 1e-6);
+}
+
+TEST(Adam, InvariantToGradientScale) {
+  // ADAM's update magnitude is ~lr regardless of gradient scale (for a
+  // constant gradient) — the normalization property of Eq. (6).
+  auto run = [](float g) {
+    ScalarParam p;
+    p.value[0] = 0.0f;
+    p.grad[0] = g;
+    Adam opt(p.refs(), 0.01);
+    opt.step();
+    return p.value[0];
+  };
+  EXPECT_NEAR(run(0.001f), run(100.0f), 1e-5);
+}
+
+TEST(Adam, RejectsBadHyperparameters) {
+  ScalarParam p;
+  EXPECT_THROW(Adam(p.refs(), -1.0), std::invalid_argument);
+  EXPECT_THROW(Adam(p.refs(), 0.1, 1.0, 0.9), std::invalid_argument);
+}
+
+TEST(Optimizer, FactoryResolvesNames) {
+  ScalarParam p;
+  EXPECT_EQ(make_optimizer("adam", p.refs(), 0.1)->name(), "adam");
+  EXPECT_EQ(make_optimizer("sgd", p.refs(), 0.1)->name(), "sgd");
+  EXPECT_EQ(make_optimizer("momentum", p.refs(), 0.1)->name(), "sgd+momentum");
+  EXPECT_THROW(make_optimizer("lbfgs", p.refs(), 0.1), std::invalid_argument);
+}
+
+TEST(Optimizer, ZeroGradClears) {
+  ScalarParam p;
+  p.grad[0] = 3.0f;
+  SGD opt(p.refs(), 0.1);
+  opt.zero_grad();
+  EXPECT_EQ(p.grad[0], 0.0f);
+}
+
+// End-to-end: a small conv net fits a linear target map (blur) from random
+// inputs; all three optimizers must reduce the loss substantially.
+double train_small_net(const std::string& optimizer, const std::string& loss,
+                       int steps, double lr) {
+  util::Rng rng(123);
+  Sequential model;
+  model.emplace<Conv2d>(1, 4, 3).init(rng);
+  model.emplace<LeakyReLU>(0.01f);
+  model.emplace<Conv2d>(4, 1, 3).init(rng);
+
+  // Target operator: 3x3 mean blur of the input (same padding).
+  Conv2d blur(1, 1, 3);
+  blur.weight().fill(1.0f / 9.0f);
+  blur.bias().fill(0.0f);
+
+  Tensor x({8, 1, 8, 8});
+  rng.fill_uniform(x.values(), 0.5f, 1.5f);
+  const Tensor y = blur.forward(x);
+
+  auto loss_fn = make_loss(loss);
+  auto opt = make_optimizer(optimizer, model.parameters(), lr);
+  double first = 0.0, last = 0.0;
+  for (int s = 0; s < steps; ++s) {
+    opt->zero_grad();
+    const Tensor pred = model.forward(x);
+    Tensor grad;
+    last = loss_fn->compute(pred, y, &grad);
+    if (s == 0) first = last;
+    model.backward(grad);
+    opt->step();
+  }
+  EXPECT_LT(last, first);
+  return last / first;
+}
+
+TEST(Training, AdamFitsBlurOperator) {
+  EXPECT_LT(train_small_net("adam", "mse", 150, 0.01), 0.05);
+}
+
+TEST(Training, SGDFitsBlurOperator) {
+  EXPECT_LT(train_small_net("sgd", "mse", 150, 0.05), 0.5);
+}
+
+TEST(Training, MomentumFitsBlurOperator) {
+  EXPECT_LT(train_small_net("momentum", "mse", 150, 0.01), 0.5);
+}
+
+TEST(Training, MAPELossAlsoConverges) {
+  EXPECT_LT(train_small_net("adam", "mape", 150, 0.01), 0.3);
+}
+
+TEST(Serialize, CheckpointRoundtripRestoresOutputs) {
+  util::Rng rng(77);
+  Sequential model;
+  model.emplace<Conv2d>(2, 3, 3).init(rng);
+  model.emplace<LeakyReLU>(0.01f);
+  model.emplace<Conv2d>(3, 2, 3).init(rng);
+
+  Tensor x({1, 2, 6, 6});
+  rng.fill_uniform(x.values(), -1.0f, 1.0f);
+  const Tensor y_before = model.forward(x);
+
+  std::stringstream ss;
+  save_parameters(ss, model);
+
+  // Clobber the weights, then restore.
+  for (auto& p : model.parameters()) p.value->fill(0.0f);
+  load_parameters(ss, model);
+  expect_tensors_equal(model.forward(x), y_before);
+}
+
+TEST(Serialize, CountMismatchThrows) {
+  util::Rng rng(78);
+  Sequential small;
+  small.emplace<Conv2d>(1, 1, 3).init(rng);
+  Sequential big;
+  big.emplace<Conv2d>(1, 1, 3).init(rng);
+  big.emplace<Conv2d>(1, 1, 3).init(rng);
+  std::stringstream ss;
+  save_parameters(ss, small);
+  EXPECT_THROW(load_parameters(ss, big), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace parpde::nn

@@ -1,0 +1,150 @@
+// Distributed Euler solver: bit-level agreement with the serial solver,
+// topology sweeps, communication accounting, and physical invariants.
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "euler/initial.hpp"
+#include "euler/integrator.hpp"
+#include "euler/parallel_solver.hpp"
+#include "helpers.hpp"
+#include "minimpi/environment.hpp"
+
+namespace parpde::euler {
+namespace {
+
+// Runs the serial solver for `steps` and exports the frame.
+Tensor serial_solution(const EulerConfig& config, int steps) {
+  EulerState state = make_initial_state(config);
+  Integrator rk4(config, Scheme::kRK4);
+  for (int s = 0; s < steps; ++s) rk4.step(state, config.dt());
+  return state_to_tensor(state, config, /*include_background=*/false);
+}
+
+class SolverTopologies
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(SolverTopologies, MatchesSerialSolver) {
+  const auto [px, py, steps] = GetParam();
+  EulerConfig config;
+  config.n = 24;
+  const int ranks = px * py;
+  const domain::Partition part(config.n, config.n, px, py);
+
+  Tensor parallel_frame;
+  mpi::Environment env(ranks);
+  env.run([&](mpi::Communicator& comm) {
+    mpi::CartComm cart(comm, px, py);
+    ParallelEulerSolver solver(cart, part, config);
+    solver.initialize();
+    for (int s = 0; s < steps; ++s) solver.step(config.dt());
+    Tensor full = solver.gather(/*include_background=*/false);
+    if (comm.rank() == 0) parallel_frame = std::move(full);
+  });
+
+  const Tensor expected = serial_solution(config, steps);
+  // Same discretization, same arithmetic per point: agreement to float
+  // rounding of the export path.
+  parpde::testing::expect_tensors_close(parallel_frame, expected, 1e-6, 1e-5);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, SolverTopologies,
+                         ::testing::Values(std::tuple{1, 1, 5},
+                                           std::tuple{2, 1, 5},
+                                           std::tuple{2, 2, 5},
+                                           std::tuple{3, 2, 8},
+                                           std::tuple{4, 4, 3},
+                                           std::tuple{1, 4, 6}));
+
+TEST(ParallelSolver, InitialConditionMatchesSerial) {
+  EulerConfig config;
+  config.n = 16;
+  const domain::Partition part(16, 16, 2, 2);
+  Tensor frame;
+  mpi::Environment env(4);
+  env.run([&](mpi::Communicator& comm) {
+    mpi::CartComm cart(comm, 2, 2);
+    ParallelEulerSolver solver(cart, part, config);
+    solver.initialize();
+    Tensor full = solver.gather(false);
+    if (comm.rank() == 0) frame = std::move(full);
+  });
+  const EulerState state = make_initial_state(config);
+  parpde::testing::expect_tensors_close(
+      frame, state_to_tensor(state, config, false), 1e-7, 1e-6);
+}
+
+TEST(ParallelSolver, GhostTrafficScalesWithPerimeter) {
+  EulerConfig config;
+  config.n = 32;
+  const domain::Partition part(32, 32, 2, 2);
+  std::vector<std::uint64_t> bytes(4, 0);
+  mpi::Environment env(4);
+  env.run([&](mpi::Communicator& comm) {
+    mpi::CartComm cart(comm, 2, 2);
+    ParallelEulerSolver solver(cart, part, config);
+    solver.initialize();
+    comm.reset_counters();
+    solver.step(config.dt());
+    bytes[static_cast<std::size_t>(comm.rank())] = comm.bytes_sent();
+  });
+  // Per RK4 step: 4 stages x 4 fields x 2 edges (corner block) x 16 doubles.
+  const std::uint64_t expected = 4ull * 4 * 2 * 16 * sizeof(double);
+  for (const auto b : bytes) EXPECT_EQ(b, expected);
+}
+
+TEST(ParallelSolver, CommTimerAdvances) {
+  EulerConfig config;
+  config.n = 16;
+  const domain::Partition part(16, 16, 2, 1);
+  mpi::Environment env(2);
+  env.run([&](mpi::Communicator& comm) {
+    mpi::CartComm cart(comm, 2, 1);
+    ParallelEulerSolver solver(cart, part, config);
+    solver.initialize();
+    solver.step(config.dt());
+    EXPECT_GT(solver.comm_seconds(), 0.0);
+  });
+}
+
+TEST(ParallelSolver, RejectsMismatchedPartition) {
+  EulerConfig config;
+  config.n = 16;
+  const domain::Partition part(8, 8, 2, 2);  // wrong grid
+  mpi::Environment env(4);
+  EXPECT_THROW(env.run([&](mpi::Communicator& comm) {
+    mpi::CartComm cart(comm, 2, 2);
+    ParallelEulerSolver solver(cart, part, config);
+  }),
+               std::invalid_argument);
+}
+
+TEST(ParallelSolver, EnergyStaysBounded) {
+  EulerConfig config;
+  config.n = 24;
+  const domain::Partition part(24, 24, 2, 2);
+  mpi::Environment env(4);
+  Tensor first, last;
+  env.run([&](mpi::Communicator& comm) {
+    mpi::CartComm cart(comm, 2, 2);
+    ParallelEulerSolver solver(cart, part, config);
+    solver.initialize();
+    Tensor f0 = solver.gather(false);
+    for (int s = 0; s < 50; ++s) solver.step(config.dt());
+    Tensor f1 = solver.gather(false);
+    if (comm.rank() == 0) {
+      first = std::move(f0);
+      last = std::move(f1);
+    }
+  });
+  double peak0 = 0.0, peak1 = 0.0;
+  for (std::int64_t i = 0; i < first.size(); ++i) {
+    peak0 = std::max(peak0, std::abs(static_cast<double>(first[i])));
+    peak1 = std::max(peak1, std::abs(static_cast<double>(last[i])));
+  }
+  EXPECT_LE(peak1, peak0 * 1.1);
+}
+
+}  // namespace
+}  // namespace parpde::euler

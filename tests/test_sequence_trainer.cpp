@@ -1,0 +1,81 @@
+// SequenceTrainer (ConvLSTM extension): window construction, training
+// convergence on the PDE sequence, and autoregressive rollout.
+
+#include <gtest/gtest.h>
+
+#include "core/metrics.hpp"
+#include "core/sequence_trainer.hpp"
+#include "data/normalizer.hpp"
+#include "euler/simulate.hpp"
+
+namespace parpde::core {
+namespace {
+
+std::vector<Tensor> normalized_frames(int n, int frames) {
+  euler::EulerConfig ec;
+  ec.n = n;
+  euler::SimulateOptions opts;
+  opts.num_frames = frames;
+  opts.steps_per_frame = 6;
+  auto sim = euler::simulate(ec, opts);
+  const auto norm = data::ChannelNormalizer::fit(
+      std::span<const Tensor>(sim.frames.data(), sim.frames.size()));
+  std::vector<Tensor> out;
+  for (const auto& f : sim.frames) out.push_back(norm.apply(f));
+  return out;
+}
+
+SequenceConfig tiny_config() {
+  SequenceConfig cfg;
+  cfg.hidden_channels = 6;
+  cfg.kernel = 3;
+  cfg.window = 4;
+  cfg.epochs = 6;
+  cfg.learning_rate = 1e-2;
+  return cfg;
+}
+
+TEST(SequenceTrainer, RejectsBadArguments) {
+  SequenceConfig cfg = tiny_config();
+  cfg.window = 1;
+  EXPECT_THROW(SequenceTrainer(cfg, 4), std::invalid_argument);
+
+  SequenceTrainer trainer(tiny_config(), 4);
+  const auto frames = normalized_frames(12, 6);
+  EXPECT_THROW(trainer.train(frames, 3), std::invalid_argument);   // < window+1
+  EXPECT_THROW(trainer.train(frames, 99), std::invalid_argument);  // too many
+}
+
+TEST(SequenceTrainer, LossDecreasesOverEpochs) {
+  const auto frames = normalized_frames(12, 14);
+  SequenceTrainer trainer(tiny_config(), 4);
+  const TrainResult result = trainer.train(frames, 12);
+  ASSERT_EQ(result.epochs.size(), 6u);
+  EXPECT_LT(result.final_loss(), result.epochs.front().loss);
+}
+
+TEST(SequenceTrainer, RolloutProducesFrames) {
+  const auto frames = normalized_frames(12, 14);
+  SequenceTrainer trainer(tiny_config(), 4);
+  trainer.train(frames, 12);
+  const std::vector<Tensor> warmup(frames.begin(), frames.begin() + 4);
+  const auto rollout = trainer.rollout(warmup, 3);
+  ASSERT_EQ(rollout.size(), 3u);
+  for (const auto& f : rollout) {
+    EXPECT_EQ(f.shape(), (Shape{4, 12, 12}));
+    for (std::int64_t i = 0; i < f.size(); ++i) {
+      ASSERT_TRUE(std::isfinite(f[i]));
+    }
+  }
+  EXPECT_THROW(trainer.rollout({}, 2), std::invalid_argument);
+}
+
+TEST(SequenceTrainer, ModelIsTheConfiguredCell) {
+  SequenceConfig cfg = tiny_config();
+  cfg.hidden_channels = 9;
+  SequenceTrainer trainer(cfg, 4);
+  EXPECT_EQ(trainer.model().hidden_channels(), 9);
+}
+
+}  // namespace
+}  // namespace parpde::core

@@ -1,0 +1,155 @@
+// Stress and cross-cutting property tests: randomized point-to-point message
+// storms, repeated environment reuse, parallel dataset generation vs serial,
+// and decomposition/training property sweeps across border modes.
+
+#include <gtest/gtest.h>
+
+#include "core/parallel_trainer.hpp"
+#include "euler/simulate.hpp"
+#include "helpers.hpp"
+#include "minimpi/collectives.hpp"
+#include "minimpi/environment.hpp"
+#include "util/random.hpp"
+
+namespace parpde {
+namespace {
+
+TEST(Stress, RandomizedManyToManyTrafficDeliversEverything) {
+  // Every rank sends a random number of tagged messages to random peers; the
+  // expected multiset of (source, tag, value) is announced via a first pass,
+  // then everything is received and checked. Exercises matching under load.
+  constexpr int kRanks = 8;
+  constexpr int kMessagesPerRank = 50;
+  mpi::Environment env(kRanks);
+  env.run([&](mpi::Communicator& comm) {
+    util::Rng rng(1000 + static_cast<std::uint64_t>(comm.rank()));
+    // counts[d] = how many payloads this rank will send to d.
+    std::vector<int> counts(kRanks, 0);
+    std::vector<std::pair<int, int>> plan;  // (dest, value)
+    for (int m = 0; m < kMessagesPerRank; ++m) {
+      const int dest = static_cast<int>(rng.index(kRanks));
+      const int value = comm.rank() * 1000 + m;
+      ++counts[static_cast<std::size_t>(dest)];
+      plan.emplace_back(dest, value);
+    }
+    // Announce counts so receivers know what to expect.
+    for (int d = 0; d < kRanks; ++d) {
+      comm.send_value<int>(d, /*tag=*/1, counts[static_cast<std::size_t>(d)]);
+    }
+    // Fire the payload storm (tag 2), interleaved with receiving.
+    for (const auto& [dest, value] : plan) {
+      comm.send_value<int>(dest, /*tag=*/2, value);
+    }
+    int expected = 0;
+    for (int s = 0; s < kRanks; ++s) expected += comm.recv_value<int>(s, 1);
+    std::vector<int> received;
+    for (int m = 0; m < expected; ++m) {
+      received.push_back(comm.recv_value<int>(mpi::kAnySource, 2));
+    }
+    EXPECT_EQ(static_cast<int>(received.size()), expected);
+    // Values from one sender arrive in order (non-overtaking per source/tag).
+    std::vector<int> last_seen(kRanks, -1);
+    for (const int v : received) {
+      const int src = v / 1000;
+      EXPECT_GT(v % 1000, last_seen[static_cast<std::size_t>(src)]);
+      last_seen[static_cast<std::size_t>(src)] = v % 1000;
+    }
+  });
+}
+
+TEST(Stress, EnvironmentSurvivesManySequentialRuns) {
+  mpi::Environment env(4);
+  for (int round = 0; round < 25; ++round) {
+    env.run([round](mpi::Communicator& comm) {
+      std::vector<int> v = {comm.rank() + round};
+      mpi::allreduce<int>(comm, v, mpi::ReduceOp::kSum);
+      EXPECT_EQ(v[0], 6 + 4 * round);
+    });
+  }
+}
+
+TEST(Stress, CollectivesInterleavedWithP2P) {
+  mpi::Environment env(6);
+  env.run([](mpi::Communicator& comm) {
+    const int next = (comm.rank() + 1) % comm.size();
+    const int prev = (comm.rank() + comm.size() - 1) % comm.size();
+    for (int round = 0; round < 10; ++round) {
+      comm.send_value<int>(next, 7, comm.rank() * round);
+      std::vector<int> v = {1};
+      mpi::allreduce<int>(comm, v, mpi::ReduceOp::kSum);
+      EXPECT_EQ(v[0], comm.size());
+      EXPECT_EQ(comm.recv_value<int>(prev, 7), prev * round);
+      mpi::barrier(comm);
+    }
+  });
+}
+
+TEST(ParallelSimulate, MatchesSerialDatasetGeneration) {
+  euler::EulerConfig config;
+  config.n = 20;
+  euler::SimulateOptions opts;
+  opts.num_frames = 6;
+  opts.steps_per_frame = 3;
+  const auto serial = euler::simulate(config, opts);
+  const auto parallel = euler::simulate_parallel(config, opts, 4);
+  ASSERT_EQ(parallel.frames.size(), serial.frames.size());
+  EXPECT_DOUBLE_EQ(parallel.frame_dt, serial.frame_dt);
+  for (std::size_t f = 0; f < serial.frames.size(); ++f) {
+    SCOPED_TRACE("frame " + std::to_string(f));
+    parpde::testing::expect_tensors_close(parallel.frames[f], serial.frames[f],
+                                          1e-6, 1e-5);
+  }
+}
+
+TEST(ParallelSimulate, WorksWithStripTopology) {
+  euler::EulerConfig config;
+  config.n = 18;
+  euler::SimulateOptions opts;
+  opts.num_frames = 4;
+  const auto serial = euler::simulate(config, opts);
+  const auto parallel = euler::simulate_parallel(config, opts, 3);  // 3x1
+  for (std::size_t f = 0; f < serial.frames.size(); ++f) {
+    parpde::testing::expect_tensors_close(parallel.frames[f], serial.frames[f],
+                                          1e-6, 1e-5);
+  }
+}
+
+// Property sweep: every border mode trains and yields finite losses across
+// rank counts.
+class BorderModeSweep
+    : public ::testing::TestWithParam<std::tuple<core::BorderMode, int>> {};
+
+TEST_P(BorderModeSweep, TrainsWithFiniteLoss) {
+  const auto [mode, ranks] = GetParam();
+  euler::EulerConfig ec;
+  ec.n = 24;
+  euler::SimulateOptions opts;
+  opts.num_frames = 9;
+  auto sim = euler::simulate(ec, opts);
+  const data::FrameDataset ds(std::move(sim.frames));
+
+  core::TrainConfig cfg;
+  cfg.network.channels = {4, 6, 4};
+  cfg.network.kernel = 3;
+  cfg.border = mode;
+  cfg.loss = "mse";
+  cfg.epochs = 2;
+  cfg.batch_size = 4;
+  const core::ParallelTrainer trainer(cfg, ranks);
+  const auto report = trainer.train(ds, core::ExecutionMode::kIsolated);
+  for (const auto& outcome : report.rank_outcomes) {
+    EXPECT_TRUE(std::isfinite(outcome.result.final_loss()));
+    EXPECT_GT(outcome.result.final_loss(), 0.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, BorderModeSweep,
+    ::testing::Combine(::testing::Values(core::BorderMode::kZeroPad,
+                                         core::BorderMode::kHaloPad,
+                                         core::BorderMode::kValidInner,
+                                         core::BorderMode::kDeconv),
+                       ::testing::Values(1, 2, 4)));
+
+}  // namespace
+}  // namespace parpde

@@ -1,0 +1,220 @@
+// Parameterized property sweeps across the library: conv gradchecks over
+// layer geometries, optimizer x loss convergence, Euler CFL stability, and
+// warm-start (resume) training.
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "core/checkpoint.hpp"
+#include "core/parallel_trainer.hpp"
+#include "euler/initial.hpp"
+#include "euler/integrator.hpp"
+#include "euler/simulate.hpp"
+#include "helpers.hpp"
+#include "nn/activation.hpp"
+#include "nn/conv2d.hpp"
+#include "nn/loss.hpp"
+#include "nn/optimizer.hpp"
+
+namespace parpde {
+namespace {
+
+using testing::expect_tensors_close;
+using testing::numeric_gradient;
+
+// ---------------------------------------------------------------- conv sweep
+
+class ConvGradSweep
+    : public ::testing::TestWithParam<std::tuple<int, int, int, int>> {};
+
+TEST_P(ConvGradSweep, AnalyticMatchesNumeric) {
+  const auto [cin, cout, kernel, pad] = GetParam();
+  util::Rng rng(static_cast<std::uint64_t>(cin * 1000 + cout * 100 +
+                                           kernel * 10 + pad));
+  nn::Conv2d conv(cin, cout, kernel, pad);
+  conv.init(rng);
+  const std::int64_t n = kernel + 3;
+  Tensor x({1, cin, n, n});
+  rng.fill_uniform(x.values(), -1.0f, 1.0f);
+  Tensor g({1, cout, n + 2 * pad - kernel + 1, n + 2 * pad - kernel + 1});
+  rng.fill_uniform(g.values(), -1.0f, 1.0f);
+
+  conv.zero_grad();
+  conv.forward(x);
+  const Tensor dx = conv.backward(g);
+
+  auto dot = [&](const Tensor& a, const Tensor& b) {
+    double acc = 0.0;
+    for (std::int64_t i = 0; i < a.size(); ++i) {
+      acc += static_cast<double>(a[i]) * b[i];
+    }
+    return acc;
+  };
+  auto objective = [&] { return dot(conv.forward(x), g); };
+  expect_tensors_close(dx, numeric_gradient(objective, x), 3e-3, 3e-2);
+  for (auto& p : conv.parameters()) {
+    SCOPED_TRACE(p.name);
+    expect_tensors_close(*p.grad, numeric_gradient(objective, *p.value), 3e-3,
+                         3e-2);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, ConvGradSweep,
+    ::testing::Values(std::tuple{1, 1, 1, 0}, std::tuple{1, 2, 3, 0},
+                      std::tuple{2, 1, 3, 1}, std::tuple{3, 2, 5, 2},
+                      std::tuple{2, 3, 5, 0}, std::tuple{1, 4, 3, 2},
+                      std::tuple{4, 4, 1, 1}));
+
+// ------------------------------------------------------ optimizer/loss sweep
+
+class OptimizerLossSweep
+    : public ::testing::TestWithParam<std::tuple<const char*, const char*>> {};
+
+TEST_P(OptimizerLossSweep, ReducesLossOnRegression) {
+  const auto [optimizer, loss] = GetParam();
+  util::Rng rng(99);
+  nn::Sequential model;
+  model.emplace<nn::Conv2d>(1, 4, 3).init(rng);
+  model.emplace<nn::LeakyReLU>(0.01f);
+  model.emplace<nn::Conv2d>(4, 1, 3).init(rng);
+
+  Tensor x({6, 1, 6, 6});
+  rng.fill_uniform(x.values(), 0.5f, 1.5f);
+  // Target: shifted copy of the input (a local linear map).
+  Tensor y = x;
+  for (std::int64_t i = 0; i < y.size(); ++i) y[i] = 0.5f * y[i] + 0.25f;
+
+  auto loss_fn = nn::make_loss(loss);
+  // Loss-appropriate learning rates (MAPE gradients are ~100x larger).
+  const double lr = std::string(loss) == "mape" ? 1e-3 : 1e-2;
+  auto opt = nn::make_optimizer(optimizer, model.parameters(), lr);
+  double first = 0.0, last = 0.0;
+  for (int s = 0; s < 60; ++s) {
+    opt->zero_grad();
+    Tensor grad;
+    last = loss_fn->compute(model.forward(x), y, &grad);
+    if (s == 0) first = last;
+    model.backward(grad);
+    opt->step();
+  }
+  EXPECT_TRUE(std::isfinite(last));
+  EXPECT_LT(last, first * 0.9) << optimizer << "/" << loss;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, OptimizerLossSweep,
+    ::testing::Combine(::testing::Values("adam", "sgd", "momentum"),
+                       ::testing::Values("mse", "mae", "mape")));
+
+// ----------------------------------------------------------- CFL stability
+
+class CflSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(CflSweep, StableBelowLimit) {
+  euler::EulerConfig cfg;
+  cfg.n = 24;
+  cfg.cfl = GetParam();
+  euler::EulerState state = euler::make_initial_state(cfg);
+  euler::Integrator rk4(cfg, euler::Scheme::kRK4);
+  for (int s = 0; s < 100; ++s) rk4.step(state, cfg.dt());
+  double peak = 0.0;
+  for (int j = 0; j < cfg.n; ++j) {
+    for (int i = 0; i < cfg.n; ++i) {
+      peak = std::max(peak, std::abs(state.p.at(i, j)));
+    }
+  }
+  EXPECT_TRUE(std::isfinite(peak));
+  EXPECT_LT(peak, cfg.pulse_amplitude * 2.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Range, CflSweep, ::testing::Values(0.1, 0.3, 0.5, 0.8));
+
+// ------------------------------------------------------------- warm start
+
+TEST(WarmStart, ResumedTrainingContinuesFromCheckpoint) {
+  euler::EulerConfig ec;
+  ec.n = 16;
+  euler::SimulateOptions opts;
+  opts.num_frames = 11;
+  auto sim = euler::simulate(ec, opts);
+  const data::FrameDataset ds(std::move(sim.frames));
+
+  core::TrainConfig cfg;
+  cfg.network.channels = {4, 6, 4};
+  cfg.network.kernel = 3;
+  cfg.border = core::BorderMode::kZeroPad;
+  cfg.loss = "mse";
+  cfg.epochs = 10;  // long enough that phase 1 is clearly below a fresh init
+  cfg.batch_size = 4;
+  const core::ParallelTrainer trainer(cfg, 4);
+  const auto phase1 = trainer.train(ds, core::ExecutionMode::kIsolated);
+
+  // Resume: the first epoch of phase 2 must start near phase 1's final loss,
+  // far below a fresh initialization's first epoch.
+  core::TrainConfig cfg2 = cfg;
+  cfg2.epochs = 3;
+  const core::ParallelTrainer trainer2(cfg2, 4);
+  const auto phase2 =
+      trainer2.train(ds, core::ExecutionMode::kIsolated, &phase1);
+  const auto fresh = trainer2.train(ds, core::ExecutionMode::kIsolated);
+  for (int r = 0; r < 4; ++r) {
+    const double resumed_first =
+        phase2.rank_outcomes[static_cast<std::size_t>(r)].result.epochs.front().loss;
+    const double fresh_first =
+        fresh.rank_outcomes[static_cast<std::size_t>(r)].result.epochs.front().loss;
+    EXPECT_LT(resumed_first, fresh_first * 0.8) << "rank " << r;
+    // And it keeps improving.
+    EXPECT_LE(
+        phase2.rank_outcomes[static_cast<std::size_t>(r)].result.final_loss(),
+        resumed_first * 1.05);
+  }
+}
+
+TEST(WarmStart, SurvivesCheckpointRoundtrip) {
+  euler::EulerConfig ec;
+  ec.n = 16;
+  euler::SimulateOptions opts;
+  opts.num_frames = 9;
+  auto sim = euler::simulate(ec, opts);
+  const data::FrameDataset ds(std::move(sim.frames));
+
+  core::TrainConfig cfg;
+  cfg.network.channels = {4, 6, 4};
+  cfg.network.kernel = 3;
+  cfg.border = core::BorderMode::kZeroPad;
+  cfg.loss = "mse";
+  cfg.epochs = 2;
+  const core::ParallelTrainer trainer(cfg, 2);
+  const auto phase1 = trainer.train(ds, core::ExecutionMode::kIsolated);
+
+  std::stringstream ss;
+  core::write_ensemble(ss, core::make_checkpoint(cfg, phase1));
+  const auto restored = core::read_ensemble(ss);
+  const auto phase2 =
+      trainer.train(ds, core::ExecutionMode::kIsolated, &restored.report);
+  EXPECT_LT(phase2.mean_final_loss(), phase1.mean_final_loss() * 1.5);
+}
+
+TEST(WarmStart, RejectsMismatchedTopology) {
+  euler::EulerConfig ec;
+  ec.n = 16;
+  euler::SimulateOptions opts;
+  opts.num_frames = 9;
+  auto sim = euler::simulate(ec, opts);
+  const data::FrameDataset ds(std::move(sim.frames));
+
+  core::TrainConfig cfg;
+  cfg.network.channels = {4, 6, 4};
+  cfg.network.kernel = 3;
+  cfg.epochs = 1;
+  const auto two = core::ParallelTrainer(cfg, 2).train(
+      ds, core::ExecutionMode::kIsolated);
+  const core::ParallelTrainer four(cfg, 4);
+  EXPECT_THROW(four.train(ds, core::ExecutionMode::kIsolated, &two),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace parpde

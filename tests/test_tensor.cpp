@@ -1,0 +1,184 @@
+// Unit tests for the tensor container, elementwise ops, spatial helpers, and
+// serialization.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "helpers.hpp"
+#include "tensor/ops.hpp"
+#include "tensor/serialize.hpp"
+#include "tensor/tensor.hpp"
+
+namespace parpde {
+namespace {
+
+using testing::expect_tensors_equal;
+
+TEST(Shape, Numel) {
+  EXPECT_EQ(numel({2, 3, 4}), 24);
+  EXPECT_EQ(numel({5}), 5);
+  EXPECT_EQ(numel({}), 0);
+  EXPECT_THROW(numel({2, -1}), std::invalid_argument);
+}
+
+TEST(Shape, ToString) {
+  EXPECT_EQ(shape_to_string({1, 4, 8, 8}), "[1, 4, 8, 8]");
+  EXPECT_EQ(shape_to_string({}), "[]");
+}
+
+TEST(Tensor, ConstructZeroInitialized) {
+  Tensor t({2, 3});
+  EXPECT_EQ(t.size(), 6);
+  EXPECT_EQ(t.ndim(), 2);
+  for (std::int64_t i = 0; i < t.size(); ++i) EXPECT_EQ(t[i], 0.0f);
+}
+
+TEST(Tensor, FullAndFill) {
+  Tensor t = Tensor::full({2, 2}, 3.5f);
+  EXPECT_EQ(t[0], 3.5f);
+  t.fill(-1.0f);
+  EXPECT_EQ(t[3], -1.0f);
+}
+
+TEST(Tensor, FromRejectsSizeMismatch) {
+  EXPECT_THROW(Tensor::from({2, 2}, {1.0f, 2.0f}), std::invalid_argument);
+}
+
+TEST(Tensor, AccessorsNCHW) {
+  Tensor t({2, 3, 4, 5});
+  t.at(1, 2, 3, 4) = 7.0f;
+  EXPECT_EQ(t[((1 * 3 + 2) * 4 + 3) * 5 + 4], 7.0f);
+}
+
+TEST(Tensor, AccessorsCHW) {
+  Tensor t({3, 4, 5});
+  t.at(2, 3, 4) = 9.0f;
+  EXPECT_EQ(t[(2 * 4 + 3) * 5 + 4], 9.0f);
+}
+
+TEST(Tensor, ReshapePreservesData) {
+  Tensor t = Tensor::from({2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor r = t.reshaped({3, 2});
+  EXPECT_EQ(r.at(2, 1), 6.0f);
+  EXPECT_THROW(t.reshape({4, 2}), std::invalid_argument);
+}
+
+TEST(Ops, AddSubMul) {
+  const Tensor a = Tensor::from({3}, {1, 2, 3});
+  const Tensor b = Tensor::from({3}, {10, 20, 30});
+  expect_tensors_equal(ops::add(a, b), Tensor::from({3}, {11, 22, 33}));
+  expect_tensors_equal(ops::sub(b, a), Tensor::from({3}, {9, 18, 27}));
+  expect_tensors_equal(ops::mul(a, b), Tensor::from({3}, {10, 40, 90}));
+}
+
+TEST(Ops, ShapeMismatchThrows) {
+  const Tensor a({2});
+  const Tensor b({3});
+  EXPECT_THROW(ops::add(a, b), std::invalid_argument);
+}
+
+TEST(Ops, AxpyAndScale) {
+  Tensor a = Tensor::from({3}, {1, 1, 1});
+  const Tensor b = Tensor::from({3}, {1, 2, 3});
+  ops::axpy(a, 2.0f, b);
+  expect_tensors_equal(a, Tensor::from({3}, {3, 5, 7}));
+  ops::scale(a, 0.5f);
+  expect_tensors_equal(a, Tensor::from({3}, {1.5, 2.5, 3.5}));
+}
+
+TEST(Ops, Reductions) {
+  const Tensor a = Tensor::from({4}, {1, -2, 3, -4});
+  EXPECT_DOUBLE_EQ(ops::sum(a), -2.0);
+  EXPECT_DOUBLE_EQ(ops::mean(a), -0.5);
+  EXPECT_DOUBLE_EQ(ops::max_abs(a), 4.0);
+  EXPECT_NEAR(ops::rms(a), std::sqrt(30.0 / 4.0), 1e-6);
+}
+
+TEST(Ops, L2Distance) {
+  const Tensor a = Tensor::from({2}, {0, 3});
+  const Tensor b = Tensor::from({2}, {4, 0});
+  EXPECT_DOUBLE_EQ(ops::l2_distance(a, b), 5.0);
+}
+
+TEST(Ops, PadNCHW) {
+  const Tensor x = Tensor::from({1, 1, 2, 2}, {1, 2, 3, 4});
+  const Tensor p = ops::pad_nchw(x, 1, 9.0f);
+  EXPECT_EQ(p.shape(), (Shape{1, 1, 4, 4}));
+  EXPECT_EQ(p.at(0, 0, 0, 0), 9.0f);
+  EXPECT_EQ(p.at(0, 0, 1, 1), 1.0f);
+  EXPECT_EQ(p.at(0, 0, 2, 2), 4.0f);
+  EXPECT_EQ(p.at(0, 0, 3, 3), 9.0f);
+}
+
+TEST(Ops, CropInvertsPad) {
+  Tensor x({2, 3, 5, 6});
+  for (std::int64_t i = 0; i < x.size(); ++i) x[i] = static_cast<float>(i);
+  expect_tensors_equal(ops::crop_nchw(ops::pad_nchw(x, 2), 2), x);
+}
+
+TEST(Ops, SliceAndPasteRoundtrip) {
+  Tensor x({1, 2, 6, 6});
+  for (std::int64_t i = 0; i < x.size(); ++i) x[i] = static_cast<float>(i);
+  const Tensor window = ops::slice_hw(x, 1, 3, 2, 4);
+  EXPECT_EQ(window.shape(), (Shape{1, 2, 3, 4}));
+  EXPECT_EQ(window.at(0, 0, 0, 0), x.at(0, 0, 1, 2));
+  Tensor y({1, 2, 6, 6});
+  ops::paste_hw(y, window, 1, 2);
+  expect_tensors_equal(ops::slice_hw(y, 1, 3, 2, 4), window);
+}
+
+TEST(Ops, SliceOutOfRangeThrows) {
+  const Tensor x({1, 1, 4, 4});
+  EXPECT_THROW(ops::slice_hw(x, 2, 3, 0, 4), std::invalid_argument);
+  EXPECT_THROW(ops::slice_hw(x, 0, 0, 0, 4), std::invalid_argument);
+}
+
+TEST(Ops, SelectAndStackSamples) {
+  Tensor x({3, 2, 2, 2});
+  for (std::int64_t i = 0; i < x.size(); ++i) x[i] = static_cast<float>(i);
+  std::vector<Tensor> samples;
+  for (std::int64_t n = 0; n < 3; ++n) samples.push_back(ops::select_sample(x, n));
+  expect_tensors_equal(ops::stack_samples(samples), x);
+}
+
+TEST(Ops, StackRejectsInconsistentShapes) {
+  std::vector<Tensor> samples;
+  samples.emplace_back(Shape{1, 1, 2, 2});
+  samples.emplace_back(Shape{1, 1, 3, 3});
+  EXPECT_THROW(ops::stack_samples(samples), std::invalid_argument);
+}
+
+TEST(Serialize, StreamRoundtrip) {
+  Tensor t({2, 3, 4});
+  for (std::int64_t i = 0; i < t.size(); ++i) t[i] = 0.25f * static_cast<float>(i);
+  std::stringstream ss;
+  write_tensor(ss, t);
+  const Tensor back = read_tensor(ss);
+  expect_tensors_equal(back, t);
+}
+
+TEST(Serialize, DetectsBadMagic) {
+  std::stringstream ss;
+  ss << "not a tensor at all";
+  EXPECT_THROW(read_tensor(ss), std::runtime_error);
+}
+
+TEST(Serialize, DetectsTruncation) {
+  Tensor t({8});
+  std::stringstream ss;
+  write_tensor(ss, t);
+  const std::string full = ss.str();
+  std::stringstream truncated(full.substr(0, full.size() - 4));
+  EXPECT_THROW(read_tensor(truncated), std::runtime_error);
+}
+
+TEST(Serialize, FileRoundtrip) {
+  Tensor t = Tensor::from({2, 2}, {1, 2, 3, 4});
+  const std::string path = ::testing::TempDir() + "/parpde_tensor.bin";
+  save_tensor(path, t);
+  expect_tensors_equal(load_tensor(path), t);
+}
+
+}  // namespace
+}  // namespace parpde

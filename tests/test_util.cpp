@@ -1,0 +1,195 @@
+// Unit tests for the utility layer: options parsing, tables, statistics,
+// deterministic RNG streams, timers.
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "util/options.hpp"
+#include "util/random.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+namespace parpde::util {
+namespace {
+
+TEST(Options, ParsesKeyValueAndFlags) {
+  const char* argv[] = {"prog", "--grid=64", "--ranks=8", "--verbose",
+                        "positional", "--lr=0.5", "--name=halo-pad"};
+  Options opts(7, argv);
+  EXPECT_EQ(opts.get_int("grid", 0), 64);
+  EXPECT_EQ(opts.get_int("ranks", 0), 8);
+  EXPECT_TRUE(opts.get_bool("verbose", false));
+  EXPECT_DOUBLE_EQ(opts.get_double("lr", 0.0), 0.5);
+  EXPECT_EQ(opts.get_string("name", ""), "halo-pad");
+  ASSERT_EQ(opts.positional().size(), 1u);
+  EXPECT_EQ(opts.positional()[0], "positional");
+}
+
+TEST(Options, FallbacksWhenMissing) {
+  Options opts;
+  EXPECT_EQ(opts.get_int("missing", 7), 7);
+  EXPECT_DOUBLE_EQ(opts.get_double("missing", 2.5), 2.5);
+  EXPECT_FALSE(opts.get_bool("missing", false));
+  EXPECT_EQ(opts.get_string("missing", "x"), "x");
+  EXPECT_FALSE(opts.has("missing"));
+}
+
+TEST(Options, SetOverrides) {
+  Options opts;
+  opts.set("k", "3");
+  EXPECT_EQ(opts.get_int("k", 0), 3);
+  opts.set("k", "4");
+  EXPECT_EQ(opts.get_int("k", 0), 4);
+}
+
+TEST(Options, BoolSpellings) {
+  Options opts;
+  for (const char* v : {"true", "1", "yes", "on"}) {
+    opts.set("f", v);
+    EXPECT_TRUE(opts.get_bool("f", false)) << v;
+  }
+  opts.set("f", "false");
+  EXPECT_FALSE(opts.get_bool("f", true));
+}
+
+TEST(Table, AlignsAndCounts) {
+  Table t({"a", "long-column", "c"});
+  t.add_row({"1", "2", "3"});
+  t.add_row({"10", "20", "30"});
+  EXPECT_EQ(t.rows(), 2u);
+  const std::string s = t.to_string("title");
+  EXPECT_NE(s.find("title"), std::string::npos);
+  EXPECT_NE(s.find("long-column"), std::string::npos);
+  EXPECT_NE(s.find("30"), std::string::npos);
+}
+
+TEST(Table, RejectsWrongWidth) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), std::invalid_argument);
+}
+
+TEST(Table, CsvRoundtrip) {
+  Table t({"x", "y"});
+  t.add_row({"1", "2"});
+  EXPECT_EQ(t.to_csv(), "x,y\n1,2\n");
+}
+
+TEST(Table, NumberFormatting) {
+  EXPECT_EQ(Table::fmt(1.23456, 2), "1.23");
+  EXPECT_EQ(Table::fmt_sci(12345.0, 2), "1.23e+04");
+}
+
+TEST(RunningStat, BasicMoments) {
+  RunningStat s;
+  for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.stddev(), 2.13809, 1e-4);  // sample stddev
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStat, MergeMatchesCombined) {
+  RunningStat a, b, all;
+  for (int i = 0; i < 50; ++i) {
+    const double x = 0.37 * i - 3.0;
+    (i % 2 == 0 ? a : b).add(x);
+    all.add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-12);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(RunningStat, EmptyIsZero) {
+  RunningStat s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(Percentile, InterpolatesLinearly) {
+  std::vector<double> v = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(percentile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 1.0), 4.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 0.5), 2.5);
+}
+
+TEST(Percentile, ThrowsOnEmpty) {
+  EXPECT_THROW(percentile({}, 0.5), std::invalid_argument);
+}
+
+TEST(Rng, SameSeedSameStream) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(a.uniform(0, 1), b.uniform(0, 1));
+  }
+}
+
+TEST(Rng, ForkedStreamsDiffer) {
+  Rng base(7);
+  Rng a = base.fork(0);
+  Rng b = base.fork(1);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.uniform(0, 1) == b.uniform(0, 1)) ++equal;
+  }
+  EXPECT_LT(equal, 5);
+}
+
+TEST(Rng, ForkIsDeterministic) {
+  EXPECT_DOUBLE_EQ(Rng(9).fork(3).uniform(0, 1), Rng(9).fork(3).uniform(0, 1));
+}
+
+TEST(Rng, FillUniformWithinBounds) {
+  Rng rng(1);
+  std::vector<float> v(1000);
+  rng.fill_uniform(v, -2.0f, 3.0f);
+  for (const float x : v) {
+    EXPECT_GE(x, -2.0f);
+    EXPECT_LE(x, 3.0f);
+  }
+}
+
+TEST(Rng, FillNormalHasRoughMoments) {
+  Rng rng(2);
+  std::vector<float> v(20000);
+  rng.fill_normal(v, 1.0f, 2.0f);
+  RunningStat s;
+  for (const float x : v) s.add(x);
+  EXPECT_NEAR(s.mean(), 1.0, 0.1);
+  EXPECT_NEAR(s.stddev(), 2.0, 0.1);
+}
+
+TEST(Rng, IndexInRange) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(rng.index(17), 17u);
+}
+
+TEST(WallTimer, MeasuresElapsedTime) {
+  WallTimer t;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  const double s = t.seconds();
+  EXPECT_GE(s, 0.015);
+  EXPECT_LT(s, 5.0);
+  t.reset();
+  EXPECT_LT(t.seconds(), 0.015);
+}
+
+TEST(AccumulatingTimer, SumsWindows) {
+  AccumulatingTimer t;
+  t.add(0.5);
+  t.add(0.25);
+  EXPECT_DOUBLE_EQ(t.seconds(), 0.75);
+  t.reset();
+  EXPECT_DOUBLE_EQ(t.seconds(), 0.0);
+}
+
+}  // namespace
+}  // namespace parpde::util

@@ -1,0 +1,209 @@
+// Newer utility surface: ASCII field rendering, frame-file I/O, weighted MSE
+// loss, and early stopping in the network trainer.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <fstream>
+
+#include "core/trainer.hpp"
+#include "data/dataset.hpp"
+#include "euler/simulate.hpp"
+#include "helpers.hpp"
+#include "nn/loss.hpp"
+#include "util/ascii_plot.hpp"
+
+namespace parpde {
+namespace {
+
+Tensor ramp_frame(std::int64_t c, std::int64_t n) {
+  Tensor t({c, n, n});
+  for (std::int64_t i = 0; i < t.size(); ++i) {
+    t[i] = static_cast<float>(i) / static_cast<float>(t.size());
+  }
+  return t;
+}
+
+TEST(AsciiPlot, RendersExpectedGridSize) {
+  const Tensor frame = ramp_frame(2, 16);
+  util::AsciiPlotOptions opts;
+  opts.max_width = 8;
+  opts.max_height = 4;
+  const std::string s = util::render_field(frame, 0, opts);
+  // 4 rows of 8 characters + newlines.
+  EXPECT_EQ(s.size(), 4u * 9u);
+  EXPECT_EQ(std::count(s.begin(), s.end(), '\n'), 4);
+}
+
+TEST(AsciiPlot, ExtremesMapToRampEnds) {
+  Tensor frame({1, 2, 2});
+  frame[0] = 0.0f;
+  frame[1] = 0.0f;
+  frame[2] = 1.0f;
+  frame[3] = 1.0f;
+  util::AsciiPlotOptions opts;
+  opts.max_width = 2;
+  opts.max_height = 2;
+  const std::string s = util::render_field(frame, 0, opts);
+  EXPECT_EQ(s[0], ' ');   // minimum -> lightest
+  EXPECT_EQ(s[3], '@');   // maximum -> darkest
+}
+
+TEST(AsciiPlot, FixedRangeOverridesFieldRange) {
+  Tensor frame({1, 1, 1});
+  frame[0] = 0.5f;
+  util::AsciiPlotOptions opts;
+  opts.max_width = 1;
+  opts.max_height = 1;
+  opts.lo = 0.0;
+  opts.hi = 10.0;  // 0.5 is near the bottom of this range
+  const std::string s = util::render_field(frame, 0, opts);
+  EXPECT_EQ(s[0], ' ');
+}
+
+TEST(AsciiPlot, ComparisonContainsBothPanes) {
+  const Tensor target = ramp_frame(1, 8);
+  Tensor pred = target;
+  pred[10] += 0.5f;
+  const std::string s = util::render_comparison(pred, target, 0, "demo");
+  EXPECT_NE(s.find("demo"), std::string::npos);
+  EXPECT_NE(s.find("| prediction"), std::string::npos);
+}
+
+TEST(AsciiPlot, RejectsBadInput) {
+  EXPECT_THROW(util::render_field(Tensor({1, 2, 2}), 3), std::invalid_argument);
+  EXPECT_THROW(util::render_comparison(Tensor({1, 2, 2}), Tensor({1, 3, 3}), 0,
+                                       "x"),
+               std::invalid_argument);
+}
+
+TEST(FrameFiles, RoundtripPreservesFrames) {
+  std::vector<Tensor> frames;
+  for (int f = 0; f < 5; ++f) frames.push_back(ramp_frame(3, 6));
+  frames[2][7] = -4.5f;
+  const std::string path = ::testing::TempDir() + "/parpde_frames.ppfr";
+  data::save_frames(path, frames);
+  const auto loaded = data::load_frames(path);
+  ASSERT_EQ(loaded.size(), frames.size());
+  for (std::size_t i = 0; i < frames.size(); ++i) {
+    parpde::testing::expect_tensors_equal(loaded[i], frames[i]);
+  }
+}
+
+TEST(FrameFiles, RejectsGarbageFile) {
+  const std::string path = ::testing::TempDir() + "/parpde_garbage.ppfr";
+  {
+    std::ofstream out(path);
+    out << "not a frame file";
+  }
+  EXPECT_THROW(data::load_frames(path), std::runtime_error);
+  EXPECT_THROW(data::load_frames("/nonexistent.ppfr"), std::runtime_error);
+}
+
+TEST(WeightedMSE, EqualWeightsMatchPlainMSE) {
+  const Tensor pred = ramp_frame(2, 4);
+  Tensor target = ramp_frame(2, 4);
+  target[3] += 1.0f;
+  const nn::WeightedMSELoss wmse({1.0, 1.0});
+  const nn::MSELoss mse;
+  EXPECT_NEAR(wmse.compute(pred, target, nullptr),
+              mse.compute(pred, target, nullptr), 1e-9);
+}
+
+TEST(WeightedMSE, WeightsScaleChannelContributions) {
+  // Error only in channel 1: doubling its weight doubles the loss.
+  Tensor pred({2, 2, 2});
+  Tensor target({2, 2, 2});
+  for (std::int64_t i = 4; i < 8; ++i) pred[i] = 1.0f;
+  const double w1 = nn::WeightedMSELoss({1.0, 1.0}).compute(pred, target, nullptr);
+  const double w2 = nn::WeightedMSELoss({1.0, 2.0}).compute(pred, target, nullptr);
+  EXPECT_NEAR(w2, 2.0 * w1, 1e-9);
+  // Error in a zero-weighted channel vanishes.
+  EXPECT_EQ(nn::WeightedMSELoss({1.0, 0.0}).compute(pred, target, nullptr), 0.0);
+}
+
+TEST(WeightedMSE, GradientMatchesFiniteDifferences) {
+  util::Rng rng(4);
+  Tensor pred({1, 2, 3, 3});
+  Tensor target({1, 2, 3, 3});
+  rng.fill_uniform(pred.values(), -1.0f, 1.0f);
+  rng.fill_uniform(target.values(), -1.0f, 1.0f);
+  const nn::WeightedMSELoss loss({0.5, 3.0});
+  Tensor grad;
+  loss.compute(pred, target, &grad);
+  auto objective = [&] { return loss.compute(pred, target, nullptr); };
+  const Tensor grad_num = parpde::testing::numeric_gradient(objective, pred);
+  parpde::testing::expect_tensors_close(grad, grad_num, 2e-3, 2e-2);
+}
+
+TEST(WeightedMSE, RejectsBadConfiguration) {
+  EXPECT_THROW(nn::WeightedMSELoss({}), std::invalid_argument);
+  EXPECT_THROW(nn::WeightedMSELoss({-1.0}), std::invalid_argument);
+  const nn::WeightedMSELoss loss({1.0, 1.0});
+  EXPECT_THROW(loss.compute(Tensor({3, 2, 2}), Tensor({3, 2, 2}), nullptr),
+               std::invalid_argument);
+}
+
+core::TrainConfig small_config() {
+  core::TrainConfig cfg;
+  cfg.network.channels = {4, 6, 4};
+  cfg.network.kernel = 3;
+  cfg.border = core::BorderMode::kZeroPad;
+  cfg.loss = "mse";
+  cfg.epochs = 40;
+  cfg.batch_size = 4;
+  return cfg;
+}
+
+TEST(EarlyStopping, StopsBeforeEpochBudget) {
+  euler::EulerConfig ec;
+  ec.n = 12;
+  euler::SimulateOptions opts;
+  opts.num_frames = 9;
+  auto sim = euler::simulate(ec, opts);
+  const data::FrameDataset ds(std::move(sim.frames));
+  const auto split = ds.chronological_split(0.75);
+  const domain::Partition part(12, 12, 1, 1);
+
+  core::TrainConfig cfg = small_config();
+  cfg.early_stop_patience = 2;
+  cfg.early_stop_min_delta = 1e9;  // nothing can improve by this much
+  const auto task =
+      core::make_subdomain_task(ds.frames(), split.train, part.block(0, 0), cfg);
+  core::NetworkTrainer trainer(cfg, 0);
+  const auto result = trainer.train(task);
+  EXPECT_TRUE(result.stopped_early);
+  EXPECT_LT(result.epochs.size(), 40u);
+}
+
+TEST(EarlyStopping, TracksValidationLossAndBestEpoch) {
+  euler::EulerConfig ec;
+  ec.n = 12;
+  euler::SimulateOptions opts;
+  opts.num_frames = 11;
+  auto sim = euler::simulate(ec, opts);
+  const data::FrameDataset ds(std::move(sim.frames));
+  const auto split = ds.chronological_split(0.7);
+  const domain::Partition part(12, 12, 1, 1);
+
+  core::TrainConfig cfg = small_config();
+  cfg.epochs = 10;
+  cfg.early_stop_patience = 10;  // will not trigger; still tracks best
+  const auto task =
+      core::make_subdomain_task(ds.frames(), split.train, part.block(0, 0), cfg);
+  const auto val_task =
+      core::make_subdomain_task(ds.frames(), split.val, part.block(0, 0), cfg);
+  core::NetworkTrainer trainer(cfg, 0);
+  const auto result = trainer.train(task, &val_task);
+  ASSERT_EQ(result.epochs.size(), 10u);
+  for (const auto& e : result.epochs) EXPECT_GT(e.val_loss, 0.0);
+  EXPECT_GE(result.best_epoch, 0);
+}
+
+TEST(EarlyStopping, DisabledByDefault) {
+  const core::TrainConfig cfg;
+  EXPECT_EQ(cfg.early_stop_patience, 0);
+}
+
+}  // namespace
+}  // namespace parpde

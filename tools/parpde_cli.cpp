@@ -1,0 +1,257 @@
+// parpde command-line driver: runs the full pipeline of the paper as separate
+// stages connected by files, so datasets and trained ensembles can be reused
+// across processes.
+//
+//   parpde_cli simulate --pde=euler --grid=64 --frames=100 --out=frames.ppfr
+//   parpde_cli train    --data=frames.ppfr --ranks=4 --epochs=20 \
+//                       --out=model.ppde
+//   parpde_cli eval     --data=frames.ppfr --model=model.ppde
+//   parpde_cli rollout  --data=frames.ppfr --model=model.ppde --steps=5
+//   parpde_cli info     --model=model.ppde
+//   parpde_cli info     --data=frames.ppfr
+
+#include <cstdio>
+#include <string>
+
+#include "core/checkpoint.hpp"
+#include "core/inference.hpp"
+#include "core/metrics.hpp"
+#include "core/parallel_trainer.hpp"
+#include "data/dataset.hpp"
+#include "euler/simulate.hpp"
+#include "pde/advection.hpp"
+#include "util/ascii_plot.hpp"
+#include "util/options.hpp"
+#include "util/table.hpp"
+
+using namespace parpde;
+using namespace parpde::core;
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: parpde_cli <simulate|train|eval|rollout|info> [--flags]\n"
+               "  simulate --pde=euler|advection --grid=N --frames=N "
+               "[--steps-per-frame=N] --out=FILE\n"
+               "  train    --data=FILE --out=FILE [--ranks=N] [--epochs=N] "
+               "[--loss=mape|mse|mae] [--border=halo|zero|valid] [--lr=X]\n"
+               "  eval     --data=FILE --model=FILE [--train-fraction=X]\n"
+               "  rollout  --data=FILE --model=FILE [--steps=N] [--start=N] "
+               "[--render]\n"
+               "  info     --model=FILE | --data=FILE\n");
+  return 2;
+}
+
+std::string require(const util::Options& opts, const std::string& key) {
+  const std::string v = opts.get_string(key, "");
+  if (v.empty()) {
+    std::fprintf(stderr, "missing required --%s\n", key.c_str());
+    std::exit(2);
+  }
+  return v;
+}
+
+int cmd_simulate(const util::Options& opts) {
+  const std::string out = require(opts, "out");
+  const std::string pde = opts.get_string("pde", "euler");
+  const int frames = opts.get_int("frames", 100);
+  const int spf = opts.get_int("steps-per-frame", 4);
+  if (pde == "euler") {
+    euler::EulerConfig config;
+    config.n = opts.get_int("grid", 64);
+    euler::SimulateOptions sim_opts;
+    sim_opts.num_frames = frames;
+    sim_opts.steps_per_frame = spf;
+    const auto sim = euler::simulate(config, sim_opts);
+    data::save_frames(out, sim.frames);
+    std::printf("wrote %zu linearized-Euler frames (%dx%d, frame dt %.5f) to %s\n",
+                sim.frames.size(), config.n, config.n, sim.frame_dt,
+                out.c_str());
+  } else if (pde == "advection") {
+    pde::AdvectionConfig config;
+    config.n = opts.get_int("grid", 64);
+    const auto sim = pde::simulate_advection(config, frames, spf);
+    data::save_frames(out, sim.frames);
+    std::printf("wrote %zu advection-diffusion frames (%dx%d) to %s\n",
+                sim.frames.size(), config.n, config.n, out.c_str());
+  } else {
+    std::fprintf(stderr, "unknown --pde=%s\n", pde.c_str());
+    return 2;
+  }
+  return 0;
+}
+
+TrainConfig config_from_options(const util::Options& opts,
+                                std::int64_t channels) {
+  TrainConfig config;
+  if (channels != 4) {
+    // Keep the Table-I interior but adapt the input/output channel count to
+    // the dataset (e.g. the single-channel advection data).
+    config.network.channels = {channels, 6, 16, 6, channels};
+  }
+  config.border =
+      border_mode_from_string(opts.get_string("border", "halo-pad"));
+  config.loss = opts.get_string("loss", "mape");
+  config.optimizer = opts.get_string("optimizer", "adam");
+  config.learning_rate = opts.get_double("lr", 1e-2);
+  config.epochs = opts.get_int("epochs", 20);
+  config.batch_size = opts.get_int("batch-size", 16);
+  config.train_fraction = opts.get_double("train-fraction", 2.0 / 3.0);
+  return config;
+}
+
+int cmd_train(const util::Options& opts) {
+  const std::string data_path = require(opts, "data");
+  const std::string out = require(opts, "out");
+  const int ranks = opts.get_int("ranks", 4);
+  const data::FrameDataset dataset(data::load_frames(data_path));
+  const TrainConfig config = config_from_options(opts, dataset.channels());
+
+  std::printf("training %d subdomain networks on %lld pairs (%s, %s)...\n",
+              ranks, static_cast<long long>(dataset.num_pairs()),
+              config.loss.c_str(), border_mode_name(config.border).c_str());
+  const ParallelTrainer trainer(config, ranks);
+  const auto report = trainer.train(dataset, ExecutionMode::kConcurrent);
+
+  util::Table table({"rank", "final loss", "time [s]"});
+  for (const auto& outcome : report.rank_outcomes) {
+    table.add_row({std::to_string(outcome.rank),
+                   util::Table::fmt_sci(outcome.result.final_loss()),
+                   util::Table::fmt(outcome.result.seconds, 2)});
+  }
+  table.print("per-rank training:");
+  save_ensemble(out, make_checkpoint(config, report));
+  std::printf("saved ensemble to %s\n", out.c_str());
+  return 0;
+}
+
+// Rebuilds the minimal TrainConfig inference needs from a checkpoint.
+TrainConfig inference_config(const EnsembleCheckpoint& checkpoint) {
+  TrainConfig config;
+  config.network = checkpoint.network;
+  config.border = checkpoint.border;
+  return config;
+}
+
+int cmd_eval(const util::Options& opts) {
+  const auto checkpoint = load_ensemble(require(opts, "model"));
+  const data::FrameDataset dataset(data::load_frames(require(opts, "data")));
+  const double fraction = opts.get_double("train-fraction", 2.0 / 3.0);
+  const TrainConfig config = inference_config(checkpoint);
+  const SubdomainEnsemble ensemble(config, checkpoint.report, dataset.height(),
+                                   dataset.width());
+  const auto split = dataset.chronological_split(fraction);
+
+  std::vector<double> mape(static_cast<std::size_t>(dataset.channels()), 0.0);
+  std::vector<double> rel(static_cast<std::size_t>(dataset.channels()), 0.0);
+  for (const auto pair : split.val) {
+    const auto metrics =
+        channel_metrics(ensemble.predict(dataset.frame(pair)),
+                        dataset.frame(pair + 1));
+    for (std::size_t c = 0; c < metrics.size(); ++c) {
+      mape[c] += metrics[c].mape;
+      rel[c] += metrics[c].rel_l2;
+    }
+  }
+  util::Table table({"channel", "MAPE[%]", "rel-L2"});
+  for (std::int64_t c = 0; c < dataset.channels(); ++c) {
+    const auto n = static_cast<double>(split.val.size());
+    table.add_row({channel_name(c),
+                   util::Table::fmt(mape[static_cast<std::size_t>(c)] / n, 3),
+                   util::Table::fmt_sci(rel[static_cast<std::size_t>(c)] / n)});
+  }
+  table.print("one-step validation metrics (" +
+              std::to_string(split.val.size()) + " frames):");
+  return 0;
+}
+
+int cmd_rollout(const util::Options& opts) {
+  const auto checkpoint = load_ensemble(require(opts, "model"));
+  const data::FrameDataset dataset(data::load_frames(require(opts, "data")));
+  const TrainConfig config = inference_config(checkpoint);
+  const int steps = opts.get_int("steps", 5);
+  const auto start =
+      static_cast<std::int64_t>(opts.get_int("start", static_cast<int>(
+          dataset.num_pairs() * 2 / 3)));
+  if (start < 0 || start + steps >= dataset.num_frames()) {
+    std::fprintf(stderr, "rollout window [%lld, %lld] exceeds the dataset\n",
+                 static_cast<long long>(start),
+                 static_cast<long long>(start + steps));
+    return 2;
+  }
+  const auto result =
+      parallel_rollout(config, checkpoint.report, dataset.frame(start), steps);
+  std::vector<Tensor> truths;
+  for (int k = 1; k <= steps; ++k) truths.push_back(dataset.frame(start + k));
+  const auto curve = rollout_error_curve(result.frames, truths);
+  util::Table table({"step", "rel-L2"});
+  for (std::size_t k = 0; k < curve.size(); ++k) {
+    table.add_row({std::to_string(k + 1), util::Table::fmt_sci(curve[k])});
+  }
+  table.print("rollout error from frame " + std::to_string(start) + ":");
+  std::printf("halo traffic %llu bytes | comm %.4fs | compute %.4fs\n",
+              static_cast<unsigned long long>(result.halo_bytes),
+              result.comm_seconds, result.compute_seconds);
+  if (opts.get_bool("render", false)) {
+    std::printf("\n%s", util::render_comparison(
+                            result.frames.back(), truths.back(), 0,
+                            "channel 0 after " + std::to_string(steps) +
+                                " steps")
+                            .c_str());
+  }
+  return 0;
+}
+
+int cmd_info(const util::Options& opts) {
+  if (opts.has("model")) {
+    const auto checkpoint = load_ensemble(opts.get_string("model", ""));
+    std::printf("ensemble checkpoint:\n  ranks: %d (%d x %d)\n  border: %s\n",
+                checkpoint.report.ranks, checkpoint.report.dims.px,
+                checkpoint.report.dims.py,
+                border_mode_name(checkpoint.border).c_str());
+    std::printf("  network channels:");
+    for (const auto c : checkpoint.network.channels) {
+      std::printf(" %lld", static_cast<long long>(c));
+    }
+    std::printf(" | kernel %lldx%lld\n",
+                static_cast<long long>(checkpoint.network.kernel),
+                static_cast<long long>(checkpoint.network.kernel));
+    std::int64_t params = 0;
+    for (const auto& o : checkpoint.report.rank_outcomes) {
+      for (const auto& t : o.parameters) params += t.size();
+    }
+    std::printf("  total parameters: %lld\n", static_cast<long long>(params));
+    return 0;
+  }
+  if (opts.has("data")) {
+    const data::FrameDataset dataset(
+        data::load_frames(opts.get_string("data", "")));
+    std::printf("frame dataset: %lld frames of [%lld, %lld, %lld]\n",
+                static_cast<long long>(dataset.num_frames()),
+                static_cast<long long>(dataset.channels()),
+                static_cast<long long>(dataset.height()),
+                static_cast<long long>(dataset.width()));
+    return 0;
+  }
+  return usage();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string command = argv[1];
+  const util::Options opts(argc - 1, argv + 1);
+  try {
+    if (command == "simulate") return cmd_simulate(opts);
+    if (command == "train") return cmd_train(opts);
+    if (command == "eval") return cmd_eval(opts);
+    if (command == "rollout") return cmd_rollout(opts);
+    if (command == "info") return cmd_info(opts);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return usage();
+}
