@@ -1,0 +1,141 @@
+// Kernel microbenchmark seeding the BENCH trajectory: GFLOP/s of the blocked
+// GEMM against the naive reference on the Table I conv shapes, plus the
+// samples/sec of a full Table-I training step. Emits a single JSON object on
+// stdout so runs can be archived and diffed.
+//
+//   bench_kernels [--threads N] [--grid G] [--batch B] [--full]
+//
+// --threads sets the intra-rank pool size (1 = fully inline). The paper's
+// full-scale shapes (grid 256) are selected with --full / PARPDE_FULL=1.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/config.hpp"
+#include "core/trainer.hpp"
+#include "tensor/gemm.hpp"
+#include "util/options.hpp"
+#include "util/random.hpp"
+#include "util/thread_pool.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+using parpde::util::WallTimer;
+
+std::vector<float> random_vec(std::int64_t n, parpde::util::Rng& rng) {
+  std::vector<float> v(static_cast<std::size_t>(n));
+  rng.fill_uniform(v, -1.0f, 1.0f);
+  return v;
+}
+
+// Runs `fn` repeatedly until ~0.2 s has elapsed; returns seconds per call.
+template <typename Fn>
+double time_call(Fn&& fn) {
+  fn();  // warm-up (first call may fault in workspaces)
+  WallTimer timer;
+  int reps = 0;
+  do {
+    fn();
+    ++reps;
+  } while (timer.seconds() < 0.2);
+  return timer.seconds() / reps;
+}
+
+struct GemmCase {
+  std::string name;
+  std::int64_t m, k, n;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const parpde::util::Options opts(argc, argv);
+  const bool full =
+      parpde::util::env_flag("PARPDE_FULL") || opts.get_bool("full", false);
+  const int grid = opts.get_int("grid", full ? 256 : 64);
+  const int batch = opts.get_int("batch", 16);
+  const int threads = opts.get_int("threads", 1);
+  parpde::util::ThreadPool::configure_global(threads - 1);
+
+  // Table I: conv layers 4 -> 6 -> 16 -> 6 -> 4, 5x5 kernels, same padding.
+  // Forward GEMM per layer: [Cout x Cin*25] * [Cin*25 x batch*grid^2].
+  const std::int64_t plane = static_cast<std::int64_t>(grid) * grid * batch;
+  const std::vector<std::int64_t> channels = {4, 6, 16, 6, 4};
+  std::vector<GemmCase> cases;
+  for (std::size_t l = 0; l + 1 < channels.size(); ++l) {
+    cases.push_back({"layer" + std::to_string(l + 1) + "_fwd",
+                     channels[l + 1], channels[l] * 25, plane});
+  }
+  // Backward shapes of the widest layer: data (A^T) and weights (B^T).
+  cases.push_back({"layer2_bwd_data", channels[1] * 25, channels[2], plane});
+  cases.push_back({"layer2_bwd_weights", channels[2], plane, channels[1] * 25});
+
+  parpde::util::Rng rng(20260805);
+  std::printf("{\n  \"threads\": %d,\n  \"grid\": %d,\n  \"batch\": %d,\n",
+              threads, grid, batch);
+  std::printf("  \"gemm\": [\n");
+  for (std::size_t ci = 0; ci < cases.size(); ++ci) {
+    const auto& gc = cases[ci];
+    const auto a = random_vec(gc.m * gc.k, rng);
+    const auto b = random_vec(gc.k * gc.n, rng);
+    std::vector<float> c(static_cast<std::size_t>(gc.m * gc.n));
+    const double flops = 2.0 * static_cast<double>(gc.m) *
+                         static_cast<double>(gc.k) * static_cast<double>(gc.n);
+
+    double naive_s = 0.0, blocked_s = 0.0;
+    if (gc.name == "layer2_bwd_data") {
+      // A stored [k x m]: same buffer sizes, strided reads.
+      naive_s = time_call([&] {
+        parpde::gemm_naive_at(a.data(), b.data(), c.data(), gc.m, gc.k, gc.n);
+      });
+      blocked_s = time_call([&] {
+        parpde::gemm_at(a.data(), b.data(), c.data(), gc.m, gc.k, gc.n);
+      });
+    } else if (gc.name == "layer2_bwd_weights") {
+      naive_s = time_call([&] {
+        parpde::gemm_naive_bt_acc(a.data(), b.data(), c.data(), gc.m, gc.k,
+                                  gc.n);
+      });
+      blocked_s = time_call([&] {
+        parpde::gemm_bt_acc(a.data(), b.data(), c.data(), gc.m, gc.k, gc.n);
+      });
+    } else {
+      naive_s = time_call([&] {
+        parpde::gemm_naive(a.data(), b.data(), c.data(), gc.m, gc.k, gc.n);
+      });
+      blocked_s = time_call([&] {
+        parpde::gemm(a.data(), b.data(), c.data(), gc.m, gc.k, gc.n);
+      });
+    }
+    std::printf("    {\"name\": \"%s\", \"m\": %lld, \"k\": %lld, \"n\": %lld, "
+                "\"naive_gflops\": %.3f, \"blocked_gflops\": %.3f, "
+                "\"speedup\": %.2f}%s\n",
+                gc.name.c_str(), static_cast<long long>(gc.m),
+                static_cast<long long>(gc.k), static_cast<long long>(gc.n),
+                flops / naive_s * 1e-9, flops / blocked_s * 1e-9,
+                naive_s / blocked_s, ci + 1 < cases.size() ? "," : "");
+    std::fflush(stdout);
+  }
+  std::printf("  ],\n");
+
+  // Full Table-I training step (forward + backward + ADAM) on random data.
+  {
+    parpde::core::TrainConfig cfg;  // Table I network
+    cfg.border = parpde::core::BorderMode::kZeroPad;
+    cfg.num_threads = threads;
+    parpde::core::NetworkTrainer trainer(cfg, /*seed_stream=*/0);
+    parpde::Tensor inputs({batch, channels.front(), grid, grid});
+    parpde::Tensor targets({batch, channels.back(), grid, grid});
+    rng.fill_uniform(inputs.values(), 0.1f, 1.0f);
+    rng.fill_uniform(targets.values(), 0.1f, 1.0f);
+    const double step_s =
+        time_call([&] { trainer.train_batch(inputs, targets); });
+    std::printf("  \"train_step\": {\"grid\": %d, \"batch\": %d, "
+                "\"ms_per_step\": %.3f, \"samples_per_sec\": %.1f}\n",
+                grid, batch, step_s * 1e3, batch / step_s);
+  }
+  std::printf("}\n");
+  return 0;
+}

@@ -52,6 +52,13 @@ struct TrainConfig {
   std::uint64_t seed = 42;
   bool shuffle = true;
 
+  // Intra-rank compute threads for the GEMM / im2col / elementwise kernels
+  // (0 = auto: the hardware concurrency divided across concurrent ranks).
+  // The trainers cap ranks * threads at the hardware concurrency so the
+  // thread-per-rank concurrent mode never oversubscribes; every kernel is
+  // bit-deterministic in the thread count, so this is a pure speed knob.
+  int num_threads = 0;
+
   // Per-channel weights for loss == "wmse" (must match the channel count).
   std::vector<double> channel_weights;
 

@@ -5,6 +5,7 @@
 #include "data/batcher.hpp"
 #include "minimpi/collectives.hpp"
 #include "minimpi/environment.hpp"
+#include "util/thread_pool.hpp"
 #include "util/timer.hpp"
 
 namespace parpde::core {
@@ -60,6 +61,11 @@ DataParallelReport DataParallelTrainer::train(
   DataParallelReport report;
   report.ranks = ranks_;
   report.sync_every = sync_every_;
+
+  // Rank threads share the global pool under the total-threads cap (see
+  // docs/performance.md); deterministic kernels keep replicas in lockstep.
+  util::ThreadPool::configure_global(
+      util::ThreadPool::resolve_workers(config_.num_threads, ranks_));
 
   util::WallTimer wall;
   mpi::Environment env(ranks_);

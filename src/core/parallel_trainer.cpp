@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "minimpi/environment.hpp"
+#include "util/thread_pool.hpp"
 #include "util/timer.hpp"
 
 namespace parpde::core {
@@ -69,6 +70,18 @@ ParallelTrainReport ParallelTrainer::train(const data::FrameDataset& dataset,
     outcome.parameters = export_parameters(trainer.model());
     return outcome;
   };
+
+  // Intra-rank threading budget. In concurrent mode the R rank threads share
+  // the global pool, so the pool gets R * per_rank - R workers (the rank
+  // threads themselves count toward the hardware budget); in isolated mode
+  // ranks run one at a time, each with the per-rank share it would own in a
+  // real deployment. Kernels are bit-deterministic in the worker count, so
+  // the two modes still produce identical models.
+  const int concurrent_workers =
+      util::ThreadPool::resolve_workers(config_.num_threads, ranks_);
+  util::ThreadPool::configure_global(mode == ExecutionMode::kIsolated
+                                         ? concurrent_workers / ranks_
+                                         : concurrent_workers);
 
   util::WallTimer wall;
   if (mode == ExecutionMode::kIsolated) {

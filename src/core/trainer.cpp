@@ -8,6 +8,7 @@
 #include "data/batcher.hpp"
 #include "domain/halo.hpp"
 #include "tensor/ops.hpp"
+#include "util/thread_pool.hpp"
 #include "util/timer.hpp"
 
 namespace parpde::core {
@@ -71,11 +72,16 @@ NetworkTrainer::NetworkTrainer(const TrainConfig& config,
                                   config.learning_rate);
 }
 
-Tensor NetworkTrainer::gather_rows(const Tensor& stacked,
-                                   std::span<const std::int64_t> indices) {
+void NetworkTrainer::gather_rows(const Tensor& stacked,
+                                 std::span<const std::int64_t> indices,
+                                 Tensor& out) {
   const auto c = stacked.dim(1), h = stacked.dim(2), w = stacked.dim(3);
   const std::int64_t stride = c * h * w;
-  Tensor out({static_cast<std::int64_t>(indices.size()), c, h, w});
+  const std::int64_t rows = static_cast<std::int64_t>(indices.size());
+  if (out.ndim() != 4 || out.dim(0) != rows || out.dim(1) != c ||
+      out.dim(2) != h || out.dim(3) != w) {
+    out = Tensor({rows, c, h, w});
+  }
   for (std::size_t i = 0; i < indices.size(); ++i) {
     const auto idx = indices[i];
     if (idx < 0 || idx >= stacked.dim(0)) {
@@ -85,7 +91,6 @@ Tensor NetworkTrainer::gather_rows(const Tensor& stacked,
                 stacked.data() + idx * stride,
                 static_cast<std::size_t>(stride) * sizeof(float));
   }
-  return out;
 }
 
 double NetworkTrainer::train_batch(const Tensor& inputs, const Tensor& targets) {
@@ -125,9 +130,9 @@ TrainResult NetworkTrainer::train(const SubdomainTask& task,
     double loss_sum = 0.0;
     std::int64_t batches = 0;
     for (const auto& batch : batcher.next_epoch()) {
-      const Tensor in = gather_rows(task.inputs, batch);
-      const Tensor target = gather_rows(task.targets, batch);
-      loss_sum += train_batch(in, target);
+      gather_rows(task.inputs, batch, batch_inputs_);
+      gather_rows(task.targets, batch, batch_targets_);
+      loss_sum += train_batch(batch_inputs_, batch_targets_);
       ++batches;
     }
     EpochStats stats;
@@ -179,6 +184,9 @@ SequentialOutcome train_sequential(const data::FrameDataset& dataset,
   const domain::Partition partition(dataset.height(), dataset.width(), 1, 1);
   const auto task = make_subdomain_task(dataset.frames(), split.train,
                                         partition.block(0, 0), config);
+  // Single trainer, single caller: it may use the full intra-rank budget.
+  util::ThreadPool::configure_global(
+      util::ThreadPool::resolve_workers(config.num_threads, 1));
   SequentialOutcome outcome;
   outcome.trainer = std::make_unique<NetworkTrainer>(config, /*seed_stream=*/0);
   outcome.result = outcome.trainer->train(task);

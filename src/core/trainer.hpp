@@ -73,15 +73,19 @@ class NetworkTrainer {
   const TrainConfig& config() const { return config_; }
 
  private:
-  // Gathers the rows of a stacked tensor selected by `indices`.
-  static Tensor gather_rows(const Tensor& stacked,
-                            std::span<const std::int64_t> indices);
+  // Gathers the rows of a stacked tensor selected by `indices` into the
+  // caller-owned `out`, which is only (re)allocated when its shape changes —
+  // the per-batch buffers are reused across the whole training run.
+  static void gather_rows(const Tensor& stacked,
+                          std::span<const std::int64_t> indices, Tensor& out);
 
   TrainConfig config_;
   std::unique_ptr<nn::Sequential> model_;
   nn::LossPtr loss_;
   nn::OptimizerPtr optimizer_;
   std::uint64_t seed_stream_;
+  Tensor batch_inputs_;   // reusable gather_rows destination
+  Tensor batch_targets_;  // reusable gather_rows destination
 };
 
 // Fig. 4's "sequential version": a single network trained on the undecomposed

@@ -3,16 +3,29 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "util/thread_pool.hpp"
+
 namespace parpde::nn {
+
+namespace {
+
+// Elementwise maps write disjoint outputs, so threading them is
+// bit-deterministic. The grain keeps the tiny test tensors inline.
+constexpr std::int64_t kElementwiseGrain = 1 << 14;
+
+}  // namespace
 
 Tensor LeakyReLU::forward(const Tensor& x) {
   input_ = x;
   Tensor y(x.shape());
   const float eps = negative_slope_;
-  for (std::int64_t i = 0; i < x.size(); ++i) {
-    const float v = x[i];
-    y[i] = v >= 0.0f ? v : eps * v;
-  }
+  util::ThreadPool::global().parallel_for(
+      x.size(), kElementwiseGrain, [&](std::int64_t b, std::int64_t e) {
+        for (std::int64_t i = b; i < e; ++i) {
+          const float v = x[i];
+          y[i] = v >= 0.0f ? v : eps * v;
+        }
+      });
   return y;
 }
 
@@ -23,11 +36,14 @@ Tensor LeakyReLU::backward(const Tensor& grad_out) {
   }
   Tensor grad_in(input_.shape());
   const float eps = negative_slope_;
-  for (std::int64_t i = 0; i < input_.size(); ++i) {
-    // Subgradient at exactly 0 follows the positive branch (paper Sec. II:
-    // "a value for this unlikely case should be selected").
-    grad_in[i] = input_[i] >= 0.0f ? grad_out[i] : eps * grad_out[i];
-  }
+  util::ThreadPool::global().parallel_for(
+      input_.size(), kElementwiseGrain, [&](std::int64_t b, std::int64_t e) {
+        for (std::int64_t i = b; i < e; ++i) {
+          // Subgradient at exactly 0 follows the positive branch (paper
+          // Sec. II: "a value for this unlikely case should be selected").
+          grad_in[i] = input_[i] >= 0.0f ? grad_out[i] : eps * grad_out[i];
+        }
+      });
   return grad_in;
 }
 

@@ -3,7 +3,6 @@
 #include <stdexcept>
 
 #include "nn/init.hpp"
-#include "tensor/gemm.hpp"
 
 namespace parpde::nn {
 
@@ -35,30 +34,9 @@ Tensor Conv2d::forward(const Tensor& x) {
                                 shape_to_string(x.shape()));
   }
   input_ = x;
-  const ConvGeometry g{in_channels_, x.dim(2), x.dim(3), kernel_, pad_};
-  const std::int64_t oh = g.out_height();
-  const std::int64_t ow = g.out_width();
-  if (oh <= 0 || ow <= 0) {
-    throw std::invalid_argument("Conv2d::forward: input smaller than kernel");
-  }
-  const std::int64_t n = x.dim(0);
-  Tensor y({n, out_channels_, oh, ow});
-  col_.resize(static_cast<std::size_t>(g.col_rows() * g.col_cols()));
-
-  const std::int64_t in_stride = in_channels_ * g.height * g.width;
-  const std::int64_t out_stride = out_channels_ * oh * ow;
-  for (std::int64_t s = 0; s < n; ++s) {
-    im2col(x.data() + s * in_stride, g, col_.data());
-    // y_s [Cout x OH*OW] = W [Cout x Cin*k*k] * col
-    gemm(weight_.data(), col_.data(), y.data() + s * out_stride, out_channels_,
-         g.col_rows(), g.col_cols());
-    // Add bias per output channel.
-    for (std::int64_t c = 0; c < out_channels_; ++c) {
-      float* plane = y.data() + s * out_stride + c * oh * ow;
-      const float b = bias_[c];
-      for (std::int64_t i = 0; i < oh * ow; ++i) plane[i] += b;
-    }
-  }
+  // Whole-batch lowering: one wide im2col + one GEMM per layer (conv_ops).
+  Tensor y;
+  conv2d_forward_batched(x, weight_, bias_, pad_, y, ws_);
   return y;
 }
 
@@ -74,31 +52,11 @@ Tensor Conv2d::backward(const Tensor& grad_out) {
     throw std::invalid_argument("Conv2d::backward: gradient shape mismatch");
   }
 
-  Tensor grad_in(input_.shape());
-  std::vector<float> dcol(static_cast<std::size_t>(g.col_rows() * g.col_cols()));
-  col_.resize(static_cast<std::size_t>(g.col_rows() * g.col_cols()));
-
-  const std::int64_t in_stride = in_channels_ * g.height * g.width;
-  const std::int64_t out_stride = out_channels_ * oh * ow;
-  for (std::int64_t s = 0; s < n; ++s) {
-    const float* dy = grad_out.data() + s * out_stride;
-    // dW [Cout x Cin*k*k] += dY [Cout x P] * col^T, recomputing col to avoid
-    // caching one column matrix per sample.
-    im2col(input_.data() + s * in_stride, g, col_.data());
-    gemm_bt_acc(dy, col_.data(), weight_grad_.data(), out_channels_,
-                g.col_cols(), g.col_rows());
-    // db[c] += sum of dY over the spatial plane.
-    for (std::int64_t c = 0; c < out_channels_; ++c) {
-      const float* plane = dy + c * oh * ow;
-      float acc = 0.0f;
-      for (std::int64_t i = 0; i < oh * ow; ++i) acc += plane[i];
-      bias_grad_[c] += acc;
-    }
-    // dcol [Cin*k*k x P] = W^T * dY, then scatter back to input gradients.
-    gemm_at(weight_.data(), dy, dcol.data(), g.col_rows(), out_channels_,
-            g.col_cols());
-    col2im(dcol.data(), g, grad_in.data() + s * in_stride);
-  }
+  Tensor grad_in;
+  // Batched backward: recomputes the wide column matrix once, then one GEMM
+  // each for dW and the data gradient (conv_ops).
+  conv2d_backward_batched(input_, grad_out, weight_, pad_, grad_in,
+                          weight_grad_, bias_grad_, ws_);
   return grad_in;
 }
 

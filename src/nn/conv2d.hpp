@@ -5,6 +5,7 @@
 // the paper; with pad = (k-1)/2 ("same" padding) the spatial size is
 // preserved, with pad = 0 ("valid") the output shrinks by k-1.
 
+#include "nn/conv_ops.hpp"
 #include "nn/module.hpp"
 #include "tensor/im2col.hpp"
 #include "util/random.hpp"
@@ -45,8 +46,8 @@ class Conv2d final : public Module {
   Tensor weight_grad_;  // same shape as weight_
   Tensor bias_grad_;    // same shape as bias_
 
-  Tensor input_;        // cached forward input [N, Cin, H, W]
-  std::vector<float> col_;  // scratch im2col buffer (one sample)
+  Tensor input_;         // cached forward input [N, Cin, H, W]
+  Conv2dWorkspace ws_;   // persistent batched im2col / GEMM scratch
 };
 
 }  // namespace parpde::nn

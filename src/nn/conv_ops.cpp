@@ -1,12 +1,32 @@
 #include "nn/conv_ops.hpp"
 
+#include <algorithm>
+#include <cstring>
 #include <stdexcept>
 
 #include "tensor/gemm.hpp"
+#include "util/thread_pool.hpp"
 
 namespace parpde::nn {
 
 namespace {
+
+// Cap on one workspace buffer (floats): 16M floats = 64 MiB. The full-scale
+// 256x256 runs fall back to smaller sample groups; the laptop-scale tests
+// lower whole batches at once.
+constexpr std::int64_t kMaxWorkspaceFloats = std::int64_t{1} << 24;
+
+ConvGeometry batched_geometry(const Tensor& x, const Tensor& w,
+                              std::int64_t pad, const char* what) {
+  if (x.ndim() != 4 || w.ndim() != 4 || w.dim(1) != x.dim(1)) {
+    throw std::invalid_argument(std::string(what) +
+                                ": expected x [N,Cin,H,W], w [Cout,Cin,k,k]");
+  }
+  if (w.dim(2) != w.dim(3)) {
+    throw std::invalid_argument(std::string(what) + ": kernel must be square");
+  }
+  return ConvGeometry{x.dim(1), x.dim(2), x.dim(3), w.dim(2), pad};
+}
 
 ConvGeometry geometry_of(const Tensor& x, const Tensor& w, std::int64_t pad,
                          const char* what) {
@@ -87,6 +107,129 @@ void conv2d_backward_weights(const Tensor& x, const Tensor& dy, std::int64_t pad
       for (std::int64_t i = 0; i < plane; ++i) acc += p[i];
       db[c] += acc;
     }
+  }
+}
+
+std::int64_t conv2d_batch_group(const ConvGeometry& g, std::int64_t batch) {
+  const std::int64_t per_sample = g.col_rows() * g.col_cols();
+  if (per_sample <= 0) return 1;
+  return std::clamp<std::int64_t>(kMaxWorkspaceFloats / per_sample, 1, batch);
+}
+
+void conv2d_forward_batched(const Tensor& x, const Tensor& w, const Tensor& b,
+                            std::int64_t pad, Tensor& y, Conv2dWorkspace& ws) {
+  const ConvGeometry g = batched_geometry(x, w, pad, "conv2d_forward_batched");
+  const std::int64_t cout = w.dim(0);
+  const std::int64_t oh = g.out_height(), ow = g.out_width();
+  if (oh <= 0 || ow <= 0) {
+    throw std::invalid_argument(
+        "conv2d_forward_batched: input smaller than kernel");
+  }
+  if (!b.empty() && b.size() != cout) {
+    throw std::invalid_argument("conv2d_forward_batched: bias size mismatch");
+  }
+  const std::int64_t n = x.dim(0);
+  const std::int64_t plane = oh * ow;
+  const std::int64_t in_stride = g.in_channels * g.height * g.width;
+  const std::int64_t out_stride = cout * plane;
+  if (y.ndim() != 4 || y.dim(0) != n || y.dim(1) != cout || y.dim(2) != oh ||
+      y.dim(3) != ow) {
+    y = Tensor({n, cout, oh, ow});
+  }
+
+  const std::int64_t group = conv2d_batch_group(g, n);
+  auto& pool = util::ThreadPool::global();
+  for (std::int64_t g0 = 0; g0 < n; g0 += group) {
+    const std::int64_t gn = std::min(group, n - g0);
+    const std::int64_t wide = gn * plane;
+    ws.col.resize(static_cast<std::size_t>(g.col_rows() * wide));
+    ws.out.resize(static_cast<std::size_t>(cout * wide));
+    im2col_batched(x.data() + g0 * in_stride, gn, g, ws.col.data());
+    // out [Cout x gn*plane] = W [Cout x Cin*k*k] * col: one wide GEMM for the
+    // whole group instead of gn narrow ones.
+    gemm(w.data(), ws.col.data(), ws.out.data(), cout, g.col_rows(), wide);
+    // Scatter the channel-major GEMM output into NCHW order, fusing the bias
+    // add. Planes are disjoint, so the parallel loop is deterministic.
+    pool.parallel_for(gn * cout, 4, [&](std::int64_t begin, std::int64_t end) {
+      for (std::int64_t t = begin; t < end; ++t) {
+        const std::int64_t s = t / cout, c = t % cout;
+        const float* src = ws.out.data() + c * wide + s * plane;
+        float* dst = y.data() + (g0 + s) * out_stride + c * plane;
+        if (b.empty()) {
+          std::memcpy(dst, src, static_cast<std::size_t>(plane) * sizeof(float));
+        } else {
+          const float bias = b[c];
+          for (std::int64_t i = 0; i < plane; ++i) dst[i] = src[i] + bias;
+        }
+      }
+    });
+  }
+}
+
+void conv2d_backward_batched(const Tensor& x, const Tensor& dy,
+                             const Tensor& w, std::int64_t pad, Tensor& dx,
+                             Tensor& dw, Tensor& db, Conv2dWorkspace& ws) {
+  const ConvGeometry g = batched_geometry(x, w, pad, "conv2d_backward_batched");
+  const std::int64_t cout = w.dim(0);
+  const std::int64_t oh = g.out_height(), ow = g.out_width();
+  const std::int64_t n = x.dim(0);
+  if (dy.ndim() != 4 || dy.dim(0) != n || dy.dim(1) != cout ||
+      dy.dim(2) != oh || dy.dim(3) != ow) {
+    throw std::invalid_argument("conv2d_backward_batched: dy shape mismatch");
+  }
+  if (!dw.same_shape(w)) {
+    throw std::invalid_argument("conv2d_backward_batched: dw shape mismatch");
+  }
+  if (!db.empty() && db.size() != cout) {
+    throw std::invalid_argument("conv2d_backward_batched: db size mismatch");
+  }
+  const std::int64_t plane = oh * ow;
+  const std::int64_t in_stride = g.in_channels * g.height * g.width;
+  const std::int64_t out_stride = cout * plane;
+  if (!dx.same_shape(x)) {
+    dx = Tensor(x.shape());
+  } else {
+    dx.fill(0.0f);
+  }
+
+  const std::int64_t group = conv2d_batch_group(g, n);
+  auto& pool = util::ThreadPool::global();
+  for (std::int64_t g0 = 0; g0 < n; g0 += group) {
+    const std::int64_t gn = std::min(group, n - g0);
+    const std::int64_t wide = gn * plane;
+    ws.col.resize(static_cast<std::size_t>(g.col_rows() * wide));
+    ws.dy.resize(static_cast<std::size_t>(cout * wide));
+    ws.dcol.resize(static_cast<std::size_t>(g.col_rows() * wide));
+    // Gather dY from NCHW into the channel-major layout the wide GEMMs need.
+    pool.parallel_for(gn * cout, 4, [&](std::int64_t begin, std::int64_t end) {
+      for (std::int64_t t = begin; t < end; ++t) {
+        const std::int64_t s = t / cout, c = t % cout;
+        std::memcpy(ws.dy.data() + c * wide + s * plane,
+                    dy.data() + (g0 + s) * out_stride + c * plane,
+                    static_cast<std::size_t>(plane) * sizeof(float));
+      }
+    });
+    // db[c] += sum over the channel's row. Channels are independent and each
+    // row is summed left-to-right by one thread: deterministic at any worker
+    // count.
+    if (!db.empty()) {
+      pool.parallel_for(cout, 1, [&](std::int64_t begin, std::int64_t end) {
+        for (std::int64_t c = begin; c < end; ++c) {
+          const float* row = ws.dy.data() + c * wide;
+          float acc = 0.0f;
+          for (std::int64_t i = 0; i < wide; ++i) acc += row[i];
+          db[c] += acc;
+        }
+      });
+    }
+    // dW += dY [Cout x wide] * col^T: the k-reduction over all gn*plane
+    // columns stays on a single thread per dW element inside the GEMM.
+    im2col_batched(x.data() + g0 * in_stride, gn, g, ws.col.data());
+    gemm_bt_acc(ws.dy.data(), ws.col.data(), dw.data(), cout, wide,
+                g.col_rows());
+    // dcol [Cin*k*k x wide] = W^T * dY, scattered back per sample.
+    gemm_at(w.data(), ws.dy.data(), ws.dcol.data(), g.col_rows(), cout, wide);
+    col2im_batched(ws.dcol.data(), gn, g, dx.data() + g0 * in_stride);
   }
 }
 

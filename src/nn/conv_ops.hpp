@@ -1,15 +1,46 @@
 #pragma once
 
-// Functional single-sample convolution primitives (stride 1, square kernel,
-// symmetric zero padding) built on im2col + GEMM. The Conv2d layer wraps the
-// same lowering with caching; these stateless versions exist for recurrent
-// cells (ConvLSTM) whose backward-through-time pass needs per-timestep
-// re-evaluation instead of a single cached activation.
+// Convolution primitives (stride 1, square kernel, symmetric zero padding)
+// built on im2col + GEMM.
+//
+// The batched entry points lower a whole [N, C, H, W] batch into one wide
+// [Cin*k*k x N*OH*OW] column matrix and issue a single large GEMM per layer,
+// instead of N small ones — the GEMM gets enough columns to block and thread
+// well, and the per-layer Conv2dWorkspace keeps every buffer alive across
+// batches (no steady-state allocation). The single-sample versions remain for
+// recurrent cells (ConvLSTM) whose backward-through-time pass re-evaluates
+// per timestep.
 
 #include "tensor/im2col.hpp"
 #include "tensor/tensor.hpp"
 
 namespace parpde::nn {
+
+// Persistent per-layer scratch for the batched convolution path. Buffers only
+// grow; a layer reuses them for every batch of the same geometry.
+struct Conv2dWorkspace {
+  std::vector<float> col;   // [Cin*k*k x G*OH*OW] batched im2col columns
+  std::vector<float> out;   // [Cout    x G*OH*OW] channel-major GEMM output
+  std::vector<float> dy;    // [Cout    x G*OH*OW] channel-major gathered dY
+  std::vector<float> dcol;  // [Cin*k*k x G*OH*OW] backward-data columns
+};
+
+// Number of samples lowered per wide GEMM: the whole batch when the column
+// matrix fits the workspace budget, otherwise the largest group that does.
+// Depends only on the problem geometry (never on thread count), so training
+// results are reproducible across machines.
+std::int64_t conv2d_batch_group(const ConvGeometry& g, std::int64_t batch);
+
+// y [N, Cout, OH, OW] = w (*) x + b for x [N, Cin, H, W], w [Cout, Cin, k, k]
+// and b [Cout] (b may be empty to skip the bias).
+void conv2d_forward_batched(const Tensor& x, const Tensor& w, const Tensor& b,
+                            std::int64_t pad, Tensor& y, Conv2dWorkspace& ws);
+
+// Full backward: dx = w^T (*) dy (overwritten), dw += dy (*) x and
+// db += sum(dy) (accumulating, like the single-sample versions).
+void conv2d_backward_batched(const Tensor& x, const Tensor& dy,
+                             const Tensor& w, std::int64_t pad, Tensor& dx,
+                             Tensor& dw, Tensor& db, Conv2dWorkspace& ws);
 
 // y [Cout, OH, OW] = w (*) x + b, where x is [Cin, H, W], w is
 // [Cout, Cin, k, k] and b is [Cout] (b may be empty to skip the bias).

@@ -3,12 +3,15 @@
 #include <algorithm>
 #include <cstring>
 
+#include "util/thread_pool.hpp"
+
 namespace parpde {
 
-void im2col(const float* x, const ConvGeometry& g, float* col) {
+void im2col(const float* x, const ConvGeometry& g, float* col,
+            std::int64_t ld) {
   const std::int64_t oh = g.out_height();
   const std::int64_t ow = g.out_width();
-  const std::int64_t cols = oh * ow;
+  const std::int64_t cols = ld < 0 ? oh * ow : ld;
   std::int64_t row = 0;
   for (std::int64_t c = 0; c < g.in_channels; ++c) {
     const float* plane = x + c * g.height * g.width;
@@ -44,10 +47,11 @@ void im2col(const float* x, const ConvGeometry& g, float* col) {
   }
 }
 
-void col2im(const float* col, const ConvGeometry& g, float* x_grad) {
+void col2im(const float* col, const ConvGeometry& g, float* x_grad,
+            std::int64_t ld) {
   const std::int64_t oh = g.out_height();
   const std::int64_t ow = g.out_width();
-  const std::int64_t cols = oh * ow;
+  const std::int64_t cols = ld < 0 ? oh * ow : ld;
   std::int64_t row = 0;
   for (std::int64_t c = 0; c < g.in_channels; ++c) {
     float* plane = x_grad + c * g.height * g.width;
@@ -69,6 +73,32 @@ void col2im(const float* col, const ConvGeometry& g, float* x_grad) {
       }
     }
   }
+}
+
+void im2col_batched(const float* x, std::int64_t batch, const ConvGeometry& g,
+                    float* col) {
+  const std::int64_t in_stride = g.in_channels * g.height * g.width;
+  const std::int64_t cols = g.col_cols();
+  const std::int64_t ld = batch * cols;
+  util::ThreadPool::global().parallel_for(
+      batch, 1, [&](std::int64_t begin, std::int64_t end) {
+        for (std::int64_t s = begin; s < end; ++s) {
+          im2col(x + s * in_stride, g, col + s * cols, ld);
+        }
+      });
+}
+
+void col2im_batched(const float* col, std::int64_t batch,
+                    const ConvGeometry& g, float* x_grad) {
+  const std::int64_t in_stride = g.in_channels * g.height * g.width;
+  const std::int64_t cols = g.col_cols();
+  const std::int64_t ld = batch * cols;
+  util::ThreadPool::global().parallel_for(
+      batch, 1, [&](std::int64_t begin, std::int64_t end) {
+        for (std::int64_t s = begin; s < end; ++s) {
+          col2im(col + s * cols, g, x_grad + s * in_stride, ld);
+        }
+      });
 }
 
 }  // namespace parpde

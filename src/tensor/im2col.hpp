@@ -27,10 +27,29 @@ struct ConvGeometry {
 
 // Expands one CHW sample `x` into the column matrix `col` (preallocated,
 // col_rows x col_cols, row-major). Out-of-range taps contribute zeros.
-void im2col(const float* x, const ConvGeometry& g, float* col);
+// `ld` is the row stride (leading dimension) of `col`; the default -1 means
+// a dense matrix (ld == col_cols). A larger ld lets several samples share one
+// wide [col_rows x N*col_cols] matrix, each writing its own column window.
+void im2col(const float* x, const ConvGeometry& g, float* col,
+            std::int64_t ld = -1);
 
 // Scatters a column matrix back into CHW sample gradients, accumulating
 // overlapping contributions. `x_grad` must be zero-initialized by the caller.
-void col2im(const float* col, const ConvGeometry& g, float* x_grad);
+// `ld` as in im2col.
+void col2im(const float* col, const ConvGeometry& g, float* x_grad,
+            std::int64_t ld = -1);
+
+// Whole-batch lowering: expands `batch` NCHW samples at `x` into one wide
+// column matrix col[col_rows x batch*col_cols], sample s occupying columns
+// [s*col_cols, (s+1)*col_cols). Samples are processed in parallel on the
+// global thread pool; each writes a disjoint column window, so the result is
+// bit-identical at any worker count.
+void im2col_batched(const float* x, std::int64_t batch, const ConvGeometry& g,
+                    float* col);
+
+// Inverse of im2col_batched: scatters the wide column matrix back into the
+// NCHW gradient `x_grad` (caller zero-initialized), parallel over samples.
+void col2im_batched(const float* col, std::int64_t batch,
+                    const ConvGeometry& g, float* x_grad);
 
 }  // namespace parpde

@@ -1,0 +1,170 @@
+#include "util/thread_pool.hpp"
+
+#include <algorithm>
+#include <condition_variable>
+#include <deque>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace parpde::util {
+
+namespace {
+
+// Set while a thread (worker or caller) is executing a chunk body; nested
+// parallel_for calls detect it and run inline instead of deadlocking on the
+// shared pool.
+thread_local bool t_in_chunk = false;
+
+}  // namespace
+
+struct ThreadPool::Impl {
+  struct Job {
+    const Body* body = nullptr;
+    std::int64_t n = 0;
+    std::int64_t chunk = 1;
+    std::int64_t next = 0;    // first unclaimed index (guarded by mu)
+    std::int64_t active = 0;  // chunks currently executing (guarded by mu)
+    std::exception_ptr error;  // first failure, rethrown on the caller
+
+    [[nodiscard]] bool exhausted() const { return next >= n; }
+    [[nodiscard]] bool finished() const { return exhausted() && active == 0; }
+  };
+
+  std::mutex mu;
+  std::condition_variable work_ready;   // workers wait here
+  std::condition_variable job_done;     // callers wait here
+  std::deque<Job*> jobs;
+  std::vector<std::thread> threads;
+  bool stopping = false;
+
+  // Claims one chunk of `job` and runs it outside the lock. The lock must be
+  // held on entry and is held again on return.
+  void run_chunk(Job& job, std::unique_lock<std::mutex>& lock) {
+    const std::int64_t begin = job.next;
+    const std::int64_t end = std::min(job.n, begin + job.chunk);
+    job.next = end;
+    ++job.active;
+    lock.unlock();
+    t_in_chunk = true;
+    try {
+      (*job.body)(begin, end);
+    } catch (...) {
+      t_in_chunk = false;
+      lock.lock();
+      if (!job.error) job.error = std::current_exception();
+      job.next = job.n;  // cancel remaining chunks
+      --job.active;
+      if (job.finished()) job_done.notify_all();
+      return;
+    }
+    t_in_chunk = false;
+    lock.lock();
+    --job.active;
+    if (job.finished()) job_done.notify_all();
+  }
+
+  void worker_loop() {
+    std::unique_lock<std::mutex> lock(mu);
+    for (;;) {
+      Job* job = nullptr;
+      for (Job* candidate : jobs) {
+        if (!candidate->exhausted()) {
+          job = candidate;
+          break;
+        }
+      }
+      if (job != nullptr) {
+        run_chunk(*job, lock);
+        continue;
+      }
+      if (stopping) return;
+      work_ready.wait(lock);
+    }
+  }
+};
+
+ThreadPool::ThreadPool(int workers) : impl_(new Impl) { start(workers); }
+
+ThreadPool::~ThreadPool() {
+  stop();
+  delete impl_;
+}
+
+void ThreadPool::start(int workers) {
+  worker_count_ = std::max(0, workers);
+  impl_->stopping = false;
+  impl_->threads.reserve(static_cast<std::size_t>(worker_count_));
+  for (int i = 0; i < worker_count_; ++i) {
+    impl_->threads.emplace_back([this] { impl_->worker_loop(); });
+  }
+}
+
+void ThreadPool::stop() {
+  {
+    std::lock_guard<std::mutex> lock(impl_->mu);
+    impl_->stopping = true;
+  }
+  impl_->work_ready.notify_all();
+  for (auto& t : impl_->threads) t.join();
+  impl_->threads.clear();
+  worker_count_ = 0;
+}
+
+void ThreadPool::resize(int workers) {
+  if (workers == worker_count_) return;
+  stop();
+  start(workers);
+}
+
+void ThreadPool::parallel_for(std::int64_t n, std::int64_t grain,
+                              const Body& body) {
+  if (n <= 0) return;
+  grain = std::max<std::int64_t>(1, grain);
+  if (worker_count_ == 0 || n <= grain || t_in_chunk) {
+    body(0, n);
+    return;
+  }
+
+  // At least `grain` indices per chunk, at most ~4 chunks per thread so the
+  // claim overhead stays negligible while stragglers can still be balanced.
+  const std::int64_t max_chunks =
+      std::min<std::int64_t>((n + grain - 1) / grain, 4 * degree());
+  Impl::Job job;
+  job.body = &body;
+  job.n = n;
+  job.chunk = (n + max_chunks - 1) / max_chunks;
+
+  std::unique_lock<std::mutex> lock(impl_->mu);
+  impl_->jobs.push_back(&job);
+  impl_->work_ready.notify_all();
+  while (!job.exhausted()) impl_->run_chunk(job, lock);
+  while (!job.finished()) impl_->job_done.wait(lock);
+  impl_->jobs.erase(std::find(impl_->jobs.begin(), impl_->jobs.end(), &job));
+  lock.unlock();
+
+  if (job.error) std::rethrow_exception(job.error);
+}
+
+ThreadPool& ThreadPool::global() {
+  static ThreadPool pool(0);
+  return pool;
+}
+
+void ThreadPool::configure_global(int workers) { global().resize(workers); }
+
+int ThreadPool::hardware_threads() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+int ThreadPool::resolve_workers(int threads_per_rank, int ranks) {
+  ranks = std::max(1, ranks);
+  const int hw = hardware_threads();
+  const int cap = std::max(1, hw / ranks);
+  int per_rank = threads_per_rank > 0 ? std::min(threads_per_rank, cap) : cap;
+  return std::max(0, per_rank * ranks - ranks);
+}
+
+}  // namespace parpde::util

@@ -1,0 +1,78 @@
+#pragma once
+
+// Fixed-size intra-rank thread pool with a deterministic parallel_for.
+//
+// The pool parallelizes only over *independent outputs* (row/column blocks of
+// a GEMM, samples of a batch, channel planes): no reduction is ever split
+// across workers, so results are bit-identical for any worker count — the
+// property the parallel trainer's isolated-vs-concurrent equivalence tests
+// rely on (see docs/performance.md).
+//
+// Concurrency model: one process-wide pool shared by every caller, including
+// the minimpi rank threads of ExecutionMode::kConcurrent. Multiple threads may
+// issue parallel_for calls simultaneously; each caller executes chunks of its
+// own loop while workers drain chunks of any pending loop. The worker count is
+// therefore a *process* budget: with R rank threads and a total hardware
+// budget of T threads, configure T - R workers so the process never
+// oversubscribes (ThreadPool::resolve_workers encodes this rule).
+
+#include <cstdint>
+#include <functional>
+
+namespace parpde::util {
+
+class ThreadPool {
+ public:
+  // Chunk body: half-open index range [begin, end).
+  using Body = std::function<void(std::int64_t, std::int64_t)>;
+
+  // `workers` is the number of helper threads (0 = everything runs inline on
+  // the calling thread).
+  explicit ThreadPool(int workers = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] int workers() const noexcept { return worker_count_; }
+  // Maximum useful parallelism of a single parallel_for: workers + caller.
+  [[nodiscard]] int degree() const noexcept { return worker_count_ + 1; }
+
+  // Runs body over [0, n) in contiguous chunks of at least `grain` indices.
+  // Chunks are disjoint, so any body whose iterations write independent
+  // outputs produces the same result at every worker count. Ranges smaller
+  // than `grain` (or nested calls from inside a chunk) run inline. Exceptions
+  // thrown by the body are rethrown on the calling thread.
+  void parallel_for(std::int64_t n, std::int64_t grain, const Body& body);
+
+  // Stops and rejoins all workers, then restarts with the new count. Must not
+  // be called while any parallel_for is in flight; intended for trainer /
+  // benchmark setup code.
+  void resize(int workers);
+
+  // The process-wide pool used by the GEMM and convolution kernels. Starts
+  // with 0 workers (fully inline) until configured.
+  static ThreadPool& global();
+
+  // resize() on the global pool.
+  static void configure_global(int workers);
+
+  // std::thread::hardware_concurrency with a floor of 1.
+  static int hardware_threads();
+
+  // Worker count for `ranks` concurrent rank threads each asking for
+  // `threads_per_rank` intra-rank threads (0 = auto). Caps the total at the
+  // hardware concurrency: the rank threads themselves count toward the
+  // budget, so the result is total_threads - ranks, floored at 0.
+  static int resolve_workers(int threads_per_rank, int ranks);
+
+ private:
+  struct Impl;
+  Impl* impl_;
+  int worker_count_ = 0;
+
+  void start(int workers);
+  void stop();
+};
+
+}  // namespace parpde::util

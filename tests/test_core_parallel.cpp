@@ -8,6 +8,7 @@
 #include "core/parallel_trainer.hpp"
 #include "euler/simulate.hpp"
 #include "helpers.hpp"
+#include "util/thread_pool.hpp"
 
 namespace parpde::core {
 namespace {
@@ -66,6 +67,22 @@ TEST(ParallelTrainer, TrainingIsCommunicationFree) {
   for (const auto& outcome : report.rank_outcomes) {
     EXPECT_EQ(outcome.train_bytes_sent, 0u);
   }
+}
+
+TEST(ParallelTrainer, ConcurrentModeWithThreadPoolSendsNoBytes) {
+  // The intra-rank thread pool accelerates the per-rank math but must not
+  // introduce any inter-rank traffic: the kernels only ever touch rank-local
+  // buffers. num_threads requests pool workers on top of the rank threads
+  // (resolve_workers caps the total at the hardware budget).
+  const auto ds = tiny_dataset();
+  TrainConfig cfg = tiny_config();
+  cfg.num_threads = 2;
+  const ParallelTrainer trainer(cfg, 4);
+  const auto report = trainer.train(ds, ExecutionMode::kConcurrent);
+  for (const auto& outcome : report.rank_outcomes) {
+    EXPECT_EQ(outcome.train_bytes_sent, 0u);
+  }
+  util::ThreadPool::configure_global(0);
 }
 
 TEST(ParallelTrainer, IsolatedAndConcurrentProduceIdenticalModels) {

@@ -1,0 +1,40 @@
+#!/bin/sh
+# Sanitizer gate for the concurrency-sensitive parts of the library.
+#
+#   tools/check.sh [build-root]
+#
+# Two out-of-tree builds under <build-root> (default: build-sanitize):
+#   * tsan:  ThreadSanitizer over the mini-MPI runtime and the intra-rank
+#            thread pool — the tests that exercise cross-thread mailboxes,
+#            collectives, concurrent rank training, and the blocked GEMM's
+#            parallel_for fan-out.
+#   * asan:  Address+UB sanitizers over the full ctest suite.
+#
+# Exits non-zero on the first failing build or test.
+
+set -eu
+
+root=$(cd "$(dirname "$0")/.." && pwd)
+build_root=${1:-"$root/build-sanitize"}
+jobs=$(nproc 2>/dev/null || echo 2)
+
+echo "== ThreadSanitizer: minimpi + thread pool + parallel trainers =="
+cmake -S "$root" -B "$build_root/tsan" \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DCMAKE_CXX_FLAGS="-fsanitize=thread -fno-omit-frame-pointer" \
+  -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread" >/dev/null
+cmake --build "$build_root/tsan" -j "$jobs" --target \
+  test_minimpi_p2p test_minimpi_collectives test_minimpi_collectives2 \
+  test_minimpi_cart test_gemm_blocked test_core_parallel >/dev/null
+(cd "$build_root/tsan" && ctest --output-on-failure -R \
+  'test_minimpi_p2p|test_minimpi_collectives|test_minimpi_collectives2|test_minimpi_cart|test_gemm_blocked|test_core_parallel')
+
+echo "== Address/UB sanitizer: full test suite =="
+cmake -S "$root" -B "$build_root/asan" \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-omit-frame-pointer" \
+  -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=address,undefined" >/dev/null
+cmake --build "$build_root/asan" -j "$jobs" >/dev/null
+(cd "$build_root/asan" && ctest --output-on-failure -j "$jobs")
+
+echo "All sanitizer checks passed."

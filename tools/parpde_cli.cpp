@@ -35,7 +35,8 @@ int usage() {
                "  simulate --pde=euler|advection --grid=N --frames=N "
                "[--steps-per-frame=N] --out=FILE\n"
                "  train    --data=FILE --out=FILE [--ranks=N] [--epochs=N] "
-               "[--loss=mape|mse|mae] [--border=halo|zero|valid] [--lr=X]\n"
+               "[--threads=N] [--loss=mape|mse|mae] [--border=halo|zero|valid]"
+               " [--lr=X]\n"
                "  eval     --data=FILE --model=FILE [--train-fraction=X]\n"
                "  rollout  --data=FILE --model=FILE [--steps=N] [--start=N] "
                "[--render]\n"
@@ -98,6 +99,8 @@ TrainConfig config_from_options(const util::Options& opts,
   config.epochs = opts.get_int("epochs", 20);
   config.batch_size = opts.get_int("batch-size", 16);
   config.train_fraction = opts.get_double("train-fraction", 2.0 / 3.0);
+  // Intra-rank pool threads (0 = auto; ranks x threads capped at hardware).
+  config.num_threads = opts.get_int("threads", 0);
   return config;
 }
 
