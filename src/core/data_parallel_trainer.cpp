@@ -5,6 +5,7 @@
 #include "data/batcher.hpp"
 #include "minimpi/collectives.hpp"
 #include "minimpi/environment.hpp"
+#include "util/telemetry.hpp"
 #include "util/thread_pool.hpp"
 #include "util/timer.hpp"
 
@@ -17,6 +18,7 @@ namespace {
 // network, which is shared among all individual MPI ranks").
 void average_parameters(mpi::Communicator& comm,
                         const std::vector<nn::ParamRef>& params) {
+  telemetry::Span span("dp.average_parameters", "comm");
   std::vector<float> flat;
   for (const auto& p : params) {
     flat.insert(flat.end(), p.value->values().begin(), p.value->values().end());
@@ -93,6 +95,10 @@ DataParallelReport DataParallelTrainer::train(
     std::uint64_t rounds = 0;
     std::vector<EpochStats> epochs;
     for (int epoch = 0; epoch < config_.epochs; ++epoch) {
+      telemetry::Span epoch_span(
+          telemetry::enabled() ? "dp.epoch " + std::to_string(epoch)
+                               : std::string(),
+          "epoch");
       util::WallTimer epoch_timer;
       const auto batches = batcher.next_epoch();
       double loss_sum = 0.0;
@@ -144,9 +150,14 @@ DataParallelReport DataParallelTrainer::train(
       report.sync_rounds = rounds;
     }
     // Total traffic: sum over ranks, accumulated via allreduce on a scalar.
-    std::vector<std::uint64_t> bytes = {comm.bytes_sent()};
+    // Snapshot both sides before the reduction itself adds traffic.
+    std::vector<std::uint64_t> bytes = {comm.bytes_sent(),
+                                        comm.bytes_received()};
     mpi::allreduce<std::uint64_t>(comm, bytes, mpi::ReduceOp::kSum);
-    if (rank == 0) report.comm_bytes = bytes.front();
+    if (rank == 0) {
+      report.comm_bytes = bytes[0];
+      report.comm_bytes_received = bytes[1];
+    }
   });
   report.wall_seconds = wall.seconds();
   return report;

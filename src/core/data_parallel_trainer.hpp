@@ -22,6 +22,7 @@ struct DataParallelReport {
   double wall_seconds = 0.0;
   double comm_seconds = 0.0;           // rank-0 time inside allreduce
   std::uint64_t comm_bytes = 0;        // total bytes sent by all ranks
+  std::uint64_t comm_bytes_received = 0;  // total bytes received by all ranks
   std::uint64_t sync_rounds = 0;
 
   [[nodiscard]] double final_loss() const {

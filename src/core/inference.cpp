@@ -7,6 +7,7 @@
 #include "minimpi/collectives.hpp"
 #include "minimpi/environment.hpp"
 #include "tensor/ops.hpp"
+#include "util/telemetry.hpp"
 #include "util/timer.hpp"
 
 namespace parpde::core {
@@ -36,6 +37,9 @@ RolloutResult parallel_rollout(const TrainConfig& config,
   std::vector<double> comm_seconds(static_cast<std::size_t>(ranks), 0.0);
   std::vector<double> compute_seconds(static_cast<std::size_t>(ranks), 0.0);
   std::vector<std::uint64_t> halo_bytes(static_cast<std::size_t>(ranks), 0);
+  std::vector<std::uint64_t> halo_bytes_recv(static_cast<std::size_t>(ranks), 0);
+  std::vector<std::uint64_t> total_sent(static_cast<std::size_t>(ranks), 0);
+  std::vector<std::uint64_t> total_recv(static_cast<std::size_t>(ranks), 0);
 
   mpi::Environment env(ranks);
   env.run([&](mpi::Communicator& comm) {
@@ -54,30 +58,37 @@ RolloutResult parallel_rollout(const TrainConfig& config,
     util::AccumulatingTimer comm_timer;
     util::AccumulatingTimer compute_timer;
     comm.reset_counters();
-    const std::uint64_t gather_bytes_before = comm.bytes_sent();
     std::uint64_t exchange_bytes = 0;
+    std::uint64_t exchange_bytes_recv = 0;
 
     for (int step = 0; step < steps; ++step) {
+      telemetry::Span step_span("rollout.step", "rollout");
       // Sec. III: "extra data points must be received from the neighboring
       // processes" — halo exchange in halo-pad mode; zero-pad mode keeps the
       // borders implicit in the conv padding.
       Tensor input = interior;
       if (halo > 0) {
-        const std::uint64_t before = comm.bytes_sent();
+        const std::uint64_t sent_before = comm.bytes_sent();
+        const std::uint64_t recv_before = comm.bytes_received();
         input = domain::exchange_halo(cart, partition, interior, halo,
                                       &comm_timer);
-        exchange_bytes += comm.bytes_sent() - before;
+        exchange_bytes += comm.bytes_sent() - sent_before;
+        exchange_bytes_recv += comm.bytes_received() - recv_before;
       }
       compute_timer.start();
-      input.reshape({1, input.dim(0), input.dim(1), input.dim(2)});
-      Tensor out = model->forward(input);
-      out.reshape({out.dim(1), out.dim(2), out.dim(3)});
+      {
+        telemetry::Span forward_span("rollout.forward", "rollout");
+        input.reshape({1, input.dim(0), input.dim(1), input.dim(2)});
+        Tensor out = model->forward(input);
+        out.reshape({out.dim(1), out.dim(2), out.dim(3)});
+        interior = std::move(out);
+      }
       compute_timer.stop();
-      interior = std::move(out);
 
       // Gather the predicted frame for validation/recording (not part of the
       // scheme's communication cost; a production run would keep fields
       // distributed).
+      telemetry::Span gather_span("rollout.gather", "rollout");
       Tensor full = domain::gather_field(cart, partition, interior);
       if (rank == 0) {
         result.frames[static_cast<std::size_t>(step)] = std::move(full);
@@ -86,7 +97,9 @@ RolloutResult parallel_rollout(const TrainConfig& config,
     comm_seconds[static_cast<std::size_t>(rank)] = comm_timer.seconds();
     compute_seconds[static_cast<std::size_t>(rank)] = compute_timer.seconds();
     halo_bytes[static_cast<std::size_t>(rank)] = exchange_bytes;
-    (void)gather_bytes_before;
+    halo_bytes_recv[static_cast<std::size_t>(rank)] = exchange_bytes_recv;
+    total_sent[static_cast<std::size_t>(rank)] = comm.bytes_sent();
+    total_recv[static_cast<std::size_t>(rank)] = comm.bytes_received();
   });
 
   for (int r = 0; r < ranks; ++r) {
@@ -95,6 +108,9 @@ RolloutResult parallel_rollout(const TrainConfig& config,
     result.compute_seconds = std::max(
         result.compute_seconds, compute_seconds[static_cast<std::size_t>(r)]);
     result.halo_bytes += halo_bytes[static_cast<std::size_t>(r)];
+    result.halo_bytes_received += halo_bytes_recv[static_cast<std::size_t>(r)];
+    result.bytes_sent += total_sent[static_cast<std::size_t>(r)];
+    result.bytes_received += total_recv[static_cast<std::size_t>(r)];
   }
   return result;
 }

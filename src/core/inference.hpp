@@ -18,7 +18,13 @@ struct RolloutResult {
   std::vector<Tensor> frames;
   double comm_seconds = 0.0;     // max over ranks, halo exchange only
   double compute_seconds = 0.0;  // max over ranks, forward passes
-  std::uint64_t halo_bytes = 0;  // total halo traffic over all ranks
+  std::uint64_t halo_bytes = 0;  // total halo bytes sent over all ranks
+  // Recv side of the halo traffic (balances halo_bytes across ranks; the
+  // send-only accounting the original counters forced under-reported the
+  // per-rank communication volume by construction).
+  std::uint64_t halo_bytes_received = 0;
+  std::uint64_t bytes_sent = 0;      // all traffic incl. frame gathers
+  std::uint64_t bytes_received = 0;  // all traffic incl. frame gathers
 };
 
 // Multi-step rollout with the per-rank models of a ParallelTrainReport,

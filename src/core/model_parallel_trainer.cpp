@@ -7,6 +7,7 @@
 #include "minimpi/collectives.hpp"
 #include "minimpi/environment.hpp"
 #include "nn/conv2d.hpp"
+#include "util/telemetry.hpp"
 #include "util/timer.hpp"
 
 namespace parpde::core {
@@ -115,7 +116,9 @@ ModelParallelReport ModelParallelTrainer::train(
     auto assemble = [&](const Tensor& mine, std::int64_t full_channels,
                         int layer) {
       comm_timer.start();
+      telemetry::Span span("mp.allgather", "comm");
       const auto flat = mpi::allgather<float>(comm, mine.values());
+      span.finish();
       comm_timer.stop();
       const std::int64_t n = mine.dim(0), h = mine.dim(2), w = mine.dim(3);
       Tensor full({n, full_channels, h, w});
@@ -180,7 +183,9 @@ ModelParallelReport ModelParallelTrainer::train(
         Tensor dx = slices[static_cast<std::size_t>(l)]->backward(dy_slice);
         // Sum the per-slice input-gradient contributions across ranks.
         comm_timer.start();
+        telemetry::Span span("mp.allreduce", "comm");
         mpi::allreduce<float>(comm, dx.values(), mpi::ReduceOp::kSum);
+        span.finish();
         comm_timer.stop();
         dy = std::move(dx);
       }
@@ -192,6 +197,10 @@ ModelParallelReport ModelParallelTrainer::train(
                           config_.shuffle);
     std::vector<EpochStats> epochs;
     for (int epoch = 0; epoch < config_.epochs; ++epoch) {
+      telemetry::Span epoch_span(
+          telemetry::enabled() ? "mp.epoch " + std::to_string(epoch)
+                               : std::string(),
+          "epoch");
       util::WallTimer epoch_timer;
       double loss_sum = 0.0;
       std::int64_t batches = 0;
@@ -244,9 +253,13 @@ ModelParallelReport ModelParallelTrainer::train(
       report.epochs = std::move(epochs);
       report.comm_seconds = comm_timer.seconds();
     }
-    std::vector<std::uint64_t> bytes = {comm.bytes_sent()};
+    std::vector<std::uint64_t> bytes = {comm.bytes_sent(),
+                                        comm.bytes_received()};
     mpi::allreduce<std::uint64_t>(comm, bytes, mpi::ReduceOp::kSum);
-    if (rank == 0) report.comm_bytes = bytes.front();
+    if (rank == 0) {
+      report.comm_bytes = bytes[0];
+      report.comm_bytes_received = bytes[1];
+    }
   });
   report.wall_seconds = wall.seconds();
   return report;

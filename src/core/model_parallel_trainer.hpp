@@ -27,6 +27,7 @@ struct ModelParallelReport {
   double wall_seconds = 0.0;
   double comm_seconds = 0.0;       // rank-0 time inside collectives
   std::uint64_t comm_bytes = 0;    // total bytes sent by all ranks
+  std::uint64_t comm_bytes_received = 0;  // total bytes received by all ranks
 
   [[nodiscard]] double final_loss() const {
     return epochs.empty() ? 0.0 : epochs.back().loss;

@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "minimpi/environment.hpp"
+#include "util/telemetry.hpp"
 #include "util/thread_pool.hpp"
 #include "util/timer.hpp"
 
@@ -55,6 +56,7 @@ ParallelTrainReport ParallelTrainer::train(const data::FrameDataset& dataset,
   // Per-rank training body; communication-free by construction (Sec. III:
   // "the training data are directly fed into the network from the memory").
   auto train_rank = [&](int rank) -> RankOutcome {
+    telemetry::Span span("train.rank", "train");
     RankOutcome outcome;
     outcome.rank = rank;
     outcome.block = partition.block_of_rank(rank);
@@ -86,14 +88,19 @@ ParallelTrainReport ParallelTrainer::train(const data::FrameDataset& dataset,
   util::WallTimer wall;
   if (mode == ExecutionMode::kIsolated) {
     for (int r = 0; r < ranks_; ++r) {
+      // Attribute this rank's spans to its own trace lane even though the
+      // ranks run serially on the calling thread.
+      telemetry::set_thread_rank(r);
       report.rank_outcomes[static_cast<std::size_t>(r)] = train_rank(r);
     }
+    telemetry::set_thread_rank(-1);
   } else {
     mpi::Environment env(ranks_);
     env.run([&](mpi::Communicator& comm) {
       comm.reset_counters();
       auto outcome = train_rank(comm.rank());
       outcome.train_bytes_sent = comm.bytes_sent();
+      outcome.train_bytes_received = comm.bytes_received();
       if (outcome.train_bytes_sent != 0) {
         throw std::logic_error(
             "ParallelTrainer: training phase sent data (scheme violated)");

@@ -28,7 +28,8 @@ struct RankOutcome {
   domain::BlockRange block;
   std::vector<Tensor> parameters;  // trained values, declaration order
   TrainResult result;
-  std::uint64_t train_bytes_sent = 0;  // asserted 0 in concurrent mode
+  std::uint64_t train_bytes_sent = 0;      // asserted 0 in concurrent mode
+  std::uint64_t train_bytes_received = 0;  // symmetric recv-side accounting
 };
 
 struct ParallelTrainReport {

@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "tensor/ops.hpp"
+#include "util/telemetry.hpp"
 #include "util/timer.hpp"
 
 namespace parpde::core {
@@ -47,6 +48,10 @@ TrainResult SequenceTrainer::train(std::span<const Tensor> frames,
   TrainResult result;
   util::WallTimer total;
   for (int epoch = 0; epoch < config_.epochs; ++epoch) {
+    telemetry::Span epoch_span(
+        telemetry::enabled() ? "seq.epoch " + std::to_string(epoch)
+                             : std::string(),
+        "epoch");
     util::WallTimer epoch_timer;
     double loss_sum = 0.0;
     std::int64_t windows = 0;

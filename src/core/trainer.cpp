@@ -8,6 +8,7 @@
 #include "data/batcher.hpp"
 #include "domain/halo.hpp"
 #include "tensor/ops.hpp"
+#include "util/telemetry.hpp"
 #include "util/thread_pool.hpp"
 #include "util/timer.hpp"
 
@@ -125,11 +126,19 @@ TrainResult NetworkTrainer::train(const SubdomainTask& task,
     schedule.emplace(config_.lr_decay_factor, config_.lr_decay_every);
   }
 
+  static telemetry::Counter& epoch_count = telemetry::counter("train.epochs");
+  static telemetry::Counter& batch_count = telemetry::counter("train.batches");
   for (int epoch = 0; epoch < config_.epochs; ++epoch) {
+    telemetry::Span epoch_span(
+        telemetry::enabled() ? "epoch " + std::to_string(epoch) : std::string(),
+        "epoch");
+    epoch_count.add(1);
     util::WallTimer epoch_timer;
     double loss_sum = 0.0;
     std::int64_t batches = 0;
     for (const auto& batch : batcher.next_epoch()) {
+      telemetry::Span batch_span("train.batch", "epoch");
+      batch_count.add(1);
       gather_rows(task.inputs, batch, batch_inputs_);
       gather_rows(task.targets, batch, batch_targets_);
       loss_sum += train_batch(batch_inputs_, batch_targets_);

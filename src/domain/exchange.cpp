@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "util/telemetry.hpp"
+
 namespace parpde::domain {
 
 namespace {
@@ -70,6 +72,15 @@ Tensor exchange_halo(mpi::CartComm& cart, const Partition& partition,
   if (halo == 0) return interior;
 
   mpi::Communicator& comm = cart.comm();
+  telemetry::Span span("halo.exchange", "comm");
+  static telemetry::Counter& exchanges = telemetry::counter("halo.exchanges");
+  static telemetry::Counter& halo_bytes =
+      telemetry::counter("halo.bytes_sent");
+  static telemetry::Histogram& latency =
+      telemetry::histogram("halo.exchange_seconds");
+  exchanges.add(1);
+  const std::uint64_t bytes_before = comm.bytes_sent();
+  util::WallTimer exchange_timer;
   util::WallTimer timer;
   auto timed_send = [&](int dest, int tag, const std::vector<float>& strip) {
     timer.reset();
@@ -131,6 +142,8 @@ Tensor exchange_halo(mpi::CartComm& cart, const Partition& partition,
     unpack_region(out, 0, halo, 0, bw + 2 * halo,
                   timed_recv(south, travel_tag(mpi::Direction::kNorth)));
   }
+  halo_bytes.add(comm.bytes_sent() - bytes_before);
+  latency.observe(exchange_timer.seconds());
   return out;
 }
 

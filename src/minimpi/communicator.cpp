@@ -1,6 +1,20 @@
 #include "minimpi/communicator.hpp"
 
+#include "util/telemetry.hpp"
+
 namespace parpde::mpi {
+
+namespace {
+
+// Per-tag byte accounting only runs while telemetry tracing is active: the
+// registry lookup is a mutex + string build, too heavy for the default path.
+void count_tag_bytes(const char* direction, int tag, std::size_t bytes) {
+  if (!telemetry::enabled()) return;
+  telemetry::counter("comm.tag." + std::to_string(tag) + "." + direction)
+      .add(bytes);
+}
+
+}  // namespace
 
 Communicator::Communicator(int rank, int size, std::shared_ptr<SharedState> state)
     : rank_(rank), size_(size), state_(std::move(state)) {
@@ -27,6 +41,11 @@ void Communicator::send_bytes(int dest, int tag,
   m.payload.assign(payload.begin(), payload.end());
   bytes_sent_ += payload.size();
   ++messages_sent_;
+  static telemetry::Counter& bytes = telemetry::counter("comm.bytes_sent");
+  static telemetry::Counter& msgs = telemetry::counter("comm.messages_sent");
+  bytes.add(payload.size());
+  msgs.add(1);
+  count_tag_bytes("bytes_sent", tag, payload.size());
   state_->mailboxes[static_cast<std::size_t>(dest)].push(std::move(m));
 }
 
@@ -39,6 +58,14 @@ std::vector<std::byte> Communicator::recv_bytes(int source, int tag,
   Message m =
       state_->mailboxes[static_cast<std::size_t>(rank_)].pop_matching(source, tag);
   if (actual_source != nullptr) *actual_source = m.source;
+  bytes_received_ += m.payload.size();
+  ++messages_received_;
+  static telemetry::Counter& bytes = telemetry::counter("comm.bytes_received");
+  static telemetry::Counter& msgs =
+      telemetry::counter("comm.messages_received");
+  bytes.add(m.payload.size());
+  msgs.add(1);
+  count_tag_bytes("bytes_received", tag, m.payload.size());
   return std::move(m.payload);
 }
 

@@ -128,15 +128,25 @@ class Communicator {
   // Non-destructive check whether a matching message is queued.
   [[nodiscard]] bool probe(int source, int tag);
 
-  // --- traffic accounting (used by the communication benchmarks) ----------
+  // --- traffic accounting (used by the communication benchmarks and the
+  // telemetry run reports; send and receive sides are counted symmetrically,
+  // so per-rank accounting balances across a communicator) ------------------
 
   [[nodiscard]] std::uint64_t bytes_sent() const noexcept { return bytes_sent_; }
   [[nodiscard]] std::uint64_t messages_sent() const noexcept {
     return messages_sent_;
   }
+  [[nodiscard]] std::uint64_t bytes_received() const noexcept {
+    return bytes_received_;
+  }
+  [[nodiscard]] std::uint64_t messages_received() const noexcept {
+    return messages_received_;
+  }
   void reset_counters() noexcept {
     bytes_sent_ = 0;
     messages_sent_ = 0;
+    bytes_received_ = 0;
+    messages_received_ = 0;
   }
 
   [[nodiscard]] SharedState& shared() noexcept { return *state_; }
@@ -149,6 +159,8 @@ class Communicator {
   std::shared_ptr<SharedState> state_;
   std::uint64_t bytes_sent_ = 0;
   std::uint64_t messages_sent_ = 0;
+  std::uint64_t bytes_received_ = 0;
+  std::uint64_t messages_received_ = 0;
 };
 
 }  // namespace parpde::mpi

@@ -4,6 +4,8 @@
 #include <stdexcept>
 #include <thread>
 
+#include "util/telemetry.hpp"
+
 namespace parpde::mpi {
 
 Environment::Environment(int size) : size_(size) {
@@ -17,6 +19,10 @@ void Environment::run(const std::function<void(Communicator&)>& fn) const {
   threads.reserve(static_cast<std::size_t>(size_));
   for (int r = 0; r < size_; ++r) {
     threads.emplace_back([&, r] {
+      // Telemetry spans emitted from this thread land in the per-rank trace
+      // lane (pid = rank in the Chrome trace).
+      telemetry::set_thread_rank(r);
+      telemetry::Span span("mpi.rank", "mpi");
       try {
         Communicator comm(r, size_, state);
         fn(comm);

@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "nn/init.hpp"
+#include "util/telemetry.hpp"
 
 namespace parpde::nn {
 
@@ -34,6 +35,9 @@ Tensor Conv2d::forward(const Tensor& x) {
                                 shape_to_string(x.shape()));
   }
   input_ = x;
+  static telemetry::Counter& calls = telemetry::counter("nn.conv2d.forward");
+  calls.add(1);
+  telemetry::Span span("conv2d.forward", "nn");
   // Whole-batch lowering: one wide im2col + one GEMM per layer (conv_ops).
   Tensor y;
   conv2d_forward_batched(x, weight_, bias_, pad_, y, ws_);
@@ -52,6 +56,9 @@ Tensor Conv2d::backward(const Tensor& grad_out) {
     throw std::invalid_argument("Conv2d::backward: gradient shape mismatch");
   }
 
+  static telemetry::Counter& calls = telemetry::counter("nn.conv2d.backward");
+  calls.add(1);
+  telemetry::Span span("conv2d.backward", "nn");
   Tensor grad_in;
   // Batched backward: recomputes the wide column matrix once, then one GEMM
   // each for dW and the data gradient (conv_ops).

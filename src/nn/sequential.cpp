@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "util/telemetry.hpp"
+
 namespace parpde::nn {
 
 Module& Sequential::add(ModulePtr module) {
@@ -12,13 +14,20 @@ Module& Sequential::add(ModulePtr module) {
 
 Tensor Sequential::forward(const Tensor& x) {
   Tensor h = x;
-  for (auto& layer : layers_) h = layer->forward(h);
+  for (auto& layer : layers_) {
+    // Layer names are only materialized while tracing.
+    telemetry::Span span(
+        telemetry::enabled() ? layer->name() + " fwd" : std::string(), "nn");
+    h = layer->forward(h);
+  }
   return h;
 }
 
 Tensor Sequential::backward(const Tensor& grad_out) {
   Tensor g = grad_out;
   for (auto it = layers_.rbegin(); it != layers_.rend(); ++it) {
+    telemetry::Span span(
+        telemetry::enabled() ? (*it)->name() + " bwd" : std::string(), "nn");
     g = (*it)->backward(g);
   }
   return g;

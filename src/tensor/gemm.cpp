@@ -4,6 +4,7 @@
 #include <cstring>
 #include <vector>
 
+#include "util/telemetry.hpp"
 #include "util/thread_pool.hpp"
 
 namespace parpde {
@@ -302,6 +303,14 @@ void gemm_strided(const float* a, std::int64_t a_rs, std::int64_t a_cs,
                   const float* b, std::int64_t b_rs, std::int64_t b_cs,
                   float* c, std::int64_t m, std::int64_t k, std::int64_t n,
                   bool accumulate) {
+  // Flop accounting for the run report; references cached once, so the
+  // steady-state cost is two relaxed fetch_adds per GEMM call.
+  static telemetry::Counter& flops = telemetry::counter("gemm.flops");
+  static telemetry::Counter& calls = telemetry::counter("gemm.calls");
+  flops.add(static_cast<std::uint64_t>(2 * m * k * n));
+  calls.add(1);
+  telemetry::Span span("gemm", "gemm");
+
   auto& pool = util::ThreadPool::global();
   // Below ~0.5 MFLOP the fork/join overhead dominates; run inline.
   if (pool.workers() == 0 || m * n * k < (std::int64_t{1} << 18)) {

@@ -31,6 +31,21 @@ void set_log_level(LogLevel level) noexcept { g_level.store(level); }
 
 LogLevel log_level() noexcept { return g_level.load(); }
 
+bool parse_log_level(const std::string& name, LogLevel* out) noexcept {
+  if (name == "debug") {
+    *out = LogLevel::kDebug;
+  } else if (name == "info") {
+    *out = LogLevel::kInfo;
+  } else if (name == "warn") {
+    *out = LogLevel::kWarn;
+  } else if (name == "error") {
+    *out = LogLevel::kError;
+  } else {
+    return false;
+  }
+  return true;
+}
+
 void log_line(LogLevel level, const std::string& message) {
   if (static_cast<int>(level) < static_cast<int>(g_level.load())) return;
   std::lock_guard<std::mutex> lock(g_mutex);

@@ -14,6 +14,10 @@ enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
 void set_log_level(LogLevel level) noexcept;
 LogLevel log_level() noexcept;
 
+// Parses "debug" | "info" | "warn" | "error" (case-sensitive). Returns false
+// and leaves *out untouched on an unknown name.
+bool parse_log_level(const std::string& name, LogLevel* out) noexcept;
+
 // Emits one line "[level] message" atomically.
 void log_line(LogLevel level, const std::string& message);
 

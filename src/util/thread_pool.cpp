@@ -1,5 +1,7 @@
 #include "util/thread_pool.hpp"
 
+#include "util/telemetry.hpp"
+
 #include <algorithm>
 #include <condition_variable>
 #include <deque>
@@ -47,6 +49,9 @@ struct ThreadPool::Impl {
     job.next = end;
     ++job.active;
     lock.unlock();
+    static telemetry::Counter& chunks = telemetry::counter("pool.chunks");
+    chunks.add(1);
+    telemetry::Span span("pool.chunk", "pool");
     t_in_chunk = true;
     try {
       (*job.body)(begin, end);
@@ -136,12 +141,19 @@ void ThreadPool::parallel_for(std::int64_t n, std::int64_t grain,
   job.n = n;
   job.chunk = (n + max_chunks - 1) / max_chunks;
 
+  static telemetry::Counter& loops = telemetry::counter("pool.parallel_for");
+  static telemetry::Gauge& depth = telemetry::gauge("pool.queue_depth");
+  loops.add(1);
+  telemetry::Span span("pool.parallel_for", "pool");
+
   std::unique_lock<std::mutex> lock(impl_->mu);
   impl_->jobs.push_back(&job);
+  depth.set(static_cast<double>(impl_->jobs.size()));
   impl_->work_ready.notify_all();
   while (!job.exhausted()) impl_->run_chunk(job, lock);
   while (!job.finished()) impl_->job_done.wait(lock);
   impl_->jobs.erase(std::find(impl_->jobs.begin(), impl_->jobs.end(), &job));
+  depth.set(static_cast<double>(impl_->jobs.size()));
   lock.unlock();
 
   if (job.error) std::rethrow_exception(job.error);

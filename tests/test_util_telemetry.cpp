@@ -1,0 +1,472 @@
+// Telemetry subsystem tests: counter/histogram correctness under concurrent
+// updates from the ThreadPool, span nesting and rank tagging, and that the
+// emitted Chrome trace file is valid JSON (checked by a small validating
+// parser below, not by string matching alone).
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "util/telemetry.hpp"
+#include "util/thread_pool.hpp"
+
+namespace telemetry = parpde::telemetry;
+using parpde::util::ThreadPool;
+
+namespace {
+
+// RAII guard: every test runs with tracing off and an empty trace buffer, and
+// leaves the process in that state (other tests share the singletons).
+struct TelemetryReset {
+  TelemetryReset() {
+    telemetry::set_enabled(false);
+    telemetry::clear_trace();
+  }
+  ~TelemetryReset() {
+    telemetry::set_enabled(false);
+    telemetry::clear_trace();
+    telemetry::set_thread_rank(-1);
+  }
+};
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+std::string temp_path(const std::string& name) {
+  const char* dir = ::getenv("TMPDIR");
+  return std::string(dir ? dir : "/tmp") + "/" + name;
+}
+
+// --- minimal validating JSON parser ----------------------------------------
+// Recursive-descent over the full JSON grammar (objects, arrays, strings with
+// escapes, numbers, literals). Returns true iff the whole input is one valid
+// JSON value. Enough to certify that write_chrome_trace and JsonObject emit
+// well-formed JSON without pulling in a JSON dependency.
+
+class JsonValidator {
+ public:
+  explicit JsonValidator(const std::string& text) : s_(text) {}
+
+  bool valid() {
+    skip_ws();
+    if (!value()) return false;
+    skip_ws();
+    return pos_ == s_.size();
+  }
+
+ private:
+  bool value() {
+    if (pos_ >= s_.size()) return false;
+    switch (s_[pos_]) {
+      case '{':
+        return object();
+      case '[':
+        return array();
+      case '"':
+        return string();
+      case 't':
+        return literal("true");
+      case 'f':
+        return literal("false");
+      case 'n':
+        return literal("null");
+      default:
+        return number();
+    }
+  }
+
+  bool object() {
+    ++pos_;  // '{'
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      skip_ws();
+      if (!string()) return false;
+      skip_ws();
+      if (peek() != ':') return false;
+      ++pos_;
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (peek() == '}') {
+        ++pos_;
+        return true;
+      }
+      return false;
+    }
+  }
+
+  bool array() {
+    ++pos_;  // '['
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (peek() == ']') {
+        ++pos_;
+        return true;
+      }
+      return false;
+    }
+  }
+
+  bool string() {
+    if (peek() != '"') return false;
+    ++pos_;
+    while (pos_ < s_.size()) {
+      const char c = s_[pos_];
+      if (c == '"') {
+        ++pos_;
+        return true;
+      }
+      if (static_cast<unsigned char>(c) < 0x20) return false;  // bare control
+      if (c == '\\') {
+        ++pos_;
+        if (pos_ >= s_.size()) return false;
+        const char e = s_[pos_];
+        if (e == 'u') {
+          for (int k = 1; k <= 4; ++k) {
+            if (pos_ + k >= s_.size() || !std::isxdigit(static_cast<unsigned char>(s_[pos_ + k]))) {
+              return false;
+            }
+          }
+          pos_ += 4;
+        } else if (std::string("\"\\/bfnrt").find(e) == std::string::npos) {
+          return false;
+        }
+      }
+      ++pos_;
+    }
+    return false;  // unterminated
+  }
+
+  bool number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    if (!digits()) return false;
+    if (peek() == '.') {
+      ++pos_;
+      if (!digits()) return false;
+    }
+    if (peek() == 'e' || peek() == 'E') {
+      ++pos_;
+      if (peek() == '+' || peek() == '-') ++pos_;
+      if (!digits()) return false;
+    }
+    return pos_ > start;
+  }
+
+  bool digits() {
+    const std::size_t start = pos_;
+    while (pos_ < s_.size() && std::isdigit(static_cast<unsigned char>(s_[pos_]))) ++pos_;
+    return pos_ > start;
+  }
+
+  bool literal(const char* word) {
+    const std::size_t n = std::string(word).size();
+    if (s_.compare(pos_, n, word) != 0) return false;
+    pos_ += n;
+    return true;
+  }
+
+  [[nodiscard]] char peek() const { return pos_ < s_.size() ? s_[pos_] : '\0'; }
+  void skip_ws() {
+    while (pos_ < s_.size() && std::isspace(static_cast<unsigned char>(s_[pos_]))) ++pos_;
+  }
+
+  const std::string& s_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+// --- counters / gauges -----------------------------------------------------
+
+TEST(Telemetry, CounterBasics) {
+  TelemetryReset guard;
+  telemetry::Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.add();
+  c.add(41);
+  EXPECT_EQ(c.value(), 42u);
+  c.reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Telemetry, RegistryReturnsSameObjectForSameName) {
+  TelemetryReset guard;
+  telemetry::Counter& a = telemetry::counter("test.registry.same");
+  telemetry::Counter& b = telemetry::counter("test.registry.same");
+  EXPECT_EQ(&a, &b);
+  telemetry::Gauge& g1 = telemetry::gauge("test.registry.gauge");
+  telemetry::Gauge& g2 = telemetry::gauge("test.registry.gauge");
+  EXPECT_EQ(&g1, &g2);
+  telemetry::Histogram& h1 = telemetry::histogram("test.registry.hist");
+  telemetry::Histogram& h2 = telemetry::histogram("test.registry.hist");
+  EXPECT_EQ(&h1, &h2);
+}
+
+TEST(Telemetry, CounterExactUnderConcurrentThreadPoolIncrements) {
+  TelemetryReset guard;
+  telemetry::Counter& c = telemetry::counter("test.concurrent.counter");
+  c.reset();
+  ThreadPool pool(3);
+  constexpr std::int64_t kN = 200000;
+  // grain 1 forces maximal chunking across caller + workers.
+  pool.parallel_for(kN, 1024, [&](std::int64_t begin, std::int64_t end) {
+    for (std::int64_t i = begin; i < end; ++i) c.add(2);
+  });
+  EXPECT_EQ(c.value(), static_cast<std::uint64_t>(2 * kN));
+}
+
+TEST(Telemetry, GaugeSetAndAdd) {
+  TelemetryReset guard;
+  telemetry::Gauge g;
+  g.set(1.5);
+  EXPECT_DOUBLE_EQ(g.value(), 1.5);
+  g.add(0.5);
+  EXPECT_DOUBLE_EQ(g.value(), 2.0);
+  g.reset();
+  EXPECT_DOUBLE_EQ(g.value(), 0.0);
+}
+
+// --- histograms ------------------------------------------------------------
+
+TEST(Telemetry, HistogramBucketsAndStats) {
+  TelemetryReset guard;
+  telemetry::Histogram h({1.0, 10.0, 100.0});
+  h.observe(0.5);    // bucket 0
+  h.observe(1.0);    // bucket 0 (<= bound)
+  h.observe(5.0);    // bucket 1
+  h.observe(50.0);   // bucket 2
+  h.observe(500.0);  // overflow
+  EXPECT_EQ(h.count(), 5u);
+  EXPECT_DOUBLE_EQ(h.sum(), 556.5);
+  EXPECT_DOUBLE_EQ(h.min(), 0.5);
+  EXPECT_DOUBLE_EQ(h.max(), 500.0);
+  const auto buckets = h.bucket_counts();
+  ASSERT_EQ(buckets.size(), 4u);
+  EXPECT_EQ(buckets[0], 2u);
+  EXPECT_EQ(buckets[1], 1u);
+  EXPECT_EQ(buckets[2], 1u);
+  EXPECT_EQ(buckets[3], 1u);
+  h.reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.sum(), 0.0);
+}
+
+TEST(Telemetry, HistogramConcurrentObserves) {
+  TelemetryReset guard;
+  telemetry::Histogram h({0.25, 0.75});
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 50000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&h] {
+      for (int i = 0; i < kPerThread; ++i) h.observe(0.5);
+    });
+  }
+  for (auto& th : threads) th.join();
+  const std::uint64_t total = kThreads * kPerThread;
+  EXPECT_EQ(h.count(), total);
+  // Every observation is exactly 0.5, so the CAS-accumulated sum is exact.
+  EXPECT_DOUBLE_EQ(h.sum(), 0.5 * static_cast<double>(total));
+  EXPECT_DOUBLE_EQ(h.min(), 0.5);
+  EXPECT_DOUBLE_EQ(h.max(), 0.5);
+  const auto buckets = h.bucket_counts();
+  ASSERT_EQ(buckets.size(), 3u);
+  EXPECT_EQ(buckets[1], total);  // 0.25 < 0.5 <= 0.75
+}
+
+// --- spans / tracing -------------------------------------------------------
+
+TEST(Telemetry, DisabledSpansRecordNothing) {
+  TelemetryReset guard;
+  ASSERT_FALSE(telemetry::enabled());
+  {
+    telemetry::Span outer("outer", "test");
+    telemetry::Span inner("inner", "test");
+  }
+  EXPECT_EQ(telemetry::trace_event_count(), 0u);
+}
+
+TEST(Telemetry, SpanNestingRecordsAllLevels) {
+  TelemetryReset guard;
+  telemetry::set_enabled(true);
+  {
+    telemetry::Span outer("outer", "test");
+    {
+      telemetry::Span mid("mid", "test");
+      telemetry::Span inner("inner", "test");
+    }
+  }
+  telemetry::set_enabled(false);
+  EXPECT_EQ(telemetry::trace_event_count(), 3u);
+}
+
+TEST(Telemetry, SpanFinishIsIdempotent) {
+  TelemetryReset guard;
+  telemetry::set_enabled(true);
+  {
+    telemetry::Span span("once", "test");
+    span.finish();
+    span.finish();  // second call must be a no-op; destructor a third
+  }
+  telemetry::set_enabled(false);
+  EXPECT_EQ(telemetry::trace_event_count(), 1u);
+}
+
+TEST(Telemetry, ChromeTraceFileIsValidJsonWithRankPids) {
+  TelemetryReset guard;
+  telemetry::set_enabled(true);
+  telemetry::set_thread_rank(3);
+  {
+    telemetry::Span outer("outer span", "test");
+    telemetry::Span inner(std::string("inner \"quoted\"\n"), "test");
+  }
+  telemetry::set_thread_rank(-1);
+  telemetry::set_enabled(false);
+
+  const std::string path = temp_path("parpde_telemetry_trace_test.json");
+  ASSERT_TRUE(telemetry::write_chrome_trace(path));
+  const std::string text = read_file(path);
+  std::remove(path.c_str());
+  ASSERT_FALSE(text.empty());
+
+  JsonValidator validator(text);
+  EXPECT_TRUE(validator.valid()) << text;
+
+  // Chrome trace-event essentials: the event array, complete events, and the
+  // rank set as the span's pid (so Perfetto shows a "rank 3" process lane).
+  EXPECT_NE(text.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(text.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(text.find("\"pid\":3"), std::string::npos);
+  EXPECT_NE(text.find("outer span"), std::string::npos);
+  // The quoted-name span must arrive escaped, not raw.
+  EXPECT_NE(text.find("inner \\\"quoted\\\"\\n"), std::string::npos);
+}
+
+TEST(Telemetry, ClearTraceDiscardsEvents) {
+  TelemetryReset guard;
+  telemetry::set_enabled(true);
+  { telemetry::Span span("gone", "test"); }
+  telemetry::set_enabled(false);
+  ASSERT_GT(telemetry::trace_event_count(), 0u);
+  telemetry::clear_trace();
+  EXPECT_EQ(telemetry::trace_event_count(), 0u);
+}
+
+TEST(Telemetry, ConcurrentSpansFromThreadPoolAllRecorded) {
+  TelemetryReset guard;
+  telemetry::set_enabled(true);
+  telemetry::clear_trace();
+  ThreadPool pool(3);
+  std::atomic<std::uint64_t> bodies{0};
+  pool.parallel_for(64, 1, [&](std::int64_t begin, std::int64_t end) {
+    telemetry::Span span("test.chunk", "test");
+    bodies.fetch_add(static_cast<std::uint64_t>(end - begin));
+  });
+  telemetry::set_enabled(false);
+  EXPECT_EQ(bodies.load(), 64u);
+  // Every chunk body span plus the pool's own instrumentation; at minimum the
+  // explicit spans above must all be present.
+  EXPECT_GE(telemetry::trace_event_count(), 1u);
+  EXPECT_EQ(telemetry::trace_dropped_events(), 0u);
+}
+
+// --- JSON helpers ----------------------------------------------------------
+
+TEST(Telemetry, JsonEscape) {
+  EXPECT_EQ(telemetry::json_escape("plain"), "plain");
+  EXPECT_EQ(telemetry::json_escape("a\"b\\c\n"), "a\\\"b\\\\c\\n");
+  // Control characters must be \u-escaped.
+  EXPECT_EQ(telemetry::json_escape(std::string(1, '\x01')), "\\u0001");
+}
+
+TEST(Telemetry, JsonObjectBuildsValidJson) {
+  telemetry::JsonObject obj;
+  obj.field("name", "run \"x\"")
+      .field("ranks", 4)
+      .field("loss", 0.125)
+      .field("bytes", static_cast<std::uint64_t>(1) << 40)
+      .field("ok", true)
+      .raw("nested", "{\"a\":[1,2,3]}");
+  const std::string text = obj.str();
+  JsonValidator validator(text);
+  EXPECT_TRUE(validator.valid()) << text;
+  EXPECT_NE(text.find("\"ranks\":4"), std::string::npos);
+  EXPECT_NE(text.find("\"nested\":{\"a\":[1,2,3]}"), std::string::npos);
+}
+
+TEST(Telemetry, MetricsJsonIsValidJson) {
+  TelemetryReset guard;
+  telemetry::counter("test.metrics.counter").add(7);
+  telemetry::gauge("test.metrics.gauge").set(2.5);
+  telemetry::histogram("test.metrics.hist").observe(0.01);
+  const std::string text = telemetry::Registry::global().metrics_json();
+  JsonValidator validator(text);
+  EXPECT_TRUE(validator.valid()) << text;
+  EXPECT_NE(text.find("\"test.metrics.counter\":"), std::string::npos);
+}
+
+TEST(Telemetry, JsonlWriterWritesOneObjectPerLine) {
+  const std::string path = temp_path("parpde_telemetry_jsonl_test.jsonl");
+  {
+    telemetry::JsonlWriter writer(path);
+    ASSERT_TRUE(writer.ok());
+    telemetry::JsonObject a;
+    a.field("record", "epoch").field("epoch", 0);
+    writer.write_line(a.str());
+    telemetry::JsonObject b;
+    b.field("record", "summary").field("ranks", 2);
+    writer.write_line(b.str());
+  }
+  std::ifstream in(path);
+  std::string line;
+  int lines = 0;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    ++lines;
+    JsonValidator validator(line);
+    EXPECT_TRUE(validator.valid()) << line;
+  }
+  EXPECT_EQ(lines, 2);
+  std::remove(path.c_str());
+}
+
+TEST(Telemetry, RegistryResetZeroesWithoutInvalidating) {
+  TelemetryReset guard;
+  telemetry::Counter& c = telemetry::counter("test.reset.counter");
+  c.add(9);
+  telemetry::Registry::global().reset();
+  EXPECT_EQ(c.value(), 0u);  // same object, zeroed
+  c.add(1);
+  EXPECT_EQ(telemetry::counter("test.reset.counter").value(), 1u);
+}

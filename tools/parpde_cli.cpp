@@ -3,7 +3,7 @@
 // across processes.
 //
 //   parpde_cli simulate --pde=euler --grid=64 --frames=100 --out=frames.ppfr
-//   parpde_cli train    --data=frames.ppfr --ranks=4 --epochs=20 \
+//   parpde_cli train    --data=frames.ppfr --ranks=4 --epochs=20
 //                       --out=model.ppde
 //   parpde_cli eval     --data=frames.ppfr --model=model.ppde
 //   parpde_cli rollout  --data=frames.ppfr --model=model.ppde --steps=5
@@ -11,6 +11,7 @@
 //   parpde_cli info     --data=frames.ppfr
 
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 
 #include "core/checkpoint.hpp"
@@ -21,8 +22,10 @@
 #include "euler/simulate.hpp"
 #include "pde/advection.hpp"
 #include "util/ascii_plot.hpp"
+#include "util/log.hpp"
 #include "util/options.hpp"
 #include "util/table.hpp"
+#include "util/telemetry.hpp"
 
 using namespace parpde;
 using namespace parpde::core;
@@ -40,7 +43,12 @@ int usage() {
                "  eval     --data=FILE --model=FILE [--train-fraction=X]\n"
                "  rollout  --data=FILE --model=FILE [--steps=N] [--start=N] "
                "[--render]\n"
-               "  info     --model=FILE | --data=FILE\n");
+               "  info     --model=FILE | --data=FILE\n"
+               "observability flags (any command; see docs/observability.md):\n"
+               "  --trace=FILE      Chrome trace-event JSON of the run's spans\n"
+               "  --metrics=FILE    JSONL run report (per rank per epoch +\n"
+               "                    summary with comm/compute split)\n"
+               "  --log-level=debug|info|warn|error   (or PARPDE_LOG_LEVEL)\n");
   return 2;
 }
 
@@ -104,6 +112,57 @@ TrainConfig config_from_options(const util::Options& opts,
   return config;
 }
 
+// Unified per-rank run report: one JSONL record per rank per epoch, a
+// per-rank comm summary, and a final record with the comm/compute split plus
+// the registry counters (gemm flops, pool activity, traffic totals).
+void write_train_metrics(const std::string& path,
+                         const ParallelTrainReport& report) {
+  telemetry::JsonlWriter writer(path);
+  if (!writer.ok()) {
+    std::fprintf(stderr, "warning: cannot open --metrics file %s\n",
+                 path.c_str());
+    return;
+  }
+  std::uint64_t sent_total = 0;
+  std::uint64_t recv_total = 0;
+  for (const auto& outcome : report.rank_outcomes) {
+    for (std::size_t e = 0; e < outcome.result.epochs.size(); ++e) {
+      const auto& stats = outcome.result.epochs[e];
+      telemetry::JsonObject record;
+      record.field("record", "epoch")
+          .field("rank", outcome.rank)
+          .field("epoch", static_cast<std::int64_t>(e))
+          .field("loss", stats.loss)
+          .field("val_loss", stats.val_loss)
+          .field("seconds", stats.seconds);
+      writer.write_line(record.str());
+    }
+    telemetry::JsonObject record;
+    record.field("record", "rank_summary")
+        .field("rank", outcome.rank)
+        .field("final_loss", outcome.result.final_loss())
+        .field("train_seconds", outcome.result.seconds)
+        .field("bytes_sent", outcome.train_bytes_sent)
+        .field("bytes_received", outcome.train_bytes_received);
+    writer.write_line(record.str());
+    sent_total += outcome.train_bytes_sent;
+    recv_total += outcome.train_bytes_received;
+  }
+  auto& registry = telemetry::Registry::global();
+  telemetry::JsonObject summary;
+  summary.field("record", "run_summary")
+      .field("ranks", report.ranks)
+      .field("wall_seconds", report.wall_seconds)
+      .field("compute_seconds", report.total_work_seconds())
+      .field("comm_seconds",
+             telemetry::histogram("halo.exchange_seconds").sum())
+      .field("bytes_sent_total", sent_total)
+      .field("bytes_received_total", recv_total)
+      .raw("metrics", registry.metrics_json());
+  writer.write_line(summary.str());
+  std::printf("wrote run report to %s\n", path.c_str());
+}
+
 int cmd_train(const util::Options& opts) {
   const std::string data_path = require(opts, "data");
   const std::string out = require(opts, "out");
@@ -117,13 +176,18 @@ int cmd_train(const util::Options& opts) {
   const ParallelTrainer trainer(config, ranks);
   const auto report = trainer.train(dataset, ExecutionMode::kConcurrent);
 
-  util::Table table({"rank", "final loss", "time [s]"});
+  util::Table table({"rank", "final loss", "time [s]", "sent [B]", "recv [B]"});
   for (const auto& outcome : report.rank_outcomes) {
     table.add_row({std::to_string(outcome.rank),
                    util::Table::fmt_sci(outcome.result.final_loss()),
-                   util::Table::fmt(outcome.result.seconds, 2)});
+                   util::Table::fmt(outcome.result.seconds, 2),
+                   std::to_string(outcome.train_bytes_sent),
+                   std::to_string(outcome.train_bytes_received)});
   }
   table.print("per-rank training:");
+  if (opts.has("metrics")) {
+    write_train_metrics(opts.get_string("metrics", ""), report);
+  }
   save_ensemble(out, make_checkpoint(config, report));
   std::printf("saved ensemble to %s\n", out.c_str());
   return 0;
@@ -193,9 +257,38 @@ int cmd_rollout(const util::Options& opts) {
     table.add_row({std::to_string(k + 1), util::Table::fmt_sci(curve[k])});
   }
   table.print("rollout error from frame " + std::to_string(start) + ":");
-  std::printf("halo traffic %llu bytes | comm %.4fs | compute %.4fs\n",
-              static_cast<unsigned long long>(result.halo_bytes),
-              result.comm_seconds, result.compute_seconds);
+  std::printf(
+      "halo traffic %llu sent / %llu received bytes | comm %.4fs | "
+      "compute %.4fs\n",
+      static_cast<unsigned long long>(result.halo_bytes),
+      static_cast<unsigned long long>(result.halo_bytes_received),
+      result.comm_seconds, result.compute_seconds);
+  if (opts.has("metrics")) {
+    telemetry::JsonlWriter writer(opts.get_string("metrics", ""));
+    if (writer.ok()) {
+      for (std::size_t k = 0; k < curve.size(); ++k) {
+        telemetry::JsonObject record;
+        record.field("record", "rollout_step")
+            .field("step", static_cast<std::int64_t>(k + 1))
+            .field("rel_l2", curve[k]);
+        writer.write_line(record.str());
+      }
+      telemetry::JsonObject summary;
+      summary.field("record", "rollout_summary")
+          .field("steps", steps)
+          .field("comm_seconds", result.comm_seconds)
+          .field("compute_seconds", result.compute_seconds)
+          .field("halo_bytes_sent", result.halo_bytes)
+          .field("halo_bytes_received", result.halo_bytes_received)
+          .field("bytes_sent_total", result.bytes_sent)
+          .field("bytes_received_total", result.bytes_received)
+          .raw("metrics", telemetry::Registry::global().metrics_json());
+      writer.write_line(summary.str());
+    } else {
+      std::fprintf(stderr, "warning: cannot open --metrics file %s\n",
+                   opts.get_string("metrics", "").c_str());
+    }
+  }
   if (opts.get_bool("render", false)) {
     std::printf("\n%s", util::render_comparison(
                             result.frames.back(), truths.back(), 0,
@@ -242,19 +335,55 @@ int cmd_info(const util::Options& opts) {
 
 }  // namespace
 
+int run_command(const std::string& command, const util::Options& opts) {
+  if (command == "simulate") return cmd_simulate(opts);
+  if (command == "train") return cmd_train(opts);
+  if (command == "eval") return cmd_eval(opts);
+  if (command == "rollout") return cmd_rollout(opts);
+  if (command == "info") return cmd_info(opts);
+  return usage();
+}
+
 int main(int argc, char** argv) {
   if (argc < 2) return usage();
   const std::string command = argv[1];
   const util::Options opts(argc - 1, argv + 1);
+
+  // --log-level beats the PARPDE_LOG_LEVEL environment fallback.
+  std::string level_name = opts.get_string("log-level", "");
+  if (level_name.empty()) {
+    if (const char* env = std::getenv("PARPDE_LOG_LEVEL")) level_name = env;
+  }
+  if (!level_name.empty()) {
+    util::LogLevel level = util::LogLevel::kInfo;
+    if (!util::parse_log_level(level_name, &level)) {
+      std::fprintf(stderr, "unknown log level '%s' (debug|info|warn|error)\n",
+                   level_name.c_str());
+      return 2;
+    }
+    util::set_log_level(level);
+  }
+
+  const std::string trace_path = opts.get_string("trace", "");
+  if (!trace_path.empty()) telemetry::set_enabled(true);
+
+  int rc;
   try {
-    if (command == "simulate") return cmd_simulate(opts);
-    if (command == "train") return cmd_train(opts);
-    if (command == "eval") return cmd_eval(opts);
-    if (command == "rollout") return cmd_rollout(opts);
-    if (command == "info") return cmd_info(opts);
+    rc = run_command(command, opts);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
-    return 1;
+    rc = 1;
   }
-  return usage();
+  if (!trace_path.empty()) {
+    telemetry::set_enabled(false);
+    if (telemetry::write_chrome_trace(trace_path)) {
+      std::printf("wrote %zu trace events to %s (open in chrome://tracing or "
+                  "https://ui.perfetto.dev)\n",
+                  telemetry::trace_event_count(), trace_path.c_str());
+    } else {
+      std::fprintf(stderr, "warning: cannot write --trace file %s\n",
+                   trace_path.c_str());
+    }
+  }
+  return rc;
 }
