@@ -73,6 +73,7 @@ DataParallelReport DataParallelTrainer::train(
   mpi::Environment env(ranks_);
   env.run([&](mpi::Communicator& comm) {
     const int rank = comm.rank();
+    mpi::PhaseScope phase(comm, "dp.train");
     comm.reset_counters();
     const auto& shard = shards[static_cast<std::size_t>(rank)];
     const auto task = make_subdomain_task(dataset.frames(), shard,
@@ -122,7 +123,13 @@ DataParallelReport DataParallelTrainer::train(
                     task.targets.data() + (batch[i] + 1) * out_stride,
                     target.data() + static_cast<std::int64_t>(i) * out_stride);
         }
-        loss_sum += trainer.train_batch(in, target);
+        {
+          // Replica gradient steps are communication-free; only the
+          // averaging rounds below may talk.
+          mpi::PhaseScope compute_phase(comm, "dp.compute",
+                                        mpi::CommPolicy::kForbidden);
+          loss_sum += trainer.train_batch(in, target);
+        }
         if ((b + 1) % sync_every_ == 0) {
           comm_timer.start();
           average_parameters(comm, params);

@@ -44,6 +44,7 @@ RolloutResult parallel_rollout(const TrainConfig& config,
   mpi::Environment env(ranks);
   env.run([&](mpi::Communicator& comm) {
     const int rank = comm.rank();
+    mpi::PhaseScope phase(comm, "rollout");
     mpi::CartComm cart(comm, trained.dims.px, trained.dims.py);
 
     // Rebuild this rank's trained network.
@@ -78,6 +79,9 @@ RolloutResult parallel_rollout(const TrainConfig& config,
       compute_timer.start();
       {
         telemetry::Span forward_span("rollout.forward", "rollout");
+        // The forward pass is pure compute; the halo already arrived above.
+        mpi::PhaseScope forward_phase(comm, "rollout.forward",
+                                      mpi::CommPolicy::kForbidden);
         input.reshape({1, input.dim(0), input.dim(1), input.dim(2)});
         Tensor out = model->forward(input);
         out.reshape({out.dim(1), out.dim(2), out.dim(3)});

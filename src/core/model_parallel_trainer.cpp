@@ -75,6 +75,7 @@ ModelParallelReport ModelParallelTrainer::train(
   mpi::Environment env(ranks_);
   env.run([&](mpi::Communicator& comm) {
     const int rank = comm.rank();
+    mpi::PhaseScope phase(comm, "mp.train");
     comm.reset_counters();
     util::AccumulatingTimer comm_timer;
 

@@ -98,6 +98,11 @@ ParallelTrainReport ParallelTrainer::train(const data::FrameDataset& dataset,
     mpi::Environment env(ranks_);
     env.run([&](mpi::Communicator& comm) {
       comm.reset_counters();
+      // The paper's zero-comm training invariant, enforced two ways: the
+      // validator traps any message the moment it is sent (PhaseScope with
+      // kForbidden), and the byte counters are re-checked after the fact.
+      mpi::PhaseScope phase(comm, "train.zero_comm",
+                            mpi::CommPolicy::kForbidden);
       auto outcome = train_rank(comm.rank());
       outcome.train_bytes_sent = comm.bytes_sent();
       outcome.train_bytes_received = comm.bytes_received();

@@ -2,20 +2,19 @@
 
 #include <stdexcept>
 
+#include "minimpi/tags.hpp"
 #include "util/telemetry.hpp"
 
 namespace parpde::domain {
 
 namespace {
 
-// User-space tag block for halo traffic; the payload's direction of travel is
-// encoded in the tag, so a rank receives its east halo as the message that
-// travelled west from its east neighbour.
-constexpr int kTagHaloBase = 4096;
-constexpr int kTagFieldGather = 4200;
-constexpr int kTagFieldScatter = 4201;
-
-int travel_tag(mpi::Direction d) { return kTagHaloBase + static_cast<int>(d); }
+// Halo traffic uses the registered tags::kHalo block; the payload's direction
+// of travel is encoded as the offset, so a rank receives its east halo as the
+// message that travelled west from its east neighbour.
+constexpr int travel_tag(mpi::Direction d) {
+  return mpi::tags::kHalo.base + static_cast<int>(d);
+}
 
 // Copies the [y0, y0+hh) x [x0, x0+ww) window of a [C, h, w] tensor into a
 // packed strip buffer (length C * hh * ww).
@@ -151,7 +150,7 @@ Tensor gather_field(mpi::CartComm& cart, const Partition& partition,
                     const Tensor& interior) {
   mpi::Communicator& comm = cart.comm();
   if (comm.rank() != 0) {
-    comm.send<float>(0, kTagFieldGather, interior.values());
+    comm.send<float>(0, mpi::tags::kFieldGather.base, interior.values());
     return {};
   }
   const auto c = interior.dim(0);
@@ -172,7 +171,7 @@ Tensor gather_field(mpi::CartComm& cart, const Partition& partition,
     }
   }
   for (int r = 1; r < comm.size(); ++r) {
-    const auto strip = comm.recv<float>(r, kTagFieldGather);
+    const auto strip = comm.recv<float>(r, mpi::tags::kFieldGather.base);
     const BlockRange block = partition.block_of_rank(r);
     if (strip.size() !=
         static_cast<std::size_t>(c * block.height() * block.width())) {
@@ -204,7 +203,7 @@ Tensor scatter_field(mpi::CartComm& cart, const Partition& partition,
     const auto c = full.dim(0);
     for (int r = 1; r < comm.size(); ++r) {
       const BlockRange block = partition.block_of_rank(r);
-      comm.send<float>(r, kTagFieldScatter,
+      comm.send<float>(r, mpi::tags::kFieldScatter.base,
                        pack_region(full, block.h0, block.height(), block.w0,
                                    block.width()));
     }
@@ -214,7 +213,7 @@ Tensor scatter_field(mpi::CartComm& cart, const Partition& partition,
                               mine.width()));
     return mine_t;
   }
-  const auto strip = comm.recv<float>(0, kTagFieldScatter);
+  const auto strip = comm.recv<float>(0, mpi::tags::kFieldScatter.base);
   const std::int64_t c =
       static_cast<std::int64_t>(strip.size()) / (mine.height() * mine.width());
   Tensor mine_t({c, mine.height(), mine.width()});

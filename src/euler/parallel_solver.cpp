@@ -5,15 +5,9 @@
 
 #include "domain/exchange.hpp"
 #include "euler/initial.hpp"
+#include "minimpi/tags.hpp"
 
 namespace parpde::euler {
-
-namespace {
-
-// Tag block for solver ghost traffic: base + field * 10 + travel direction.
-constexpr int kTagSolverBase = 8200;
-
-}  // namespace
 
 ParallelEulerSolver::ParallelEulerSolver(mpi::CartComm& cart,
                                          const domain::Partition& partition,
@@ -146,10 +140,12 @@ void ParallelEulerSolver::apply_physical_boundary(RectState& s) {
 
 void ParallelEulerSolver::refresh_ghosts(RectState& s) {
   comm_timer_.start();
-  exchange_field(s.rho, kTagSolverBase + 0);
-  exchange_field(s.u, kTagSolverBase + 10);
-  exchange_field(s.v, kTagSolverBase + 20);
-  exchange_field(s.p, kTagSolverBase + 30);
+  // One registered sub-block per field (direction offsets inside each; see
+  // tags::kEulerHalo).
+  exchange_field(s.rho, mpi::tags::euler_field_base(0));
+  exchange_field(s.u, mpi::tags::euler_field_base(1));
+  exchange_field(s.v, mpi::tags::euler_field_base(2));
+  exchange_field(s.p, mpi::tags::euler_field_base(3));
   comm_timer_.stop();
   apply_physical_boundary(s);
 }

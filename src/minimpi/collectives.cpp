@@ -1,5 +1,10 @@
 #include "minimpi/collectives.hpp"
 
+#include <chrono>
+#include <string>
+
+#include "minimpi/validate.hpp"
+
 namespace parpde::mpi {
 
 void barrier(Communicator& comm) {
@@ -10,6 +15,25 @@ void barrier(Communicator& comm) {
     state.barrier_arrived = 0;
     ++state.barrier_generation;
     state.barrier_cv.notify_all();
+    return;
+  }
+  if (validate::enabled()) {
+    // Watchdogged wait: a rank that never reaches the barrier must produce a
+    // diagnostic, not a hang.
+    const bool released = state.barrier_cv.wait_for(
+        lock, std::chrono::milliseconds(validate::timeout_ms()),
+        [&] { return state.barrier_generation != generation; });
+    if (!released) {
+      const std::string report =
+          "deadlock watchdog: rank " + std::to_string(comm.rank()) +
+          " stuck in barrier (" + std::to_string(state.barrier_arrived) +
+          " of " + std::to_string(comm.size()) + " ranks arrived) after " +
+          std::to_string(validate::timeout_ms()) +
+          " ms; pending operations:\n" + comm.pending_ops_report();
+      lock.unlock();
+      validate::emit_report(report);
+      throw validate::DeadlockError(report);
+    }
     return;
   }
   state.barrier_cv.wait(

@@ -11,20 +11,22 @@
 #include <vector>
 
 #include "minimpi/communicator.hpp"
+#include "minimpi/tags.hpp"
 
 namespace parpde::mpi {
 
 enum class ReduceOp { kSum, kMin, kMax };
 
-// Reserved tag block for collective traffic.
-inline constexpr int kTagBarrier = 1 << 20;
-inline constexpr int kTagBcast = (1 << 20) + 1;
-inline constexpr int kTagReduce = (1 << 20) + 2;
-inline constexpr int kTagGather = (1 << 20) + 3;
-inline constexpr int kTagScatter = (1 << 20) + 4;
-inline constexpr int kTagScan = (1 << 20) + 5;
-inline constexpr int kTagAlltoall = (1 << 20) + 6;
-inline constexpr int kTagSendrecv = (1 << 20) + 7;
+// Collective traffic uses the reserved tags::kCollectives block (see
+// minimpi/tags.hpp); re-exported here so call sites keep their names.
+using tags::kTagAlltoall;
+using tags::kTagBarrier;
+using tags::kTagBcast;
+using tags::kTagGather;
+using tags::kTagReduce;
+using tags::kTagScan;
+using tags::kTagScatter;
+using tags::kTagSendrecv;
 
 // Blocks until all ranks have entered the barrier.
 void barrier(Communicator& comm);

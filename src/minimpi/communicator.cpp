@@ -1,5 +1,8 @@
 #include "minimpi/communicator.hpp"
 
+#include <chrono>
+
+#include "minimpi/tags.hpp"
 #include "util/telemetry.hpp"
 
 namespace parpde::mpi {
@@ -12,6 +15,12 @@ void count_tag_bytes(const char* direction, int tag, std::size_t bytes) {
   if (!telemetry::enabled()) return;
   telemetry::counter("comm.tag." + std::to_string(tag) + "." + direction)
       .add(bytes);
+}
+
+// Per-phase message accounting, validator only (same cost argument).
+void count_phase_message(const char* phase) {
+  telemetry::counter(std::string("validate.phase.") + phase + ".messages")
+      .add(1);
 }
 
 }  // namespace
@@ -31,13 +40,64 @@ void Communicator::check_peer(int peer, const char* what) const {
   }
 }
 
+void Communicator::check_phase(const char* what, int peer, int tag) const {
+  if (policy_ != CommPolicy::kForbidden) return;
+  const std::string msg =
+      std::string("rank ") + std::to_string(rank_) + ": " + what +
+      " during communication-free phase '" + phase_ + "' (peer " +
+      std::to_string(peer) + ", tag " + tags::describe(tag) + ")";
+  validate::emit_report(msg);
+  throw validate::PhaseError(msg);
+}
+
+void Communicator::flag_isend_over_cap(int dest, int tag,
+                                       std::size_t bytes) const {
+  telemetry::counter("validate.isend_over_cap").add(1);
+  validate::emit_report(
+      "rank " + std::to_string(rank_) + ": isend of " + std::to_string(bytes) +
+      " bytes to rank " + std::to_string(dest) + " (tag " +
+      tags::describe(tag) + ") exceeds the buffered-send cap of " +
+      std::to_string(validate::isend_cap_bytes()) +
+      " bytes; the eager copy is unbounded buffering — chunk the transfer or "
+      "use a blocking send");
+}
+
+std::string Communicator::pending_ops_report() const {
+  std::string out;
+  std::lock_guard<std::mutex> lock(state_->validate_mutex);
+  for (int r = 0; r < size_; ++r) {
+    const PendingRecv& p = state_->pending_recvs[static_cast<std::size_t>(r)];
+    if (p.active) {
+      out += "rank " + std::to_string(r) + ": blocked recv(source=" +
+             (p.source == kAnySource ? std::string("any")
+                                     : std::to_string(p.source)) +
+             ", tag=" + tags::describe(p.tag) + ", phase='" + p.phase + "')\n";
+    }
+    const auto queued =
+        state_->mailboxes[static_cast<std::size_t>(r)].snapshot();
+    for (const MessageInfo& m : queued) {
+      out += "rank " + std::to_string(r) + ": queued message from rank " +
+             std::to_string(m.source) + ", tag=" + tags::describe(m.tag) +
+             ", " + std::to_string(m.bytes) + " bytes\n";
+    }
+  }
+  if (out.empty()) out = "no pending operations recorded\n";
+  return out;
+}
+
 void Communicator::send_bytes(int dest, int tag,
-                              std::span<const std::byte> payload) {
+                              std::span<const std::byte> payload,
+                              std::size_t elem_size) {
   if (dest == kProcNull) return;
   check_peer(dest, "send");
+  if (validate::enabled()) {
+    check_phase("send", dest, tag);
+    count_phase_message(phase_);
+  }
   Message m;
   m.source = rank_;
   m.tag = tag;
+  m.elem_size = elem_size;
   m.payload.assign(payload.begin(), payload.end());
   bytes_sent_ += payload.size();
   ++messages_sent_;
@@ -50,13 +110,54 @@ void Communicator::send_bytes(int dest, int tag,
 }
 
 std::vector<std::byte> Communicator::recv_bytes(int source, int tag,
-                                                int* actual_source) {
+                                                int* actual_source,
+                                                std::size_t expect_elem_size) {
   if (source == kProcNull) {
     throw std::invalid_argument("recv: source is kProcNull");
   }
   if (source != kAnySource) check_peer(source, "recv");
-  Message m =
-      state_->mailboxes[static_cast<std::size_t>(rank_)].pop_matching(source, tag);
+  Mailbox& box = state_->mailboxes[static_cast<std::size_t>(rank_)];
+  Message m;
+  if (validate::enabled()) {
+    check_phase("recv", source, tag);
+    {
+      std::lock_guard<std::mutex> lock(state_->validate_mutex);
+      state_->pending_recvs[static_cast<std::size_t>(rank_)] = {true, source,
+                                                                tag, phase_};
+    }
+    const bool got = box.pop_matching_for(
+        source, tag, std::chrono::milliseconds(validate::timeout_ms()), &m);
+    if (!got) {
+      // Leave this rank's pending slot active so the dump shows the receive
+      // that starved; other timed-out ranks produce their own dumps.
+      const std::string report =
+          "deadlock watchdog: rank " + std::to_string(rank_) +
+          " made no progress on recv(source=" +
+          (source == kAnySource ? std::string("any") : std::to_string(source)) +
+          ", tag=" + tags::describe(tag) + ") within " +
+          std::to_string(validate::timeout_ms()) +
+          " ms; pending operations:\n" + pending_ops_report();
+      validate::emit_report(report);
+      throw validate::DeadlockError(report);
+    }
+    {
+      std::lock_guard<std::mutex> lock(state_->validate_mutex);
+      state_->pending_recvs[static_cast<std::size_t>(rank_)].active = false;
+    }
+    if (expect_elem_size != 0 && m.elem_size != 0 &&
+        m.elem_size != expect_elem_size) {
+      const std::string msg =
+          "rank " + std::to_string(rank_) + ": typed-envelope mismatch on "
+          "recv(source=" + std::to_string(m.source) + ", tag=" +
+          tags::describe(tag) + "): sender element size " +
+          std::to_string(m.elem_size) + " bytes, receiver expects " +
+          std::to_string(expect_elem_size) + " bytes";
+      validate::emit_report(msg);
+      throw validate::EnvelopeError(msg);
+    }
+  } else {
+    m = box.pop_matching(source, tag);
+  }
   if (actual_source != nullptr) *actual_source = m.source;
   bytes_received_ += m.payload.size();
   ++messages_received_;

@@ -4,6 +4,8 @@
 #include <stdexcept>
 #include <thread>
 
+#include "minimpi/tags.hpp"
+#include "minimpi/validate.hpp"
 #include "util/telemetry.hpp"
 
 namespace parpde::mpi {
@@ -34,6 +36,28 @@ void Environment::run(const std::function<void(Communicator&)>& fn) const {
   for (auto& t : threads) t.join();
   for (const auto& e : errors) {
     if (e) std::rethrow_exception(e);
+  }
+
+  // Finalize leak check: with the validator on, a clean run must leave every
+  // mailbox empty — an unconsumed message is an unmatched send (wrong tag,
+  // wrong destination, or a receive that was optimized away).
+  if (validate::enabled()) {
+    std::string report;
+    for (int r = 0; r < size_; ++r) {
+      const auto queued =
+          state->mailboxes[static_cast<std::size_t>(r)].snapshot();
+      for (const MessageInfo& m : queued) {
+        report += "rank " + std::to_string(r) +
+                  ": unconsumed message from rank " + std::to_string(m.source) +
+                  ", tag=" + tags::describe(m.tag) + ", " +
+                  std::to_string(m.bytes) + " bytes\n";
+      }
+    }
+    if (!report.empty()) {
+      report = "finalize leak check: mailbox(es) not drained\n" + report;
+      validate::emit_report(report);
+      throw validate::LeakError(report);
+    }
   }
 }
 

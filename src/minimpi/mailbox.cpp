@@ -34,6 +34,21 @@ Message Mailbox::pop_matching(int source, int tag) {
   return out;
 }
 
+bool Mailbox::pop_matching_for(int source, int tag,
+                               std::chrono::milliseconds timeout,
+                               Message* out) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  std::size_t idx = kNpos;
+  const bool matched = cv_.wait_for(lock, timeout, [&] {
+    idx = find_locked(source, tag);
+    return idx != kNpos;
+  });
+  if (!matched) return false;
+  *out = std::move(queue_[idx]);
+  queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(idx));
+  return true;
+}
+
 bool Mailbox::try_pop_matching(int source, int tag, Message* out) {
   std::lock_guard<std::mutex> lock(mutex_);
   const std::size_t idx = find_locked(source, tag);
@@ -46,6 +61,16 @@ bool Mailbox::try_pop_matching(int source, int tag, Message* out) {
 std::size_t Mailbox::pending() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return queue_.size();
+}
+
+std::vector<MessageInfo> Mailbox::snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<MessageInfo> out;
+  out.reserve(queue_.size());
+  for (const Message& m : queue_) {
+    out.push_back({m.source, m.tag, m.elem_size, m.payload.size()});
+  }
+  return out;
 }
 
 }  // namespace parpde::mpi

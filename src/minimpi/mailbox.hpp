@@ -4,6 +4,7 @@
 // within a matching (source, tag) pair, delivery order equals send order
 // (non-overtaking), as required by the halo-exchange protocol.
 
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
@@ -20,7 +21,19 @@ inline constexpr int kProcNull = -2;
 struct Message {
   int source = 0;
   int tag = 0;
+  // Validation envelope: sizeof(T) stamped by typed sends, 0 for raw byte
+  // sends. Checked against the receiving type by recv<T> when the validator
+  // is enabled (minimpi/validate.hpp).
+  std::size_t elem_size = 0;
   std::vector<std::byte> payload;
+};
+
+// Header-only view of a queued message, for watchdog / leak diagnostics.
+struct MessageInfo {
+  int source = 0;
+  int tag = 0;
+  std::size_t elem_size = 0;
+  std::size_t bytes = 0;
 };
 
 class Mailbox {
@@ -34,11 +47,19 @@ class Mailbox {
   // removes the earliest such message.
   Message pop_matching(int source, int tag);
 
+  // Bounded-wait variant used by the validation watchdog: returns false if no
+  // matching message arrived within `timeout` (nothing is removed).
+  bool pop_matching_for(int source, int tag, std::chrono::milliseconds timeout,
+                        Message* out);
+
   // Non-blocking variant; returns false if no matching message is queued.
   bool try_pop_matching(int source, int tag, Message* out);
 
   // Number of queued (undelivered) messages; used by shutdown sanity checks.
   [[nodiscard]] std::size_t pending() const;
+
+  // Headers of all queued messages in queue order (payloads not copied).
+  [[nodiscard]] std::vector<MessageInfo> snapshot() const;
 
  private:
   // Finds the first queued index matching the criteria, or npos.

@@ -1,0 +1,79 @@
+// Bounds-checked Tensor accessors (PARPDE_CHECKED_TENSOR). This target is
+// compiled with the flag defined (see tests/CMakeLists.txt), so the inline
+// accessors instantiated here throw std::out_of_range on rank or index
+// violations; the library default stays unchecked.
+
+#ifndef PARPDE_CHECKED_TENSOR
+#error "test_tensor_checked must be compiled with PARPDE_CHECKED_TENSOR"
+#endif
+
+#include <gtest/gtest.h>
+
+#include "tensor/tensor.hpp"
+
+namespace parpde {
+namespace {
+
+TEST(CheckedTensor, InRangeAccessBehavesNormally) {
+  Tensor t({2, 3, 4, 5});
+  t.at(1, 2, 3, 4) = 7.5f;
+  EXPECT_FLOAT_EQ(t.at(1, 2, 3, 4), 7.5f);
+  t[0] = 1.0f;
+  EXPECT_FLOAT_EQ(t[0], 1.0f);
+
+  Tensor m({3, 4});
+  m.at(2, 3) = -1.0f;
+  EXPECT_FLOAT_EQ(m.at(2, 3), -1.0f);
+
+  Tensor f({2, 4, 4});
+  f.at(1, 3, 3) = 2.0f;
+  EXPECT_FLOAT_EQ(f.at(1, 3, 3), 2.0f);
+}
+
+TEST(CheckedTensor, FlatIndexOutOfRangeThrows) {
+  Tensor t({2, 2});
+  EXPECT_THROW(t[4], std::out_of_range);
+  EXPECT_THROW(t[-1], std::out_of_range);
+  const Tensor& ct = t;
+  EXPECT_THROW(ct[4], std::out_of_range);
+}
+
+TEST(CheckedTensor, AxisOutOfRangeThrows) {
+  Tensor t({2, 3, 4, 5});
+  EXPECT_THROW(t.at(2, 0, 0, 0), std::out_of_range);
+  EXPECT_THROW(t.at(0, 3, 0, 0), std::out_of_range);
+  EXPECT_THROW(t.at(0, 0, 4, 0), std::out_of_range);
+  EXPECT_THROW(t.at(0, 0, 0, 5), std::out_of_range);
+  EXPECT_THROW(t.at(0, 0, 0, -1), std::out_of_range);
+
+  Tensor f({2, 4, 4});
+  EXPECT_THROW(f.at(2, 0, 0), std::out_of_range);
+
+  Tensor m({3, 4});
+  EXPECT_THROW(m.at(0, 4), std::out_of_range);
+}
+
+TEST(CheckedTensor, RankMismatchThrows) {
+  Tensor t({2, 3, 4, 5});
+  // 2-d accessor on a 4-d tensor would silently compute a wrong offset in
+  // the unchecked build; the checked build traps it.
+  EXPECT_THROW(t.at(0, 0), std::out_of_range);
+  Tensor m({3, 4});
+  EXPECT_THROW(m.at(0, 0, 0), std::out_of_range);
+  EXPECT_THROW(m.at(0, 0, 0, 0), std::out_of_range);
+}
+
+TEST(CheckedTensor, ErrorMessageNamesShapeAndIndex) {
+  Tensor t({2, 3});
+  try {
+    t.at(0, 9);
+    FAIL() << "expected std::out_of_range";
+  } catch (const std::out_of_range& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("index 9"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("[2, 3]"), std::string::npos) << msg;
+  }
+}
+
+}  // namespace
+}  // namespace parpde

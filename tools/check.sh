@@ -8,7 +8,9 @@
 #            thread pool — the tests that exercise cross-thread mailboxes,
 #            collectives, concurrent rank training, and the blocked GEMM's
 #            parallel_for fan-out.
-#   * asan:  Address+UB sanitizers over the full ctest suite.
+#   * asan:  Address+UB sanitizers over the full ctest suite, with
+#            PARPDE_CHECKED_TENSOR=ON so every Tensor access is also
+#            bounds- and rank-checked.
 #
 # Exits non-zero on the first failing build or test.
 
@@ -29,9 +31,10 @@ cmake --build "$build_root/tsan" -j "$jobs" --target \
 (cd "$build_root/tsan" && ctest --output-on-failure -R \
   'test_minimpi_p2p|test_minimpi_collectives|test_minimpi_collectives2|test_minimpi_cart|test_gemm_blocked|test_core_parallel')
 
-echo "== Address/UB sanitizer: full test suite =="
+echo "== Address/UB sanitizer + checked tensor accessors: full test suite =="
 cmake -S "$root" -B "$build_root/asan" \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DPARPDE_CHECKED_TENSOR=ON \
   -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-omit-frame-pointer" \
   -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=address,undefined" >/dev/null
 cmake --build "$build_root/asan" -j "$jobs" >/dev/null

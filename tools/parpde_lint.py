@@ -1,0 +1,492 @@
+#!/usr/bin/env python3
+"""parpde-verify: repo-specific communication-correctness and hygiene lint.
+
+A fast, AST-free static pass over src/ that enforces invariants the compiler
+cannot (see docs/static-analysis.md for the rule catalogue and how to add a
+rule):
+
+  literal-tag      MPI tags must come from the central registry
+                   (src/minimpi/tags.hpp); no integer-literal tag arguments
+                   in point-to-point calls and no kTag* constants defined
+                   outside the registry.
+  nondeterminism   kernel/trainer paths that must stay bit-deterministic may
+                   not call rand()/srand()/time() or iterate unordered
+                   containers.
+  span-temporary   telemetry::Span must be a named RAII local; a discarded
+                   temporary is destroyed immediately and measures nothing.
+  zero-comm        training-phase files (the paper's communication-free
+                   training claim) may not contain send/recv/collective
+                   calls; pure-compute layers may not include minimpi at all.
+  include-hygiene  headers start with #pragma once; no relative-parent or
+                   <bits/...> includes; a .cpp's first include is its own
+                   header.
+
+Usage:
+  tools/parpde_lint.py [--root DIR]   lint the tree (exit 1 on violations)
+  tools/parpde_lint.py --self-test    seed one violation per rule in a temp
+                                      tree and assert each is caught
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import re
+import sys
+import tempfile
+
+# --- source sanitizing -------------------------------------------------------
+
+_COMMENT_OR_STRING = re.compile(
+    r"""
+      //[^\n]*            # line comment
+    | /\*.*?\*/           # block comment
+    | "(?:\\.|[^"\\\n])*" # string literal
+    | '(?:\\.|[^'\\\n])*' # char literal
+    """,
+    re.VERBOSE | re.DOTALL,
+)
+
+
+_COMMENT_ONLY = re.compile(r"//[^\n]*|/\*.*?\*/", re.DOTALL)
+
+
+def _blank(m: re.Match) -> str:
+    return "".join(c if c == "\n" else " " for c in m.group(0))
+
+
+def sanitize(text: str) -> str:
+    """Replaces comments and string/char literals with spaces, preserving
+    offsets and line structure so regex hits map back to real code."""
+    return _COMMENT_OR_STRING.sub(_blank, text)
+
+
+def sanitize_comments(text: str) -> str:
+    """Blanks comments but keeps string literals — include directives carry
+    their path as a string literal, so include rules scan this view."""
+    return _COMMENT_ONLY.sub(_blank, text)
+
+
+def line_of(text: str, offset: int) -> int:
+    return text.count("\n", 0, offset) + 1
+
+
+class Violation:
+    def __init__(self, rule: str, path: str, line: int, message: str):
+        self.rule = rule
+        self.path = path
+        self.line = line
+        self.message = message
+
+    def __str__(self) -> str:
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+# --- rule: literal-tag -------------------------------------------------------
+
+_COMM_CALL = re.compile(
+    r"\.\s*(send_value|send_bytes|isend|send|irecv|recv_value|recv_bytes"
+    r"|recv|probe)\s*(?:<[^<>()]*>)?\s*\("
+)
+_INT_LITERAL = re.compile(r"[+-]?\d+")
+_TAG_CONSTANT = re.compile(r"\bkTag\w*\s*=\s*(?:\(?\s*)?[+-]?\d")
+
+TAG_REGISTRY = os.path.join("src", "minimpi", "tags.hpp")
+
+
+def split_args(code: str, open_paren: int, max_args: int = 4):
+    """Splits the argument list starting at code[open_paren] == '(' into
+    top-level arguments. Returns a list of (text, offset) pairs."""
+    args = []
+    depth = 0
+    start = open_paren + 1
+    i = open_paren
+    while i < len(code):
+        c = code[i]
+        if c in "([{":
+            depth += 1
+        elif c in ")]}":
+            depth -= 1
+            if depth == 0:
+                args.append((code[start:i], start))
+                return args
+        elif c == "," and depth == 1:
+            args.append((code[start:i], start))
+            start = i + 1
+            if len(args) >= max_args:
+                return args
+        i += 1
+    return args
+
+
+def rule_literal_tag(rel: str, code: str, out: list):
+    if rel == TAG_REGISTRY.replace(os.sep, "/"):
+        return
+    for m in _COMM_CALL.finditer(code):
+        open_paren = m.end() - 1
+        args = split_args(code, open_paren)
+        if len(args) < 2:
+            continue
+        tag_text, tag_offset = args[1]
+        if _INT_LITERAL.fullmatch(tag_text.strip()):
+            out.append(
+                Violation(
+                    "literal-tag",
+                    rel,
+                    line_of(code, tag_offset),
+                    f"integer-literal tag {tag_text.strip()} in "
+                    f".{m.group(1)}() — use a named range from "
+                    "minimpi/tags.hpp",
+                )
+            )
+    for m in _TAG_CONSTANT.finditer(code):
+        out.append(
+            Violation(
+                "literal-tag",
+                rel,
+                line_of(code, m.start()),
+                "tag constant defined outside the central registry "
+                "minimpi/tags.hpp",
+            )
+        )
+
+
+# --- rule: nondeterminism ----------------------------------------------------
+
+DETERMINISTIC_DIRS = (
+    "src/tensor/",
+    "src/nn/",
+    "src/core/",
+    "src/domain/",
+    "src/euler/",
+    "src/data/",
+)
+
+_NONDET_PATTERNS = (
+    (re.compile(r"\b(?:std::)?s?rand\s*\("), "rand()/srand()"),
+    (re.compile(r"\b(?:std::)?time\s*\("), "time()"),
+    (
+        re.compile(r"\bstd::unordered_(?:multi)?(?:map|set)\b"),
+        "unordered container (iteration order is nondeterministic)",
+    ),
+    (re.compile(r"\bstd::random_device\b"), "std::random_device"),
+)
+
+
+def rule_nondeterminism(rel: str, code: str, out: list):
+    if not rel.startswith(DETERMINISTIC_DIRS):
+        return
+    for pattern, what in _NONDET_PATTERNS:
+        for m in pattern.finditer(code):
+            out.append(
+                Violation(
+                    "nondeterminism",
+                    rel,
+                    line_of(code, m.start()),
+                    f"{what} in a bit-deterministic path — kernels and "
+                    "trainers must produce identical results at any "
+                    "rank/thread count",
+                )
+            )
+
+
+# --- rule: span-temporary ----------------------------------------------------
+
+_SPAN_TEMPORARY = re.compile(r"\btelemetry::Span\s*\(")
+
+
+def rule_span_temporary(rel: str, code: str, out: list):
+    if rel.startswith("src/util/telemetry."):
+        return
+    for m in _SPAN_TEMPORARY.finditer(code):
+        out.append(
+            Violation(
+                "span-temporary",
+                rel,
+                line_of(code, m.start()),
+                "telemetry::Span temporary is destroyed immediately and "
+                "records a zero-length span — bind it to a named local",
+            )
+        )
+
+
+# --- rule: zero-comm ---------------------------------------------------------
+
+# Files implementing the paper's communication-free training phase: any
+# send/recv here would silently break the headline zero-comm claim.
+TRAINING_PHASE_FILES = (
+    "src/core/trainer.cpp",
+    "src/core/trainer.hpp",
+    "src/core/parallel_trainer.cpp",
+    "src/core/parallel_trainer.hpp",
+)
+# Pure-compute layers: may not even include the message-passing substrate.
+COMPUTE_ONLY_DIRS = ("src/nn/", "src/tensor/", "src/data/")
+
+_COMM_USE = re.compile(
+    r"(\.\s*(?:send_value|send_bytes|isend|send|irecv|recv_value|recv_bytes"
+    r"|recv)\s*[<(])|(\b(?:allreduce|allgather|bcast|reduce|sendrecv)\s*<)"
+)
+_MINIMPI_INCLUDE = re.compile(r'#\s*include\s+"minimpi/')
+
+
+def rule_zero_comm(rel: str, code: str, code_includes: str, out: list):
+    compute_only = rel.startswith(COMPUTE_ONLY_DIRS)
+    if rel in TRAINING_PHASE_FILES or compute_only:
+        for m in _COMM_USE.finditer(code):
+            out.append(
+                Violation(
+                    "zero-comm",
+                    rel,
+                    line_of(code, m.start()),
+                    "message-passing call in a training-phase/compute file — "
+                    "the paper's scheme trains without communication "
+                    "(ROADMAP north-star invariant)",
+                )
+            )
+    if compute_only:
+        for m in _MINIMPI_INCLUDE.finditer(code_includes):
+            out.append(
+                Violation(
+                    "zero-comm",
+                    rel,
+                    line_of(code, m.start()),
+                    "minimpi include in a pure-compute layer",
+                )
+            )
+
+
+# --- rule: include-hygiene ---------------------------------------------------
+
+_INCLUDE = re.compile(r'#\s*include\s+(["<][^">]+[">])')
+
+
+def rule_include_hygiene(rel: str, code_includes: str, raw: str, out: list):
+    code = code_includes
+    if rel.endswith((".hpp", ".h")):
+        for line in raw.splitlines():
+            stripped = line.strip()
+            if not stripped or stripped.startswith(("//", "/*", "*")):
+                continue
+            if stripped != "#pragma once":
+                out.append(
+                    Violation(
+                        "include-hygiene",
+                        rel,
+                        1,
+                        "header must open with #pragma once before any code",
+                    )
+                )
+            break
+    includes = list(_INCLUDE.finditer(code))
+    for m in includes:
+        target = m.group(1)
+        if target.startswith('"../'):
+            out.append(
+                Violation(
+                    "include-hygiene",
+                    rel,
+                    line_of(code, m.start()),
+                    "relative-parent include — include project headers by "
+                    "their src/-rooted path",
+                )
+            )
+        if target.startswith("<bits/"):
+            out.append(
+                Violation(
+                    "include-hygiene",
+                    rel,
+                    line_of(code, m.start()),
+                    "non-portable <bits/...> include",
+                )
+            )
+    if rel.endswith(".cpp") and includes:
+        own = rel[len("src/"):-len(".cpp")] + ".hpp"
+        first = includes[0].group(1)
+        if first.strip('"') != own and os.path.basename(own) == os.path.basename(
+            first.strip('"<>')
+        ):
+            out.append(
+                Violation(
+                    "include-hygiene",
+                    rel,
+                    line_of(code, includes[0].start()),
+                    f'first include should be the matching header "{own}"',
+                )
+            )
+
+
+# --- driver ------------------------------------------------------------------
+
+SOURCE_EXTENSIONS = (".hpp", ".h", ".cpp")
+
+
+def lint_file(root: str, rel: str) -> list:
+    path = os.path.join(root, rel)
+    with open(path, "r", encoding="utf-8", errors="replace") as f:
+        raw = f.read()
+    code = sanitize(raw)
+    code_includes = sanitize_comments(raw)
+    rel_posix = rel.replace(os.sep, "/")
+    out: list = []
+    rule_literal_tag(rel_posix, code, out)
+    rule_nondeterminism(rel_posix, code, out)
+    rule_span_temporary(rel_posix, code, out)
+    rule_zero_comm(rel_posix, code, code_includes, out)
+    rule_include_hygiene(rel_posix, code_includes, raw, out)
+    return out
+
+
+def lint_tree(root: str) -> list:
+    violations = []
+    src = os.path.join(root, "src")
+    for dirpath, _, filenames in os.walk(src):
+        for name in sorted(filenames):
+            if not name.endswith(SOURCE_EXTENSIONS):
+                continue
+            rel = os.path.relpath(os.path.join(dirpath, name), root)
+            violations.extend(lint_file(root, rel))
+    return violations
+
+
+# --- self-test ---------------------------------------------------------------
+
+SEEDED_FILES = {
+    # literal-tag: raw tag argument and a stray registry constant.
+    "src/core/bad_tags.cpp": (
+        '#include "core/bad_tags.hpp"\n'
+        "constexpr int kTagRogue = 9000;\n"
+        "void f(parpde::mpi::Communicator& comm) {\n"
+        "  comm.send<float>(1, 4242, data);\n"
+        "  comm.recv<float>(0, 17);\n"
+        "}\n"
+    ),
+    # nondeterminism: rand + unordered_map in a kernel path.
+    "src/tensor/bad_rng.cpp": (
+        '#include "tensor/bad_rng.hpp"\n'
+        "#include <unordered_map>\n"
+        "int f() {\n"
+        "  std::unordered_map<int, int> m;\n"
+        "  return rand() + static_cast<int>(time(nullptr));\n"
+        "}\n"
+    ),
+    # span-temporary: discarded RAII span.
+    "src/domain/bad_span.cpp": (
+        '#include "domain/bad_span.hpp"\n'
+        "void f() {\n"
+        '  telemetry::Span("halo.exchange", "comm");\n'
+        "}\n"
+    ),
+    # zero-comm: a send inside the training phase and a minimpi include in nn.
+    "src/core/parallel_trainer.cpp": (
+        '#include "core/parallel_trainer.hpp"\n'
+        "void g(parpde::mpi::Communicator& comm) {\n"
+        "  comm.send<float>(0, parpde::mpi::tags::kHalo.base, w);\n"
+        "}\n"
+    ),
+    "src/nn/bad_layer.cpp": (
+        '#include "nn/bad_layer.hpp"\n'
+        '#include "minimpi/communicator.hpp"\n'
+        "void h() {}\n"
+    ),
+    # include-hygiene: missing pragma once, parent include, bits include.
+    "src/util/bad_header.hpp": (
+        "#include <vector>\n"
+        '#include "../core/config.hpp"\n'
+        "#include <bits/stdc++.h>\n"
+    ),
+    # clean file: must produce no violations.
+    "src/util/clean.cpp": (
+        '#include "util/clean.hpp"\n'
+        "void ok(parpde::mpi::Communicator& comm) {\n"
+        "  telemetry::Span span(\"ok\", \"test\");\n"
+        "  comm.send<float>(1, parpde::mpi::tags::kHalo.base, data);\n"
+        "  // comm.send<float>(1, 999, data);  <- commented out, no finding\n"
+        '  const char* s = "comm.recv<float>(0, 123)";\n'
+        "  (void)s;\n"
+        "}\n"
+    ),
+}
+
+EXPECTED = {
+    "literal-tag": {"src/core/bad_tags.cpp"},
+    "nondeterminism": {"src/tensor/bad_rng.cpp"},
+    "span-temporary": {"src/domain/bad_span.cpp"},
+    "zero-comm": {"src/core/parallel_trainer.cpp", "src/nn/bad_layer.cpp"},
+    "include-hygiene": {"src/util/bad_header.hpp"},
+}
+
+
+def self_test() -> int:
+    with tempfile.TemporaryDirectory(prefix="parpde_lint_selftest_") as tmp:
+        for rel, content in SEEDED_FILES.items():
+            path = os.path.join(tmp, rel)
+            os.makedirs(os.path.dirname(path), exist_ok=True)
+            with open(path, "w", encoding="utf-8") as f:
+                f.write(content)
+        violations = lint_tree(tmp)
+        by_rule: dict = {}
+        for v in violations:
+            by_rule.setdefault(v.rule, set()).add(v.path)
+        failures = []
+        for rule, files in EXPECTED.items():
+            missing = files - by_rule.get(rule, set())
+            if missing:
+                failures.append(f"rule {rule}: seeded violations not caught "
+                                f"in {sorted(missing)}")
+        flagged_clean = [
+            str(v) for v in violations if v.path == "src/util/clean.cpp"
+        ]
+        if flagged_clean:
+            failures.append(f"clean file flagged: {flagged_clean}")
+        # The literal-tag seed has 3 findings (two calls + one constant).
+        literal = [v for v in violations if v.rule == "literal-tag"]
+        if len(literal) != 3:
+            failures.append(
+                f"literal-tag: expected 3 findings, got {len(literal)}"
+            )
+        if failures:
+            print("parpde_lint self-test FAILED:", file=sys.stderr)
+            for f in failures:
+                print(f"  {f}", file=sys.stderr)
+            return 1
+        print(
+            f"parpde_lint self-test passed: {len(violations)} seeded "
+            f"violations caught across {len(EXPECTED)} rules"
+        )
+        return 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--root",
+        default=os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+        help="repository root (default: the parent of this script's dir)",
+    )
+    parser.add_argument(
+        "--self-test",
+        action="store_true",
+        help="verify the linter catches a tree of seeded violations",
+    )
+    args = parser.parse_args()
+
+    if args.self_test:
+        return self_test()
+
+    violations = lint_tree(args.root)
+    for v in violations:
+        print(v)
+    if violations:
+        print(
+            f"parpde_lint: {len(violations)} violation(s); see "
+            "docs/static-analysis.md for the rule catalogue",
+            file=sys.stderr,
+        )
+        return 1
+    print("parpde_lint: clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
