@@ -2,16 +2,21 @@
 
 #include <cstring>
 #include <fstream>
+#include <sstream>
 #include <stdexcept>
 
 #include "tensor/serialize.hpp"
+#include "util/crc32.hpp"
 
 namespace parpde::core {
 
 namespace {
 
 constexpr char kMagic[4] = {'P', 'P', 'D', 'E'};
-constexpr std::uint32_t kVersion = 1;
+// v2 frames the body with a length + CRC-32 directly after the version word,
+// so truncation and corruption are reported instead of parsed; v1 (bare
+// body) files remain readable.
+constexpr std::uint32_t kVersion = 2;
 
 template <typename T>
 void write_pod(std::ostream& out, const T& value) {
@@ -28,11 +33,10 @@ T read_pod(std::istream& in) {
 
 }  // namespace
 
-void write_ensemble(std::ostream& out, const EnsembleCheckpoint& checkpoint) {
-  const auto& report = checkpoint.report;
-  out.write(kMagic, sizeof(kMagic));
-  write_pod(out, kVersion);
+namespace {
 
+void write_body(std::ostream& out, const EnsembleCheckpoint& checkpoint) {
+  const auto& report = checkpoint.report;
   const auto& net = checkpoint.network;
   write_pod(out, static_cast<std::uint32_t>(net.channels.size()));
   for (const auto c : net.channels) write_pod(out, c);
@@ -52,19 +56,9 @@ void write_ensemble(std::ostream& out, const EnsembleCheckpoint& checkpoint) {
     write_pod(out, static_cast<std::uint32_t>(outcome.parameters.size()));
     for (const auto& t : outcome.parameters) write_tensor(out, t);
   }
-  if (!out) throw std::runtime_error("write_ensemble: stream failure");
 }
 
-EnsembleCheckpoint read_ensemble(std::istream& in) {
-  char magic[4];
-  in.read(magic, sizeof(magic));
-  if (!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
-    throw std::runtime_error("read_ensemble: bad magic");
-  }
-  if (read_pod<std::uint32_t>(in) != kVersion) {
-    throw std::runtime_error("read_ensemble: unsupported version");
-  }
-
+EnsembleCheckpoint read_body(std::istream& in) {
   EnsembleCheckpoint checkpoint;
   const auto n_channels = read_pod<std::uint32_t>(in);
   if (n_channels < 2 || n_channels > 64) {
@@ -104,6 +98,54 @@ EnsembleCheckpoint read_ensemble(std::istream& in) {
     }
   }
   return checkpoint;
+}
+
+}  // namespace
+
+void write_ensemble(std::ostream& out, const EnsembleCheckpoint& checkpoint) {
+  std::ostringstream body_stream(std::ios::binary);
+  write_body(body_stream, checkpoint);
+  const std::string body = std::move(body_stream).str();
+
+  out.write(kMagic, sizeof(kMagic));
+  write_pod(out, kVersion);
+  write_pod(out, static_cast<std::uint64_t>(body.size()));
+  write_pod(out, util::crc32(body.data(), body.size()));
+  out.write(body.data(), static_cast<std::streamsize>(body.size()));
+  if (!out) throw std::runtime_error("write_ensemble: stream failure");
+}
+
+EnsembleCheckpoint read_ensemble(std::istream& in) {
+  char magic[4];
+  in.read(magic, sizeof(magic));
+  if (!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    throw std::runtime_error("read_ensemble: bad magic");
+  }
+  const auto version = read_pod<std::uint32_t>(in);
+  if (version == 1) return read_body(in);  // unframed legacy layout
+  if (version != kVersion) {
+    throw std::runtime_error("read_ensemble: unsupported version " +
+                             std::to_string(version));
+  }
+  const auto body_len = read_pod<std::uint64_t>(in);
+  const auto crc = read_pod<std::uint32_t>(in);
+  if (body_len > (1ull << 33)) {
+    throw std::runtime_error("read_ensemble: implausible body length");
+  }
+  std::string body(static_cast<std::size_t>(body_len), '\0');
+  in.read(body.data(), static_cast<std::streamsize>(body_len));
+  if (!in || in.gcount() != static_cast<std::streamsize>(body_len)) {
+    throw std::runtime_error(
+        "read_ensemble: truncated body — the checkpoint was cut short (torn "
+        "write or incomplete copy)");
+  }
+  if (util::crc32(body.data(), body.size()) != crc) {
+    throw std::runtime_error(
+        "read_ensemble: CRC mismatch — the checkpoint is corrupt; refusing "
+        "to load garbage weights");
+  }
+  std::istringstream body_in(body, std::ios::binary);
+  return read_body(body_in);
 }
 
 void save_ensemble(const std::string& path, const EnsembleCheckpoint& checkpoint) {

@@ -6,10 +6,13 @@
 // CLI) without retraining.
 //
 // Layout (little-endian):
-//   magic "PPDE" | u32 version
-//   u32 n_channels | i64 channels[] | i64 kernel | f32 leaky | u8 final_act
-//   u8 border | i32 ranks | i32 px | i32 py
-//   per rank: i64 h0 h1 w0 w1 | u32 tensor_count | tensors (tensor format)
+//   magic "PPDE" | u32 version | u64 body_len | u32 crc32(body) | body
+//   body:
+//     u32 n_channels | i64 channels[] | i64 kernel | f32 leaky | u8 final_act
+//     u8 border | i32 ranks | i32 px | i32 py
+//     per rank: i64 h0 h1 w0 w1 | u32 tensor_count | tensors (tensor format)
+// Version 2 added the length + CRC frame so truncated or corrupt files fail
+// with a diagnostic; version-1 files (bare body) are still readable.
 
 #include <istream>
 #include <ostream>

@@ -14,7 +14,8 @@ namespace parpde::core {
 
 RolloutResult parallel_rollout(const TrainConfig& config,
                                const ParallelTrainReport& trained,
-                               const Tensor& initial, int steps) {
+                               const Tensor& initial, int steps,
+                               const domain::HaloOptions& halo_options) {
   if (config.border == BorderMode::kValidInner) {
     throw std::invalid_argument(
         "parallel_rollout: valid-inner mode cannot roll out (output loses the "
@@ -40,6 +41,7 @@ RolloutResult parallel_rollout(const TrainConfig& config,
   std::vector<std::uint64_t> halo_bytes_recv(static_cast<std::size_t>(ranks), 0);
   std::vector<std::uint64_t> total_sent(static_cast<std::size_t>(ranks), 0);
   std::vector<std::uint64_t> total_recv(static_cast<std::size_t>(ranks), 0);
+  std::vector<domain::BorderHealth> health(static_cast<std::size_t>(ranks));
 
   mpi::Environment env(ranks);
   env.run([&](mpi::Communicator& comm) {
@@ -71,8 +73,9 @@ RolloutResult parallel_rollout(const TrainConfig& config,
       if (halo > 0) {
         const std::uint64_t sent_before = comm.bytes_sent();
         const std::uint64_t recv_before = comm.bytes_received();
-        input = domain::exchange_halo(cart, partition, interior, halo,
-                                      &comm_timer);
+        input = domain::exchange_halo(
+            cart, partition, interior, halo, &comm_timer, halo_options,
+            &health[static_cast<std::size_t>(rank)]);
         exchange_bytes += comm.bytes_sent() - sent_before;
         exchange_bytes_recv += comm.bytes_received() - recv_before;
       }
@@ -107,6 +110,12 @@ RolloutResult parallel_rollout(const TrainConfig& config,
   });
 
   for (int r = 0; r < ranks; ++r) {
+    const domain::BorderHealth& h = health[static_cast<std::size_t>(r)];
+    if (h.any()) {
+      result.degraded_borders += h.count();
+      result.degraded_detail.push_back("rank " + std::to_string(r) + ": " +
+                                       h.describe());
+    }
     result.comm_seconds =
         std::max(result.comm_seconds, comm_seconds[static_cast<std::size_t>(r)]);
     result.compute_seconds = std::max(

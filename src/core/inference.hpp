@@ -9,6 +9,7 @@
 #include "core/config.hpp"
 #include "core/parallel_trainer.hpp"
 #include "core/trainer.hpp"
+#include "domain/exchange.hpp"
 
 namespace parpde::core {
 
@@ -25,6 +26,11 @@ struct RolloutResult {
   std::uint64_t halo_bytes_received = 0;
   std::uint64_t bytes_sent = 0;      // all traffic incl. frame gathers
   std::uint64_t bytes_received = 0;  // all traffic incl. frame gathers
+  // Fault-degradation outcome: borders that lost their neighbour mid-rollout
+  // and fell back to the zero-padding treatment (docs/robustness.md). Zero /
+  // empty on a healthy run.
+  int degraded_borders = 0;
+  std::vector<std::string> degraded_detail;  // e.g. "rank 2: E,N"
 };
 
 // Multi-step rollout with the per-rank models of a ParallelTrainReport,
@@ -32,9 +38,14 @@ struct RolloutResult {
 // kZeroPad (communication-free inference with zero borders) or kHaloPad
 // (p2p halo exchange per step); kValidInner cannot roll out because its
 // output loses the subdomain rim (the limitation Sec. III points out).
+//
+// Halo receives are bounded by `halo_options`; a border whose neighbour is
+// definitively lost degrades (sticky, per rank) to zero padding and the
+// rollout keeps going — it never deadlocks under message loss.
 RolloutResult parallel_rollout(const TrainConfig& config,
                                const ParallelTrainReport& trained,
-                               const Tensor& initial, int steps);
+                               const Tensor& initial, int steps,
+                               const domain::HaloOptions& halo_options = {});
 
 // Monolithic rollout with a single full-domain network.
 std::vector<Tensor> sequential_rollout(NetworkTrainer& trainer,

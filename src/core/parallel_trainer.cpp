@@ -1,9 +1,13 @@
 #include "core/parallel_trainer.hpp"
 
 #include <algorithm>
+#include <optional>
 #include <stdexcept>
 
+#include "core/train_checkpoint.hpp"
 #include "minimpi/environment.hpp"
+#include "minimpi/fault.hpp"
+#include "util/log.hpp"
 #include "util/telemetry.hpp"
 #include "util/thread_pool.hpp"
 #include "util/timer.hpp"
@@ -34,9 +38,10 @@ ParallelTrainer::ParallelTrainer(TrainConfig config, int ranks)
   if (ranks <= 0) throw std::invalid_argument("ParallelTrainer: ranks must be > 0");
 }
 
-ParallelTrainReport ParallelTrainer::train(const data::FrameDataset& dataset,
-                                           ExecutionMode mode,
-                                           const ParallelTrainReport* resume_from) const {
+ParallelTrainReport ParallelTrainer::train(
+    const data::FrameDataset& dataset, ExecutionMode mode,
+    const ParallelTrainReport* resume_from,
+    const FaultToleranceOptions* fault_tolerance) const {
   const auto split = dataset.chronological_split(config_.train_fraction);
   const domain::Partition partition(dataset.height(), dataset.width(), dims_.px,
                                     dims_.py);
@@ -53,9 +58,15 @@ ParallelTrainReport ParallelTrainer::train(const data::FrameDataset& dataset,
   report.mode = mode;
   report.rank_outcomes.resize(static_cast<std::size_t>(ranks_));
 
+  const bool checkpoints_on = fault_tolerance != nullptr &&
+                              !fault_tolerance->checkpoint_dir.empty();
+
   // Per-rank training body; communication-free by construction (Sec. III:
   // "the training data are directly fed into the network from the memory").
-  auto train_rank = [&](int rank) -> RankOutcome {
+  // `resume_checkpoint` restarts from the rank's latest valid mid-training
+  // checkpoint — used for a `--resume` restart and for retraining a rank the
+  // fault injector killed.
+  auto train_rank = [&](int rank, bool resume_checkpoint) -> RankOutcome {
     telemetry::Span span("train.rank", "train");
     RankOutcome outcome;
     outcome.rank = rank;
@@ -68,9 +79,49 @@ ParallelTrainReport ParallelTrainer::train(const data::FrameDataset& dataset,
           trainer.model(),
           resume_from->rank_outcomes[static_cast<std::size_t>(rank)].parameters);
     }
-    outcome.result = trainer.train(task);
+    std::optional<TrainerSnapshot> snapshot;
+    CheckpointHook hook;
+    const CheckpointHook* hook_ptr = nullptr;
+    if (checkpoints_on) {
+      if (resume_checkpoint) {
+        snapshot =
+            load_latest_checkpoint(fault_tolerance->checkpoint_dir, rank);
+        if (snapshot) {
+          util::log_info() << "rank " << rank << ": resuming from epoch "
+                           << snapshot->next_epoch;
+        }
+      }
+      if (fault_tolerance->checkpoint_every > 0) {
+        hook.every_epochs = fault_tolerance->checkpoint_every;
+        hook.save = [&fault_tolerance, rank](const TrainerSnapshot& snap) {
+          save_rank_checkpoint(fault_tolerance->checkpoint_dir, rank, snap);
+        };
+        hook_ptr = &hook;
+      }
+    }
+    outcome.result = trainer.train(task, nullptr,
+                                   snapshot ? &*snapshot : nullptr, hook_ptr);
     outcome.parameters = export_parameters(trainer.model());
     return outcome;
+  };
+
+  const bool resume_all = fault_tolerance != nullptr && fault_tolerance->resume;
+
+  // Retrains one dead rank by itself (its checkpoint survives the crash;
+  // with no checkpoint it restarts from scratch). The fault injector's kill
+  // directive fires at most once per installed plan, so the retrain runs to
+  // completion.
+  auto retrain_rank = [&](int rank, const std::string& error) {
+    static telemetry::Counter& retrained =
+        telemetry::counter("train.rank_retrained");
+    retrained.add(1);
+    util::log_warn() << "rank " << rank << " failed mid-training (" << error
+                     << "); retraining it alone from its checkpoint";
+    telemetry::set_thread_rank(rank);
+    report.rank_outcomes[static_cast<std::size_t>(rank)] =
+        train_rank(rank, /*resume_checkpoint=*/true);
+    telemetry::set_thread_rank(-1);
+    report.retrained_ranks.push_back(rank);
   };
 
   // Intra-rank threading budget. In concurrent mode the R rank threads share
@@ -91,19 +142,24 @@ ParallelTrainReport ParallelTrainer::train(const data::FrameDataset& dataset,
       // Attribute this rank's spans to its own trace lane even though the
       // ranks run serially on the calling thread.
       telemetry::set_thread_rank(r);
-      report.rank_outcomes[static_cast<std::size_t>(r)] = train_rank(r);
+      try {
+        report.rank_outcomes[static_cast<std::size_t>(r)] =
+            train_rank(r, resume_all);
+      } catch (const mpi::fault::RankFailure& failure) {
+        retrain_rank(r, failure.what());
+      }
     }
     telemetry::set_thread_rank(-1);
   } else {
     mpi::Environment env(ranks_);
-    env.run([&](mpi::Communicator& comm) {
+    auto rank_body = [&](mpi::Communicator& comm) {
       comm.reset_counters();
       // The paper's zero-comm training invariant, enforced two ways: the
       // validator traps any message the moment it is sent (PhaseScope with
       // kForbidden), and the byte counters are re-checked after the fact.
       mpi::PhaseScope phase(comm, "train.zero_comm",
                             mpi::CommPolicy::kForbidden);
-      auto outcome = train_rank(comm.rank());
+      auto outcome = train_rank(comm.rank(), resume_all);
       outcome.train_bytes_sent = comm.bytes_sent();
       outcome.train_bytes_received = comm.bytes_received();
       if (outcome.train_bytes_sent != 0) {
@@ -112,7 +168,17 @@ ParallelTrainReport ParallelTrainer::train(const data::FrameDataset& dataset,
       }
       report.rank_outcomes[static_cast<std::size_t>(comm.rank())] =
           std::move(outcome);
-    });
+    };
+    if (fault_tolerance != nullptr) {
+      // Fault-tolerant path: a rank the injector kills is reported rather
+      // than rethrown; the survivors finish, then the casualty retrains.
+      const mpi::RunOutcome run = env.run_collect(rank_body);
+      for (const int r : run.failed_ranks()) {
+        retrain_rank(r, run.ranks[static_cast<std::size_t>(r)].error);
+      }
+    } else {
+      env.run(rank_body);
+    }
   }
   report.wall_seconds = wall.seconds();
   return report;

@@ -38,6 +38,9 @@ struct ParallelTrainReport {
   ExecutionMode mode = ExecutionMode::kConcurrent;
   std::vector<RankOutcome> rank_outcomes;
   double wall_seconds = 0.0;  // wall time of the whole call (serialized here)
+  // Ranks that died mid-training (fault injection) and were retrained alone
+  // from their latest valid checkpoint. Empty on a healthy run.
+  std::vector<int> retrained_ranks;
 
   // max_r T_r: the modeled parallel training time on dedicated cores.
   [[nodiscard]] double modeled_parallel_seconds() const;
@@ -45,6 +48,21 @@ struct ParallelTrainReport {
   [[nodiscard]] double total_work_seconds() const;
   // Mean of the per-rank final training losses.
   [[nodiscard]] double mean_final_loss() const;
+};
+
+// Crash-consistency knobs (docs/robustness.md). With a checkpoint directory
+// configured, every rank snapshots its full training state (weights + ADAM
+// moments + shuffle RNG + epoch) every `checkpoint_every` epochs, written
+// atomically with a CRC. `resume` restarts each rank from its latest *valid*
+// checkpoint — bit-identically to the uninterrupted run. Independent of the
+// options, a rank killed mid-run by fault injection is retrained alone from
+// its checkpoint after the surviving ranks finish; because training is
+// communication-free (Sec. III), one dead rank costs exactly one subdomain's
+// work, never the ensemble.
+struct FaultToleranceOptions {
+  std::string checkpoint_dir;  // empty = no checkpoint/restart
+  int checkpoint_every = 0;    // epochs between snapshots (0 = no snapshots)
+  bool resume = false;         // start from the latest valid checkpoints
 };
 
 class ParallelTrainer {
@@ -55,11 +73,13 @@ class ParallelTrainer {
   // Trains all ranks. When `resume_from` is supplied (e.g. a loaded
   // checkpoint of a compatible topology/architecture), every rank starts from
   // its previously trained weights instead of a fresh initialization —
-  // optimizer state (ADAM moments) restarts.
+  // optimizer state (ADAM moments) restarts. `fault_tolerance` (may be null)
+  // enables mid-training checkpoints, crash resume and dead-rank retraining.
   [[nodiscard]] ParallelTrainReport train(
       const data::FrameDataset& dataset,
       ExecutionMode mode = ExecutionMode::kConcurrent,
-      const ParallelTrainReport* resume_from = nullptr) const;
+      const ParallelTrainReport* resume_from = nullptr,
+      const FaultToleranceOptions* fault_tolerance = nullptr) const;
 
   [[nodiscard]] const TrainConfig& config() const { return config_; }
   [[nodiscard]] mpi::Dims dims() const { return dims_; }

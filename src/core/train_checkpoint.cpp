@@ -1,0 +1,294 @@
+#include "core/train_checkpoint.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+#include "tensor/serialize.hpp"
+#include "util/crc32.hpp"
+#include "util/log.hpp"
+#include "util/telemetry.hpp"
+
+namespace parpde::core {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+constexpr char kMagic[4] = {'P', 'P', 'T', 'C'};
+constexpr std::uint32_t kVersion = 1;
+
+template <typename T>
+void write_pod(std::ostream& out, const T& value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+T read_pod(std::istream& in) {
+  T value{};
+  in.read(reinterpret_cast<char*>(&value), sizeof(T));
+  if (!in) throw std::runtime_error("truncated payload");
+  return value;
+}
+
+void write_string(std::ostream& out, const std::string& s) {
+  write_pod(out, static_cast<std::uint32_t>(s.size()));
+  out.write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+
+std::string read_string(std::istream& in) {
+  const auto len = read_pod<std::uint32_t>(in);
+  if (len > (1u << 20)) throw std::runtime_error("implausible string length");
+  std::string s(len, '\0');
+  in.read(s.data(), static_cast<std::streamsize>(len));
+  if (!in) throw std::runtime_error("truncated payload");
+  return s;
+}
+
+void write_tensors(std::ostream& out, const std::vector<Tensor>& tensors) {
+  write_pod(out, static_cast<std::uint32_t>(tensors.size()));
+  for (const auto& t : tensors) write_tensor(out, t);
+}
+
+std::vector<Tensor> read_tensors(std::istream& in) {
+  const auto count = read_pod<std::uint32_t>(in);
+  if (count > 4096) throw std::runtime_error("implausible tensor count");
+  std::vector<Tensor> tensors;
+  tensors.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) tensors.push_back(read_tensor(in));
+  return tensors;
+}
+
+std::string serialize_payload(int rank, const TrainerSnapshot& snap) {
+  std::ostringstream out(std::ios::binary);
+  write_pod(out, static_cast<std::int32_t>(rank));
+  write_pod(out, static_cast<std::int32_t>(snap.next_epoch));
+  write_string(out, snap.batcher_rng);
+  write_string(out, snap.optimizer.name);
+  write_pod(out, snap.optimizer.step_count);
+  write_pod(out, snap.optimizer.learning_rate);
+  write_tensors(out, snap.optimizer.slots);
+  write_tensors(out, snap.parameters);
+  write_pod(out, static_cast<std::uint32_t>(snap.epochs.size()));
+  for (const auto& e : snap.epochs) {
+    write_pod(out, e.loss);
+    write_pod(out, e.val_loss);
+    write_pod(out, e.seconds);
+  }
+  write_pod(out, snap.best_monitored);
+  write_pod(out, static_cast<std::int32_t>(snap.epochs_since_best));
+  write_pod(out, static_cast<std::int32_t>(snap.best_epoch));
+  write_tensors(out, snap.best_params);
+  write_pod(out, static_cast<std::int32_t>(snap.schedule_epochs));
+  if (!out) throw std::runtime_error("save_rank_checkpoint: stream failure");
+  return std::move(out).str();
+}
+
+void parse_payload(const std::string& payload, int* rank,
+                   TrainerSnapshot* snap) {
+  std::istringstream in(payload, std::ios::binary);
+  *rank = read_pod<std::int32_t>(in);
+  snap->next_epoch = read_pod<std::int32_t>(in);
+  snap->batcher_rng = read_string(in);
+  snap->optimizer.name = read_string(in);
+  snap->optimizer.step_count = read_pod<std::int64_t>(in);
+  snap->optimizer.learning_rate = read_pod<double>(in);
+  snap->optimizer.slots = read_tensors(in);
+  snap->parameters = read_tensors(in);
+  const auto n_epochs = read_pod<std::uint32_t>(in);
+  if (n_epochs > (1u << 20)) throw std::runtime_error("implausible epoch count");
+  snap->epochs.resize(n_epochs);
+  for (auto& e : snap->epochs) {
+    e.loss = read_pod<double>(in);
+    e.val_loss = read_pod<double>(in);
+    e.seconds = read_pod<double>(in);
+  }
+  snap->best_monitored = read_pod<double>(in);
+  snap->epochs_since_best = read_pod<std::int32_t>(in);
+  snap->best_epoch = read_pod<std::int32_t>(in);
+  snap->best_params = read_tensors(in);
+  snap->schedule_epochs = read_pod<std::int32_t>(in);
+}
+
+std::string checkpoint_name(int rank, int next_epoch) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "rank%d_epoch%06d.ckpt", rank, next_epoch);
+  return buf;
+}
+
+std::string manifest_name(int rank) {
+  return "rank" + std::to_string(rank) + ".latest";
+}
+
+// Writes `data` to `dir/name` with crash consistency: tmp file, fsync,
+// rename into place, fsync the directory so the rename itself is durable.
+void atomic_write(const fs::path& dir, const std::string& name,
+                  const std::string& data) {
+  const fs::path final_path = dir / name;
+  const fs::path tmp_path = dir / (name + ".tmp");
+  const int fd = ::open(tmp_path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    throw std::runtime_error("checkpoint: cannot open " + tmp_path.string() +
+                             ": " + std::strerror(errno));
+  }
+  std::size_t written = 0;
+  while (written < data.size()) {
+    const ssize_t n = ::write(fd, data.data() + written, data.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      const int err = errno;
+      ::close(fd);
+      throw std::runtime_error("checkpoint: write to " + tmp_path.string() +
+                               " failed: " + std::strerror(err));
+    }
+    written += static_cast<std::size_t>(n);
+  }
+  if (::fsync(fd) != 0) {
+    const int err = errno;
+    ::close(fd);
+    throw std::runtime_error("checkpoint: fsync of " + tmp_path.string() +
+                             " failed: " + std::strerror(err));
+  }
+  ::close(fd);
+  if (::rename(tmp_path.c_str(), final_path.c_str()) != 0) {
+    throw std::runtime_error("checkpoint: rename to " + final_path.string() +
+                             " failed: " + std::strerror(errno));
+  }
+  const int dir_fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (dir_fd >= 0) {
+    ::fsync(dir_fd);  // best effort: persist the rename
+    ::close(dir_fd);
+  }
+}
+
+}  // namespace
+
+std::string save_rank_checkpoint(const std::string& dir, int rank,
+                                 const TrainerSnapshot& snapshot) {
+  if (rank < 0) {
+    throw std::invalid_argument("save_rank_checkpoint: negative rank");
+  }
+  fs::create_directories(dir);
+  const std::string payload = serialize_payload(rank, snapshot);
+
+  std::ostringstream framed(std::ios::binary);
+  framed.write(kMagic, sizeof(kMagic));
+  write_pod(framed, kVersion);
+  write_pod(framed, static_cast<std::uint64_t>(payload.size()));
+  write_pod(framed, util::crc32(payload.data(), payload.size()));
+  framed.write(payload.data(), static_cast<std::streamsize>(payload.size()));
+
+  const std::string name = checkpoint_name(rank, snapshot.next_epoch);
+  atomic_write(dir, name, std::move(framed).str());
+  // The manifest points at the newest file; it is advisory (the loader can
+  // always fall back to scanning), so writing it after the data is safe.
+  atomic_write(dir, manifest_name(rank), name + "\n");
+
+  static telemetry::Counter& writes = telemetry::counter("checkpoint.writes");
+  static telemetry::Counter& bytes =
+      telemetry::counter("checkpoint.bytes_written");
+  writes.add(1);
+  bytes.add(payload.size());
+  return (fs::path(dir) / name).string();
+}
+
+bool read_rank_checkpoint(const std::string& path, int* rank,
+                          TrainerSnapshot* out, std::string* why) {
+  auto fail = [&](const std::string& reason) {
+    if (why != nullptr) *why = path + ": " + reason;
+    static telemetry::Counter& invalid =
+        telemetry::counter("checkpoint.invalid_skipped");
+    invalid.add(1);
+    return false;
+  };
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return fail("cannot open");
+  char magic[4];
+  in.read(magic, sizeof(magic));
+  if (!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    return fail("bad magic (not a training checkpoint)");
+  }
+  std::uint32_t version = 0;
+  std::uint64_t payload_len = 0;
+  std::uint32_t crc = 0;
+  in.read(reinterpret_cast<char*>(&version), sizeof(version));
+  in.read(reinterpret_cast<char*>(&payload_len), sizeof(payload_len));
+  in.read(reinterpret_cast<char*>(&crc), sizeof(crc));
+  if (!in) return fail("truncated header");
+  if (version != kVersion) {
+    return fail("unsupported version " + std::to_string(version));
+  }
+  if (payload_len > (1ull << 32)) return fail("implausible payload length");
+  std::string payload(static_cast<std::size_t>(payload_len), '\0');
+  in.read(payload.data(), static_cast<std::streamsize>(payload_len));
+  if (!in || in.gcount() != static_cast<std::streamsize>(payload_len)) {
+    return fail("truncated payload (torn write?)");
+  }
+  if (util::crc32(payload.data(), payload.size()) != crc) {
+    return fail("CRC mismatch (corrupt file)");
+  }
+  try {
+    parse_payload(payload, rank, out);
+  } catch (const std::exception& e) {
+    return fail(std::string("malformed payload: ") + e.what());
+  }
+  return true;
+}
+
+std::optional<TrainerSnapshot> load_latest_checkpoint(const std::string& dir,
+                                                      int rank) {
+  const fs::path root(dir);
+  std::error_code ec;
+  if (!fs::is_directory(root, ec)) return std::nullopt;
+
+  // Candidate files, newest first: the manifest's pick, then every matching
+  // checkpoint by descending epoch (covers a stale/missing/corrupt manifest).
+  std::vector<std::string> candidates;
+  {
+    std::ifstream manifest(root / manifest_name(rank));
+    std::string name;
+    if (manifest && std::getline(manifest, name) && !name.empty() &&
+        name.find('/') == std::string::npos) {
+      candidates.push_back((root / name).string());
+    }
+  }
+  const std::string prefix = "rank" + std::to_string(rank) + "_epoch";
+  std::vector<std::string> scanned;
+  for (const auto& entry : fs::directory_iterator(root, ec)) {
+    const std::string name = entry.path().filename().string();
+    if (name.rfind(prefix, 0) == 0 && name.size() > 5 &&
+        name.compare(name.size() - 5, 5, ".ckpt") == 0) {
+      scanned.push_back(entry.path().string());
+    }
+  }
+  std::sort(scanned.rbegin(), scanned.rend());  // epoch is zero-padded
+  candidates.insert(candidates.end(), scanned.begin(), scanned.end());
+
+  for (const auto& path : candidates) {
+    TrainerSnapshot snap;
+    int file_rank = -1;
+    std::string why;
+    if (!read_rank_checkpoint(path, &file_rank, &snap, &why)) {
+      util::log_warn() << "checkpoint: skipping invalid file " << why;
+      continue;
+    }
+    if (file_rank != rank) {
+      util::log_warn() << "checkpoint: " << path << " belongs to rank "
+                       << file_rank << ", expected " << rank << "; skipping";
+      continue;
+    }
+    return snap;
+  }
+  return std::nullopt;
+}
+
+}  // namespace parpde::core

@@ -7,6 +7,7 @@
 
 #include "data/batcher.hpp"
 #include "domain/halo.hpp"
+#include "minimpi/fault.hpp"
 #include "tensor/ops.hpp"
 #include "util/telemetry.hpp"
 #include "util/thread_pool.hpp"
@@ -108,7 +109,9 @@ double NetworkTrainer::train_batch(const Tensor& inputs, const Tensor& targets) 
 }
 
 TrainResult NetworkTrainer::train(const SubdomainTask& task,
-                                  const SubdomainTask* validation) {
+                                  const SubdomainTask* validation,
+                                  const TrainerSnapshot* resume,
+                                  const CheckpointHook* checkpoint) {
   if (task.inputs.dim(0) != task.targets.dim(0)) {
     throw std::invalid_argument("NetworkTrainer::train: sample count mismatch");
   }
@@ -126,9 +129,44 @@ TrainResult NetworkTrainer::train(const SubdomainTask& task,
     schedule.emplace(config_.lr_decay_factor, config_.lr_decay_every);
   }
 
+  int start_epoch = 0;
+  if (resume != nullptr) {
+    // Restore every piece of mutable training state, so the remaining epochs
+    // run the exact arithmetic the uninterrupted run would have.
+    import_parameters(*model_, resume->parameters);
+    optimizer_->import_state(resume->optimizer);
+    batcher.restore_rng(resume->batcher_rng);
+    start_epoch = resume->next_epoch;
+    result.epochs = resume->epochs;
+    result.best_epoch = resume->best_epoch;
+    best_monitored = resume->best_monitored;
+    epochs_since_best = resume->epochs_since_best;
+    best_params = resume->best_params;
+    if (schedule) schedule->set_epochs_seen(resume->schedule_epochs);
+  }
+
+  auto make_snapshot = [&](int completed_epoch) {
+    TrainerSnapshot snap;
+    snap.next_epoch = completed_epoch + 1;
+    snap.parameters = export_parameters(*model_);
+    snap.optimizer = optimizer_->export_state();
+    snap.batcher_rng = batcher.rng_state();
+    snap.epochs = result.epochs;
+    snap.best_monitored = best_monitored;
+    snap.epochs_since_best = epochs_since_best;
+    snap.best_epoch = result.best_epoch;
+    snap.best_params = best_params;
+    snap.schedule_epochs = schedule ? schedule->epochs_seen() : 0;
+    return snap;
+  };
+
   static telemetry::Counter& epoch_count = telemetry::counter("train.epochs");
   static telemetry::Counter& batch_count = telemetry::counter("train.batches");
-  for (int epoch = 0; epoch < config_.epochs; ++epoch) {
+  for (int epoch = start_epoch; epoch < config_.epochs; ++epoch) {
+    // Fault injection: a kill:rank=R,epoch=E directive fires here, after the
+    // previous epoch's checkpoint landed — the crash point the restart tests
+    // exercise.
+    mpi::fault::check_kill_epoch(static_cast<int>(seed_stream_), epoch);
     telemetry::Span epoch_span(
         telemetry::enabled() ? "epoch " + std::to_string(epoch) : std::string(),
         "epoch");
@@ -163,6 +201,13 @@ TrainResult NetworkTrainer::train(const SubdomainTask& task,
         result.stopped_early = true;
         break;
       }
+    }
+
+    if (checkpoint != nullptr && checkpoint->every_epochs > 0 &&
+        checkpoint->save &&
+        ((epoch + 1) % checkpoint->every_epochs == 0 ||
+         epoch + 1 == config_.epochs)) {
+      checkpoint->save(make_snapshot(epoch));
     }
   }
   if (config_.early_stop_patience > 0 && !best_params.empty()) {

@@ -3,6 +3,8 @@
 // Single-network training engine (used by every trainer variant) and the
 // sequential baseline of Fig. 4 — one network over the whole domain.
 
+#include <functional>
+#include <limits>
 #include <span>
 
 #include "core/config.hpp"
@@ -46,17 +48,49 @@ struct TrainResult {
   }
 };
 
+// Everything a NetworkTrainer needs to continue a run bit-identically after
+// a crash: weights, optimizer moments, the batch-shuffle RNG, epoch history
+// and the early-stopping bookkeeping. Persisted atomically with a CRC by
+// core/train_checkpoint.hpp; a resumed run produces byte-identical weights
+// to the uninterrupted one (the chaos tests assert this).
+struct TrainerSnapshot {
+  int next_epoch = 0;  // first epoch still to run
+  std::vector<Tensor> parameters;
+  nn::OptimizerState optimizer;
+  std::string batcher_rng;  // mt19937_64 textual stream state
+  std::vector<EpochStats> epochs;
+  // Early-stopping state (mirrors the loop locals in train()).
+  double best_monitored = std::numeric_limits<double>::infinity();
+  int epochs_since_best = 0;
+  int best_epoch = -1;
+  std::vector<Tensor> best_params;
+  int schedule_epochs = 0;  // StepDecaySchedule::epochs_seen
+};
+
+// Periodic checkpoint callback: after every `every_epochs` finished epochs
+// (and after the final one) `save` receives a snapshot of the live state.
+struct CheckpointHook {
+  int every_epochs = 0;  // 0 disables
+  std::function<void(const TrainerSnapshot&)> save;
+};
+
 // Owns one model + optimizer + loss; trains on a SubdomainTask with
 // mini-batch gradient descent (Sec. II configuration).
 class NetworkTrainer {
  public:
-  // `seed_stream` decorrelates weight init / shuffling across ranks.
+  // `seed_stream` decorrelates weight init / shuffling across ranks. It also
+  // identifies this trainer to the fault injector's epoch-kill directive
+  // (== rank in the parallel trainer, 0 for the sequential baseline).
   NetworkTrainer(const TrainConfig& config, std::uint64_t seed_stream);
 
   // Trains on `task`. When `validation` is supplied its loss is evaluated
   // after every epoch and drives early stopping (if enabled in the config).
+  // `resume` continues a checkpointed run from its next epoch with identical
+  // arithmetic; `checkpoint` installs the periodic snapshot callback.
   TrainResult train(const SubdomainTask& task,
-                    const SubdomainTask* validation = nullptr);
+                    const SubdomainTask* validation = nullptr,
+                    const TrainerSnapshot* resume = nullptr,
+                    const CheckpointHook* checkpoint = nullptr);
 
   // One optimizer step on a single batch; returns the batch loss. Exposed for
   // the data-parallel baseline, which synchronizes weights between steps.

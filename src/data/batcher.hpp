@@ -25,6 +25,11 @@ class Batcher {
     return (num_samples_ + batch_size_ - 1) / batch_size_;
   }
 
+  // Shuffle-RNG state for crash-consistent checkpoints: restoring it replays
+  // the exact batch schedule an uninterrupted run would have produced.
+  [[nodiscard]] std::string rng_state() const { return rng_.serialize_state(); }
+  void restore_rng(const std::string& state) { rng_.restore_state(state); }
+
  private:
   std::int64_t num_samples_;
   std::int64_t batch_size_;

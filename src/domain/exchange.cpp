@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "minimpi/tags.hpp"
+#include "util/log.hpp"
 #include "util/telemetry.hpp"
 
 namespace parpde::domain {
@@ -14,6 +15,12 @@ namespace {
 // message that travelled west from its east neighbour.
 constexpr int travel_tag(mpi::Direction d) {
   return mpi::tags::kHalo.base + static_cast<int>(d);
+}
+
+// The tag a strip arriving across border `side` carries: it travelled in the
+// opposite direction (our east halo is the neighbour's west-travelling strip).
+int arrival_tag(mpi::Direction side) {
+  return travel_tag(mpi::opposite(side));
 }
 
 // Copies the [y0, y0+hh) x [x0, x0+ww) window of a [C, h, w] tensor into a
@@ -52,9 +59,20 @@ void unpack_region(Tensor& t, std::int64_t y0, std::int64_t hh, std::int64_t x0,
 
 }  // namespace
 
+std::string BorderHealth::describe() const {
+  std::string out;
+  for (const mpi::Direction d : mpi::kAllDirections) {
+    if (!degraded(d)) continue;
+    if (!out.empty()) out += ',';
+    out += direction_name(d).front();
+  }
+  return out;
+}
+
 Tensor exchange_halo(mpi::CartComm& cart, const Partition& partition,
                      const Tensor& interior, std::int64_t halo,
-                     util::AccumulatingTimer* comm_time) {
+                     util::AccumulatingTimer* comm_time,
+                     const HaloOptions& options, BorderHealth* health) {
   if (interior.ndim() != 3) {
     throw std::invalid_argument("exchange_halo: expected [C,bh,bw] interior");
   }
@@ -77,44 +95,118 @@ Tensor exchange_halo(mpi::CartComm& cart, const Partition& partition,
       telemetry::counter("halo.bytes_sent");
   static telemetry::Histogram& latency =
       telemetry::histogram("halo.exchange_seconds");
+  static telemetry::Counter& retries = telemetry::counter("comm.retries");
+  static telemetry::Histogram& retry_latency =
+      telemetry::histogram("comm.retry_seconds");
+  static telemetry::Counter& degraded_borders =
+      telemetry::counter("inference.degraded_borders");
   exchanges.add(1);
   const std::uint64_t bytes_before = comm.bytes_sent();
   util::WallTimer exchange_timer;
   util::WallTimer timer;
-  auto timed_send = [&](int dest, int tag, const std::vector<float>& strip) {
+
+  // A border is live when a neighbour exists there and the border has not
+  // been degraded by an earlier step.
+  auto live = [&](mpi::Direction side) {
+    return cart.neighbor(side) != mpi::kProcNull &&
+           !(health != nullptr && health->degraded(side));
+  };
+
+  // Definitive loss on `side`: record the sticky degradation (zero halo from
+  // now on) or, for callers with no degradation story, fail loudly. Either
+  // way the exchange never hangs.
+  auto degrade = [&](mpi::Direction side, const std::string& why) {
+    const std::string what =
+        "rank " + std::to_string(comm.rank()) + ": halo border " +
+        direction_name(side) + " (neighbour rank " +
+        std::to_string(cart.neighbor(side)) + ") lost: " + why;
+    if (health == nullptr) {
+      throw std::runtime_error("exchange_halo: " + what);
+    }
+    degraded_borders.add(1);
+    health->mark_degraded(side);
+    util::log_warn() << what << "; border degraded to zero padding";
+  };
+
+  // A degraded border's neighbour may keep sending until it degrades its own
+  // side; discard that stale mail so it cannot mismatch a later step (and so
+  // the finalize leak check stays clean).
+  auto drain_stale = [&](mpi::Direction side) {
+    if (cart.neighbor(side) == mpi::kProcNull || health == nullptr ||
+        !health->degraded(side)) {
+      return;
+    }
+    std::vector<float> junk;
+    while (comm.recv_for<float>(cart.neighbor(side), arrival_tag(side),
+                                std::chrono::milliseconds(0),
+                                &junk) != mpi::RecvStatus::kTimeout) {
+    }
+  };
+
+  auto timed_send = [&](mpi::Direction side, const std::vector<float>& strip) {
     timer.reset();
-    comm.send<float>(dest, tag, strip);
+    comm.send<float>(cart.neighbor(side), travel_tag(side), strip);
     if (comm_time != nullptr) comm_time->add(timer.seconds());
   };
-  auto timed_recv = [&](int source, int tag) {
+
+  // Bounded receive across `side` with retry: timeouts retry until the budget
+  // is exhausted; a CRC-corrupt strip is a definitive loss (the payload was
+  // consumed — waiting longer would only steal the next step's strip and
+  // desynchronize the border forever). Returns false when the border just
+  // degraded; the caller leaves its halo zero.
+  auto robust_recv = [&](mpi::Direction side, std::vector<float>* out) {
     timer.reset();
-    auto data = comm.recv<float>(source, tag);
+    int timeouts = 0;
+    bool got = false;
+    bool corrupt = false;
+    for (int attempt = 0; attempt <= options.max_retries; ++attempt) {
+      const mpi::RecvStatus status = comm.recv_for<float>(
+          cart.neighbor(side), arrival_tag(side), options.recv_timeout, out);
+      if (status == mpi::RecvStatus::kOk) {
+        got = true;
+        break;
+      }
+      if (status == mpi::RecvStatus::kCorrupt) {
+        corrupt = true;
+        break;
+      }
+      ++timeouts;
+      retries.add(1);
+    }
     if (comm_time != nullptr) comm_time->add(timer.seconds());
-    return data;
+    if (timeouts > 0) retry_latency.observe(timer.seconds());
+    if (got) return true;
+    degrade(side, corrupt ? "strip failed its CRC envelope"
+                          : "no strip within the retry budget (" +
+                                std::to_string(timeouts) + " attempts)");
+    return false;
   };
+
+  for (const mpi::Direction side : mpi::kAllDirections) drain_stale(side);
 
   // Phase 1: exchange west/east strips of the bare interior.
   Tensor ext_x({c, bh, bw + 2 * halo});
   unpack_region(ext_x, 0, bh, halo, bw, pack_region(interior, 0, bh, 0, bw));
 
-  const int west = cart.neighbor(mpi::Direction::kWest);
-  const int east = cart.neighbor(mpi::Direction::kEast);
-  if (west != mpi::kProcNull) {
-    timed_send(west, travel_tag(mpi::Direction::kWest),
-               pack_region(interior, 0, bh, 0, halo));
+  if (live(mpi::Direction::kWest)) {
+    timed_send(mpi::Direction::kWest, pack_region(interior, 0, bh, 0, halo));
   }
-  if (east != mpi::kProcNull) {
-    timed_send(east, travel_tag(mpi::Direction::kEast),
+  if (live(mpi::Direction::kEast)) {
+    timed_send(mpi::Direction::kEast,
                pack_region(interior, 0, bh, bw - halo, halo));
   }
-  if (east != mpi::kProcNull) {
+  if (live(mpi::Direction::kEast)) {
     // East neighbour's west strip travelled west into our east halo.
-    unpack_region(ext_x, 0, bh, halo + bw, halo,
-                  timed_recv(east, travel_tag(mpi::Direction::kWest)));
+    std::vector<float> strip;
+    if (robust_recv(mpi::Direction::kEast, &strip)) {
+      unpack_region(ext_x, 0, bh, halo + bw, halo, strip);
+    }
   }
-  if (west != mpi::kProcNull) {
-    unpack_region(ext_x, 0, bh, 0, halo,
-                  timed_recv(west, travel_tag(mpi::Direction::kEast)));
+  if (live(mpi::Direction::kWest)) {
+    std::vector<float> strip;
+    if (robust_recv(mpi::Direction::kWest, &strip)) {
+      unpack_region(ext_x, 0, bh, 0, halo, strip);
+    }
   }
 
   // Phase 2: exchange south/north strips of the x-extended tensor, so the
@@ -123,23 +215,25 @@ Tensor exchange_halo(mpi::CartComm& cart, const Partition& partition,
   unpack_region(out, halo, bh, 0, bw + 2 * halo,
                 pack_region(ext_x, 0, bh, 0, bw + 2 * halo));
 
-  const int south = cart.neighbor(mpi::Direction::kSouth);
-  const int north = cart.neighbor(mpi::Direction::kNorth);
-  if (south != mpi::kProcNull) {
-    timed_send(south, travel_tag(mpi::Direction::kSouth),
+  if (live(mpi::Direction::kSouth)) {
+    timed_send(mpi::Direction::kSouth,
                pack_region(ext_x, 0, halo, 0, bw + 2 * halo));
   }
-  if (north != mpi::kProcNull) {
-    timed_send(north, travel_tag(mpi::Direction::kNorth),
+  if (live(mpi::Direction::kNorth)) {
+    timed_send(mpi::Direction::kNorth,
                pack_region(ext_x, bh - halo, halo, 0, bw + 2 * halo));
   }
-  if (north != mpi::kProcNull) {
-    unpack_region(out, halo + bh, halo, 0, bw + 2 * halo,
-                  timed_recv(north, travel_tag(mpi::Direction::kSouth)));
+  if (live(mpi::Direction::kNorth)) {
+    std::vector<float> strip;
+    if (robust_recv(mpi::Direction::kNorth, &strip)) {
+      unpack_region(out, halo + bh, halo, 0, bw + 2 * halo, strip);
+    }
   }
-  if (south != mpi::kProcNull) {
-    unpack_region(out, 0, halo, 0, bw + 2 * halo,
-                  timed_recv(south, travel_tag(mpi::Direction::kNorth)));
+  if (live(mpi::Direction::kSouth)) {
+    std::vector<float> strip;
+    if (robust_recv(mpi::Direction::kSouth, &strip)) {
+      unpack_region(out, 0, halo, 0, bw + 2 * halo, strip);
+    }
   }
   halo_bytes.add(comm.bytes_sent() - bytes_before);
   latency.observe(exchange_timer.seconds());

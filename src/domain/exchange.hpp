@@ -4,6 +4,19 @@
 // exchange between neighbouring subdomains ("each processor sends the
 // boundary data to the corresponding neighbor ... no central instance is
 // used"), plus gather/scatter of full fields for validation and I/O.
+//
+// The halo exchange is fault-aware: receives are bounded (timeout + retry,
+// never an unbounded wait — lint rule `unbounded-halo-recv`), and a border
+// whose neighbour is definitively lost (retry budget exhausted, or a
+// CRC-corrupt strip consumed) is *degraded*: its halo stays zero from then
+// on, which is exactly the paper's zero-padding border treatment, so the
+// rollout keeps producing frames instead of hanging. Degradations are sticky
+// per border, recorded in BorderHealth, and counted in the
+// `inference.degraded_borders` telemetry counter. See docs/robustness.md.
+
+#include <array>
+#include <chrono>
+#include <string>
 
 #include "domain/partition.hpp"
 #include "minimpi/cart.hpp"
@@ -12,14 +25,61 @@
 
 namespace parpde::domain {
 
+// Patience knobs for the bounded halo receive. The defaults give each border
+// ~10 s of total patience per step — generous enough that a fault-free run
+// never degrades even under sanitizers, tight enough that a genuinely dead
+// neighbour cannot stall a rollout forever. Chaos tests shrink these.
+struct HaloOptions {
+  std::chrono::milliseconds recv_timeout{250};  // per receive attempt
+  int max_retries = 40;                         // attempts beyond the first
+};
+
+// Sticky per-border degradation state of one rank, carried across rollout
+// steps. A degraded border is never sent to or received from again; its halo
+// strip stays zero (the paper's zero-padding treatment).
+class BorderHealth {
+ public:
+  [[nodiscard]] bool degraded(mpi::Direction d) const {
+    return degraded_[static_cast<std::size_t>(d)];
+  }
+  void mark_degraded(mpi::Direction d) {
+    degraded_[static_cast<std::size_t>(d)] = true;
+  }
+  [[nodiscard]] bool any() const {
+    for (const bool b : degraded_) {
+      if (b) return true;
+    }
+    return false;
+  }
+  [[nodiscard]] int count() const {
+    int n = 0;
+    for (const bool b : degraded_) n += b ? 1 : 0;
+    return n;
+  }
+  // Compact label of the degraded borders, e.g. "E,N" ("" when healthy).
+  [[nodiscard]] std::string describe() const;
+
+ private:
+  std::array<bool, 4> degraded_{};  // indexed by mpi::Direction
+};
+
 // Surrounds this rank's interior [C, bh, bw] with a halo of width `halo`
 // filled from the four neighbours (two-phase exchange, so diagonal corners
 // are correct). Physical-boundary halo stays zero. Returns
 // [C, bh + 2 halo, bw + 2 halo]. If `comm_time` is non-null, the wall time
 // spent in sends/receives is accumulated into it.
+//
+// Receives are bounded by `options`. When a border's retry budget is
+// exhausted (or its strip arrives CRC-corrupt), the border is degraded: with
+// `health` non-null the degradation is recorded there and the exchange
+// continues with a zero halo on that side; with `health` null (callers that
+// have no degradation story, e.g. benchmarks) the exchange throws instead —
+// either way it never hangs.
 Tensor exchange_halo(mpi::CartComm& cart, const Partition& partition,
                      const Tensor& interior, std::int64_t halo,
-                     util::AccumulatingTimer* comm_time = nullptr);
+                     util::AccumulatingTimer* comm_time = nullptr,
+                     const HaloOptions& options = {},
+                     BorderHealth* health = nullptr);
 
 // Collects per-rank interiors into the full [C, H, W] field on rank 0
 // (other ranks get an empty tensor).

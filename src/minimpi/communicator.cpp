@@ -2,7 +2,9 @@
 
 #include <chrono>
 
+#include "minimpi/fault.hpp"
 #include "minimpi/tags.hpp"
+#include "util/crc32.hpp"
 #include "util/telemetry.hpp"
 
 namespace parpde::mpi {
@@ -106,7 +108,77 @@ void Communicator::send_bytes(int dest, int tag,
   bytes.add(payload.size());
   msgs.add(1);
   count_tag_bytes("bytes_sent", tag, payload.size());
+  if (fault::enabled()) {
+    // CRC of the payload as it left the sender; the injected corruption below
+    // happens "on the wire", after the checksum — which is what lets the
+    // receiver detect it.
+    m.crc = util::crc32(m.payload.data(), m.payload.size());
+    const fault::Decision verdict = fault::on_send(rank_, dest, tag);
+    if (verdict.corrupt) {
+      fault::corrupt_payload(m.payload,
+                             (static_cast<std::uint64_t>(messages_sent_) << 16) ^
+                                 static_cast<std::uint64_t>(tag));
+    }
+    if (verdict.drop) {
+      static telemetry::Counter& dropped = telemetry::counter("comm.dropped");
+      dropped.add(1);
+      fault::on_send_complete(rank_);
+      return;  // the message never reaches the destination mailbox
+    }
+    if (verdict.duplicate) {
+      Message copy = m;
+      state_->mailboxes[static_cast<std::size_t>(dest)].push(std::move(copy));
+    }
+    state_->mailboxes[static_cast<std::size_t>(dest)].push(std::move(m));
+    fault::on_send_complete(rank_);
+    return;
+  }
   state_->mailboxes[static_cast<std::size_t>(dest)].push(std::move(m));
+}
+
+RecvStatus Communicator::recv_bytes_for(int source, int tag,
+                                        std::chrono::milliseconds timeout,
+                                        std::vector<std::byte>* out,
+                                        int* actual_source,
+                                        std::size_t expect_elem_size) {
+  if (source == kProcNull) {
+    throw std::invalid_argument("recv_for: source is kProcNull");
+  }
+  if (source != kAnySource) check_peer(source, "recv_for");
+  if (validate::enabled()) check_phase("recv_for", source, tag);
+  Mailbox& box = state_->mailboxes[static_cast<std::size_t>(rank_)];
+  Message m;
+  if (!box.pop_matching_for(source, tag, timeout, &m)) {
+    return RecvStatus::kTimeout;
+  }
+  if (m.crc != 0 && util::crc32(m.payload.data(), m.payload.size()) != m.crc) {
+    static telemetry::Counter& corrupt =
+        telemetry::counter("comm.corrupt_detected");
+    corrupt.add(1);
+    return RecvStatus::kCorrupt;
+  }
+  if (validate::enabled() && expect_elem_size != 0 && m.elem_size != 0 &&
+      m.elem_size != expect_elem_size) {
+    const std::string msg =
+        "rank " + std::to_string(rank_) + ": typed-envelope mismatch on "
+        "recv_for(source=" + std::to_string(m.source) + ", tag=" +
+        tags::describe(tag) + "): sender element size " +
+        std::to_string(m.elem_size) + " bytes, receiver expects " +
+        std::to_string(expect_elem_size) + " bytes";
+    validate::emit_report(msg);
+    throw validate::EnvelopeError(msg);
+  }
+  if (actual_source != nullptr) *actual_source = m.source;
+  bytes_received_ += m.payload.size();
+  ++messages_received_;
+  static telemetry::Counter& bytes = telemetry::counter("comm.bytes_received");
+  static telemetry::Counter& msgs =
+      telemetry::counter("comm.messages_received");
+  bytes.add(m.payload.size());
+  msgs.add(1);
+  count_tag_bytes("bytes_received", tag, m.payload.size());
+  *out = std::move(m.payload);
+  return RecvStatus::kOk;
 }
 
 std::vector<std::byte> Communicator::recv_bytes(int source, int tag,
@@ -157,6 +229,18 @@ std::vector<std::byte> Communicator::recv_bytes(int source, int tag,
     }
   } else {
     m = box.pop_matching(source, tag);
+  }
+  if (m.crc != 0 && util::crc32(m.payload.data(), m.payload.size()) != m.crc) {
+    // Blocking receivers have no retry protocol; fail loudly rather than
+    // handing garbage bytes to a tensor. Bounded receivers (recv_bytes_for)
+    // report kCorrupt instead and let the caller retry or degrade.
+    static telemetry::Counter& corrupt =
+        telemetry::counter("comm.corrupt_detected");
+    corrupt.add(1);
+    throw std::runtime_error(
+        "rank " + std::to_string(rank_) + ": CRC mismatch on recv(source=" +
+        std::to_string(m.source) + ", tag=" + tags::describe(tag) +
+        "): payload corrupted in transit");
   }
   if (actual_source != nullptr) *actual_source = m.source;
   bytes_received_ += m.payload.size();

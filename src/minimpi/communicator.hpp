@@ -11,6 +11,11 @@
 // validator enabled (minimpi/validate.hpp, PARPDE_MPI_VALIDATE) every message
 // carries a typed envelope, blocking receives are watchdogged, and
 // communication-free phases (PhaseScope) trap any traffic.
+//
+// With a fault plan installed (minimpi/fault.hpp, PARPDE_FAULT) the send path
+// consults the injector — messages may be dropped, delayed, duplicated or
+// bit-corrupted — and every payload is CRC-stamped so receivers detect the
+// corruption. Without a plan both hooks are one relaxed atomic load.
 
 #include <atomic>
 #include <cstdint>
@@ -22,10 +27,20 @@
 #include <string>
 #include <vector>
 
+#include <chrono>
+
 #include "minimpi/mailbox.hpp"
 #include "minimpi/validate.hpp"
 
 namespace parpde::mpi {
+
+// Outcome of a bounded receive (recv_for / recv_bytes_for).
+enum class RecvStatus {
+  kOk,       // message delivered
+  kTimeout,  // nothing matched within the deadline; nothing consumed
+  kCorrupt,  // a matching message arrived but failed its CRC envelope; the
+             // corrupt message was consumed and counted (comm.corrupt_detected)
+};
 
 // A blocking receive in flight, registered so the deadlock watchdog can dump
 // what every rank is waiting on.
@@ -113,6 +128,19 @@ class Communicator {
                                     int* actual_source = nullptr,
                                     std::size_t expect_elem_size = 0);
 
+  // Bounded-wait receive: waits at most `timeout` for a message matching
+  // (source|kAnySource, tag). Never hangs and never trips the deadlock
+  // watchdog — this is the receive the fault-tolerant inference path uses on
+  // halo tags (lint rule `unbounded-halo-recv`). On kOk the payload lands in
+  // `*out`; on kTimeout nothing is consumed and the caller may retry or
+  // degrade; on kCorrupt an injected-corruption message was detected by its
+  // CRC envelope, consumed and discarded.
+  RecvStatus recv_bytes_for(int source, int tag,
+                            std::chrono::milliseconds timeout,
+                            std::vector<std::byte>* out,
+                            int* actual_source = nullptr,
+                            std::size_t expect_elem_size = 0);
+
   // --- typed convenience (trivially copyable element types) ---------------
 
   template <typename T>
@@ -131,6 +159,23 @@ class Communicator {
     std::vector<T> out(bytes.size() / sizeof(T));
     std::memcpy(out.data(), bytes.data(), bytes.size());
     return out;
+  }
+
+  // Typed bounded-wait receive (see recv_bytes_for).
+  template <typename T>
+  RecvStatus recv_for(int source, int tag, std::chrono::milliseconds timeout,
+                      std::vector<T>* out, int* actual_source = nullptr) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    std::vector<std::byte> bytes;
+    const RecvStatus status =
+        recv_bytes_for(source, tag, timeout, &bytes, actual_source, sizeof(T));
+    if (status != RecvStatus::kOk) return status;
+    if (bytes.size() % sizeof(T) != 0) {
+      throw std::runtime_error("recv_for: payload size not a multiple of T");
+    }
+    out->resize(bytes.size() / sizeof(T));
+    std::memcpy(out->data(), bytes.data(), bytes.size());
+    return RecvStatus::kOk;
   }
 
   template <typename T>

@@ -4,6 +4,7 @@
 #include <stdexcept>
 #include <thread>
 
+#include "minimpi/fault.hpp"
 #include "minimpi/tags.hpp"
 #include "minimpi/validate.hpp"
 #include "util/telemetry.hpp"
@@ -14,8 +15,11 @@ Environment::Environment(int size) : size_(size) {
   if (size <= 0) throw std::invalid_argument("Environment: size must be > 0");
 }
 
-void Environment::run(const std::function<void(Communicator&)>& fn) const {
+RunOutcome Environment::run_impl(const std::function<void(Communicator&)>& fn,
+                                 bool collect_failures) const {
   auto state = std::make_shared<SharedState>(size_);
+  RunOutcome outcome;
+  outcome.ranks.resize(static_cast<std::size_t>(size_));
   std::vector<std::exception_ptr> errors(static_cast<std::size_t>(size_));
   std::vector<std::thread> threads;
   threads.reserve(static_cast<std::size_t>(size_));
@@ -28,6 +32,15 @@ void Environment::run(const std::function<void(Communicator&)>& fn) const {
       try {
         Communicator comm(r, size_, state);
         fn(comm);
+      } catch (const fault::RankFailure& failure) {
+        if (collect_failures) {
+          outcome.ranks[static_cast<std::size_t>(r)] = {true, failure.what()};
+          static telemetry::Counter& failures =
+              telemetry::counter("mpi.rank_failures");
+          failures.add(1);
+        } else {
+          errors[static_cast<std::size_t>(r)] = std::current_exception();
+        }
       } catch (...) {
         errors[static_cast<std::size_t>(r)] = std::current_exception();
       }
@@ -40,8 +53,10 @@ void Environment::run(const std::function<void(Communicator&)>& fn) const {
 
   // Finalize leak check: with the validator on, a clean run must leave every
   // mailbox empty — an unconsumed message is an unmatched send (wrong tag,
-  // wrong destination, or a receive that was optimized away).
-  if (validate::enabled()) {
+  // wrong destination, or a receive that was optimized away). A run with
+  // failed ranks is exempt: a rank that died mid-protocol legitimately leaves
+  // messages addressed to it (and messages it sent) undelivered.
+  if (validate::enabled() && outcome.all_ok()) {
     std::string report;
     for (int r = 0; r < size_; ++r) {
       const auto queued =
@@ -59,6 +74,16 @@ void Environment::run(const std::function<void(Communicator&)>& fn) const {
       throw validate::LeakError(report);
     }
   }
+  return outcome;
+}
+
+void Environment::run(const std::function<void(Communicator&)>& fn) const {
+  run_impl(fn, /*collect_failures=*/false);
+}
+
+RunOutcome Environment::run_collect(
+    const std::function<void(Communicator&)>& fn) const {
+  return run_impl(fn, /*collect_failures=*/true);
 }
 
 }  // namespace parpde::mpi

@@ -4,12 +4,45 @@
 // Communicator over a fresh shared state, joins all ranks and rethrows the
 // first rank exception. Substitutes for `mpirun -np <size>` in this
 // single-process reproduction (see DESIGN.md §2).
+//
+// `run_collect(fn)` is the fault-tolerant variant: a rank that dies with
+// fault::RankFailure is *reported* in the returned RunOutcome instead of
+// aborting the whole region — the paper's communication-free training means a
+// dead rank costs exactly one subdomain's work, and the fault-tolerant
+// trainer restarts just that rank from its checkpoint. Any other exception
+// still propagates (those are real bugs, not injected faults).
 
 #include <functional>
+#include <string>
+#include <vector>
 
 #include "minimpi/communicator.hpp"
 
 namespace parpde::mpi {
+
+// Per-rank completion status of one run_collect invocation.
+struct RankStatus {
+  bool failed = false;  // the rank died with fault::RankFailure
+  std::string error;    // the failure message (empty when ok)
+};
+
+struct RunOutcome {
+  std::vector<RankStatus> ranks;
+
+  [[nodiscard]] bool all_ok() const {
+    for (const auto& r : ranks) {
+      if (r.failed) return false;
+    }
+    return true;
+  }
+  [[nodiscard]] std::vector<int> failed_ranks() const {
+    std::vector<int> out;
+    for (std::size_t r = 0; r < ranks.size(); ++r) {
+      if (ranks[r].failed) out.push_back(static_cast<int>(r));
+    }
+    return out;
+  }
+};
 
 class Environment {
  public:
@@ -21,7 +54,17 @@ class Environment {
   // throws, the first exception (by rank order) is rethrown after the join.
   void run(const std::function<void(Communicator&)>& fn) const;
 
+  // Like run(), but a rank that throws fault::RankFailure is recorded in the
+  // outcome (counter "mpi.rank_failures") instead of rethrown; the surviving
+  // ranks finish normally. When any rank failed, the finalize leak check is
+  // skipped and the dead rank's undeliverable messages are discarded — a
+  // failed rank legitimately leaves unconsumed mail behind.
+  RunOutcome run_collect(const std::function<void(Communicator&)>& fn) const;
+
  private:
+  RunOutcome run_impl(const std::function<void(Communicator&)>& fn,
+                      bool collect_failures) const;
+
   int size_;
 };
 

@@ -7,6 +7,7 @@
 #include <chrono>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <mutex>
 #include <vector>
@@ -25,6 +26,10 @@ struct Message {
   // sends. Checked against the receiving type by recv<T> when the validator
   // is enabled (minimpi/validate.hpp).
   std::size_t elem_size = 0;
+  // Integrity envelope: CRC-32 of the payload as it left the sender, stamped
+  // only while fault injection is active (0 = unstamped). Lets receivers
+  // detect injected bit corruption instead of consuming garbage tensors.
+  std::uint32_t crc = 0;
   std::vector<std::byte> payload;
 };
 

@@ -10,6 +10,57 @@ void Optimizer::set_learning_rate(double lr) {
   lr_ = lr;
 }
 
+namespace {
+
+// Moment slots are lazily shaped (first step() allocates them); a snapshot
+// taken before that materializes them as the zeros they conceptually are, so
+// shape validation on import stays uniform.
+Tensor materialized_slot(const Tensor& slot, const Tensor& param) {
+  if (slot.size() == param.size()) return slot;
+  return Tensor(param.shape());
+}
+
+void check_slot_count(const OptimizerState& state, std::size_t expected,
+                      const char* who) {
+  if (state.slots.size() != expected) {
+    throw std::runtime_error(std::string(who) +
+                             "::import_state: slot count mismatch (got " +
+                             std::to_string(state.slots.size()) + ", expected " +
+                             std::to_string(expected) + ")");
+  }
+}
+
+void check_slot_shape(const Tensor& slot, const Tensor& param,
+                      const char* who) {
+  if (!slot.same_shape(param)) {
+    throw std::runtime_error(std::string(who) +
+                             "::import_state: slot shape mismatch");
+  }
+}
+
+}  // namespace
+
+OptimizerState Optimizer::export_state() const {
+  OptimizerState state;
+  state.name = name();
+  state.learning_rate = lr_;
+  return state;
+}
+
+void Optimizer::import_common(const OptimizerState& state) {
+  if (state.name != name()) {
+    throw std::runtime_error("Optimizer::import_state: checkpoint holds '" +
+                             state.name + "' state, live optimizer is '" +
+                             name() + "'");
+  }
+  set_learning_rate(state.learning_rate);
+}
+
+void Optimizer::import_state(const OptimizerState& state) {
+  import_common(state);
+  check_slot_count(state, 0, "Optimizer");
+}
+
 double Optimizer::clip_grad_norm(double max_norm) {
   if (max_norm <= 0.0) {
     throw std::invalid_argument("clip_grad_norm: max_norm <= 0");
@@ -79,6 +130,25 @@ std::string SGD::name() const {
   return momentum_ == 0.0 ? "sgd" : "sgd+momentum";
 }
 
+OptimizerState SGD::export_state() const {
+  OptimizerState state = Optimizer::export_state();
+  if (momentum_ == 0.0) return state;  // stateless update rule
+  state.slots.reserve(params_.size());
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    state.slots.push_back(materialized_slot(velocity_[i], *params_[i].value));
+  }
+  return state;
+}
+
+void SGD::import_state(const OptimizerState& state) {
+  import_common(state);
+  check_slot_count(state, momentum_ == 0.0 ? 0 : params_.size(), "SGD");
+  for (std::size_t i = 0; i < state.slots.size(); ++i) {
+    check_slot_shape(state.slots[i], *params_[i].value, "SGD");
+    velocity_[i] = state.slots[i];
+  }
+}
+
 Adam::Adam(std::vector<ParamRef> params, double lr, double beta1, double beta2,
            double eps)
     : Optimizer(std::move(params), lr),
@@ -115,6 +185,36 @@ void Adam::step() {
       const double vhat = vj / bc2;
       w[j] -= static_cast<float>(lr_ * mhat / (std::sqrt(vhat) + eps_));  // Eq. (6)
     }
+  }
+}
+
+OptimizerState Adam::export_state() const {
+  OptimizerState state = Optimizer::export_state();
+  state.step_count = t_;
+  state.slots.reserve(2 * params_.size());
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    state.slots.push_back(materialized_slot(m_[i], *params_[i].value));
+  }
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    state.slots.push_back(materialized_slot(v_[i], *params_[i].value));
+  }
+  return state;
+}
+
+void Adam::import_state(const OptimizerState& state) {
+  import_common(state);
+  check_slot_count(state, 2 * params_.size(), "Adam");
+  if (state.step_count < 0) {
+    throw std::runtime_error("Adam::import_state: negative step count");
+  }
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    check_slot_shape(state.slots[i], *params_[i].value, "Adam");
+    check_slot_shape(state.slots[params_.size() + i], *params_[i].value, "Adam");
+  }
+  t_ = state.step_count;
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    m_[i] = state.slots[i];
+    v_[i] = state.slots[params_.size() + i];
   }
 }
 

@@ -13,6 +13,18 @@
 
 namespace parpde::nn {
 
+// Snapshot of an optimizer's mutable state, sufficient to continue training
+// bit-identically after a restart (core/train_checkpoint.hpp persists it).
+// `slots` holds the per-parameter moment tensors in a fixed order: ADAM
+// stores first moments then second moments (2P tensors), SGD+momentum its
+// velocities (P), plain SGD none.
+struct OptimizerState {
+  std::string name;             // must match the live optimizer's name()
+  std::int64_t step_count = 0;  // ADAM t (drives the bias corrections)
+  double learning_rate = 0.0;
+  std::vector<Tensor> slots;
+};
+
 class Optimizer {
  public:
   Optimizer(std::vector<ParamRef> params, double lr)
@@ -41,7 +53,17 @@ class Optimizer {
   [[nodiscard]] virtual std::string name() const = 0;
   [[nodiscard]] const std::vector<ParamRef>& params() const { return params_; }
 
+  // Checkpoint/restore of the mutable state (moments, step count, decayed
+  // learning rate). import_state validates the optimizer kind and slot shapes
+  // and throws on mismatch; after it, training continues exactly as if never
+  // interrupted.
+  [[nodiscard]] virtual OptimizerState export_state() const;
+  virtual void import_state(const OptimizerState& state);
+
  protected:
+  // Shared import preamble: checks the name tag and restores the learning
+  // rate; derived classes restore their slots.
+  void import_common(const OptimizerState& state);
   std::vector<ParamRef> params_;
   double lr_;
 };
@@ -56,6 +78,9 @@ class StepDecaySchedule {
   void advance(Optimizer& optimizer);
 
   [[nodiscard]] int epochs_seen() const noexcept { return epoch_; }
+  // Restores the epoch counter on resume (the decayed learning rate itself
+  // travels in OptimizerState).
+  void set_epochs_seen(int epochs) noexcept { epoch_ = epochs; }
 
  private:
   double factor_;
@@ -70,6 +95,8 @@ class SGD final : public Optimizer {
   SGD(std::vector<ParamRef> params, double lr, double momentum = 0.0);
   void step() override;
   [[nodiscard]] std::string name() const override;
+  [[nodiscard]] OptimizerState export_state() const override;
+  void import_state(const OptimizerState& state) override;
 
  private:
   double momentum_;
@@ -82,6 +109,8 @@ class Adam final : public Optimizer {
        double beta2 = 0.999, double eps = 1e-8);
   void step() override;
   [[nodiscard]] std::string name() const override { return "adam"; }
+  [[nodiscard]] OptimizerState export_state() const override;
+  void import_state(const OptimizerState& state) override;
 
   [[nodiscard]] std::int64_t step_count() const { return t_; }
 

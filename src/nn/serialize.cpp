@@ -1,27 +1,34 @@
 #include "nn/serialize.hpp"
 
 #include <cstdint>
+#include <cstring>
 #include <fstream>
+#include <sstream>
 #include <stdexcept>
 
 #include "tensor/serialize.hpp"
+#include "util/crc32.hpp"
 
 namespace parpde::nn {
 
-void save_parameters(std::ostream& out, Module& module) {
-  const auto params = module.parameters();
-  const auto count = static_cast<std::uint32_t>(params.size());
-  out.write(reinterpret_cast<const char*>(&count), sizeof(count));
-  for (const auto& p : params) write_tensor(out, *p.value);
-  if (!out) throw std::runtime_error("save_parameters: stream failure");
-}
+namespace {
 
-void load_parameters(std::istream& in, Module& module) {
+// Framed "PPNN" v2 layout:
+//   magic "PPNN" | u32 version | u64 payload_len | u32 crc32(payload) | payload
+//   payload: u32 tensor_count | tensors (tensor format)
+// The length + CRC turn a truncated or bit-rotted checkpoint into a clear
+// diagnostic instead of garbage weights. The v1 format was the bare payload
+// (no magic); load_parameters still reads it — a u32 tensor count can never
+// collide with the magic bytes.
+constexpr char kMagic[4] = {'P', 'P', 'N', 'N'};
+constexpr std::uint32_t kVersion = 2;
+
+void parse_tensors(std::istream& in, std::uint32_t count, Module& module) {
   auto params = module.parameters();
-  std::uint32_t count = 0;
-  in.read(reinterpret_cast<char*>(&count), sizeof(count));
-  if (!in || count != params.size()) {
-    throw std::runtime_error("load_parameters: parameter count mismatch");
+  if (count != params.size()) {
+    throw std::runtime_error("load_parameters: parameter count mismatch (file "
+                             "has " + std::to_string(count) + ", model has " +
+                             std::to_string(params.size()) + ")");
   }
   for (auto& p : params) {
     Tensor t = read_tensor(in);
@@ -30,6 +37,73 @@ void load_parameters(std::istream& in, Module& module) {
     }
     *p.value = std::move(t);
   }
+}
+
+}  // namespace
+
+void save_parameters(std::ostream& out, Module& module) {
+  const auto params = module.parameters();
+  std::ostringstream payload_stream(std::ios::binary);
+  const auto count = static_cast<std::uint32_t>(params.size());
+  payload_stream.write(reinterpret_cast<const char*>(&count), sizeof(count));
+  for (const auto& p : params) write_tensor(payload_stream, *p.value);
+  const std::string payload = std::move(payload_stream).str();
+
+  out.write(kMagic, sizeof(kMagic));
+  out.write(reinterpret_cast<const char*>(&kVersion), sizeof(kVersion));
+  const auto len = static_cast<std::uint64_t>(payload.size());
+  out.write(reinterpret_cast<const char*>(&len), sizeof(len));
+  const std::uint32_t crc = util::crc32(payload.data(), payload.size());
+  out.write(reinterpret_cast<const char*>(&crc), sizeof(crc));
+  out.write(payload.data(), static_cast<std::streamsize>(payload.size()));
+  if (!out) throw std::runtime_error("save_parameters: stream failure");
+}
+
+void load_parameters(std::istream& in, Module& module) {
+  char head[4];
+  in.read(head, sizeof(head));
+  if (!in) throw std::runtime_error("load_parameters: empty or unreadable stream");
+
+  if (std::memcmp(head, kMagic, sizeof(kMagic)) != 0) {
+    // v1 compatibility: the bare format opened directly with the u32 tensor
+    // count — the four bytes just consumed.
+    std::uint32_t count = 0;
+    std::memcpy(&count, head, sizeof(count));
+    parse_tensors(in, count, module);
+    return;
+  }
+
+  std::uint32_t version = 0;
+  std::uint64_t payload_len = 0;
+  std::uint32_t crc = 0;
+  in.read(reinterpret_cast<char*>(&version), sizeof(version));
+  in.read(reinterpret_cast<char*>(&payload_len), sizeof(payload_len));
+  in.read(reinterpret_cast<char*>(&crc), sizeof(crc));
+  if (!in) throw std::runtime_error("load_parameters: truncated header");
+  if (version != kVersion) {
+    throw std::runtime_error("load_parameters: unsupported format version " +
+                             std::to_string(version));
+  }
+  if (payload_len > (1ull << 32)) {
+    throw std::runtime_error("load_parameters: implausible payload length");
+  }
+  std::string payload(static_cast<std::size_t>(payload_len), '\0');
+  in.read(payload.data(), static_cast<std::streamsize>(payload_len));
+  if (!in || in.gcount() != static_cast<std::streamsize>(payload_len)) {
+    throw std::runtime_error(
+        "load_parameters: truncated payload — the checkpoint was cut short "
+        "(torn write or incomplete copy)");
+  }
+  if (util::crc32(payload.data(), payload.size()) != crc) {
+    throw std::runtime_error(
+        "load_parameters: CRC mismatch — the checkpoint is corrupt (bit rot "
+        "or partial overwrite); refusing to load garbage weights");
+  }
+  std::istringstream payload_in(payload, std::ios::binary);
+  std::uint32_t count = 0;
+  payload_in.read(reinterpret_cast<char*>(&count), sizeof(count));
+  if (!payload_in) throw std::runtime_error("load_parameters: empty payload");
+  parse_tensors(payload_in, count, module);
 }
 
 void save_checkpoint(const std::string& path, Module& module) {

@@ -7,6 +7,9 @@
 #include <cstdint>
 #include <random>
 #include <span>
+#include <sstream>
+#include <stdexcept>
+#include <string>
 
 namespace parpde::util {
 
@@ -53,6 +56,22 @@ class Rng {
   }
 
   std::mt19937_64& engine() { return engine_; }
+
+  // Checkpointable engine state (the standard's textual mt19937_64 stream
+  // format — exact, portable, and stable across runs). restore_state makes
+  // the generator continue bit-identically from where serialize_state was
+  // taken; the fork() base is deliberately not part of the state (trainers
+  // fork before training starts, never across a checkpoint boundary).
+  [[nodiscard]] std::string serialize_state() const {
+    std::ostringstream out;
+    out << engine_;
+    return out.str();
+  }
+  void restore_state(const std::string& state) {
+    std::istringstream in(state);
+    in >> engine_;
+    if (!in) throw std::runtime_error("Rng::restore_state: malformed state");
+  }
 
  private:
   std::mt19937_64 engine_;

@@ -10,7 +10,15 @@
 #            parallel_for fan-out.
 #   * asan:  Address+UB sanitizers over the full ctest suite, with
 #            PARPDE_CHECKED_TENSOR=ON so every Tensor access is also
-#            bounds- and rank-checked.
+#            bounds- and rank-checked, plus a second pass over the `chaos`
+#            label with the runtime message validator on.
+#
+# Fault injection: any of these binaries also honours the PARPDE_FAULT
+# environment variable (seeded message drop/delay/dup/corrupt and rank
+# kills — grammar in docs/robustness.md), so a chaotic sanitizer run is
+# e.g.  PARPDE_FAULT="seed=3;drop:tag=4096-4099,prob=0.3" tools/check.sh
+# The deterministic crash/resume soak itself is the `chaos` ctest label:
+#   ctest -L chaos --output-on-failure
 #
 # Exits non-zero on the first failing build or test.
 
@@ -27,9 +35,9 @@ cmake -S "$root" -B "$build_root/tsan" \
   -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread" >/dev/null
 cmake --build "$build_root/tsan" -j "$jobs" --target \
   test_minimpi_p2p test_minimpi_collectives test_minimpi_collectives2 \
-  test_minimpi_cart test_gemm_blocked test_core_parallel >/dev/null
+  test_minimpi_cart test_gemm_blocked test_core_parallel test_fault >/dev/null
 (cd "$build_root/tsan" && ctest --output-on-failure -R \
-  'test_minimpi_p2p|test_minimpi_collectives|test_minimpi_collectives2|test_minimpi_cart|test_gemm_blocked|test_core_parallel')
+  'test_minimpi_p2p|test_minimpi_collectives|test_minimpi_collectives2|test_minimpi_cart|test_gemm_blocked|test_core_parallel|test_fault')
 
 echo "== Address/UB sanitizer + checked tensor accessors: full test suite =="
 cmake -S "$root" -B "$build_root/asan" \
@@ -39,5 +47,8 @@ cmake -S "$root" -B "$build_root/asan" \
   -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=address,undefined" >/dev/null
 cmake --build "$build_root/asan" -j "$jobs" >/dev/null
 (cd "$build_root/asan" && ctest --output-on-failure -j "$jobs")
+
+echo "== Chaos soak under ASan with the runtime message validator on =="
+(cd "$build_root/asan" && PARPDE_MPI_VALIDATE=1 ctest --output-on-failure -L chaos)
 
 echo "All sanitizer checks passed."

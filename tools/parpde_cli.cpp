@@ -10,8 +10,10 @@
 //   parpde_cli info     --model=model.ppde
 //   parpde_cli info     --data=frames.ppfr
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <stdexcept>
 #include <string>
 
 #include "core/checkpoint.hpp"
@@ -20,6 +22,7 @@
 #include "core/parallel_trainer.hpp"
 #include "data/dataset.hpp"
 #include "euler/simulate.hpp"
+#include "minimpi/fault.hpp"
 #include "pde/advection.hpp"
 #include "util/ascii_plot.hpp"
 #include "util/log.hpp"
@@ -40,16 +43,46 @@ int usage() {
                "  train    --data=FILE --out=FILE [--ranks=N] [--epochs=N] "
                "[--threads=N] [--loss=mape|mse|mae] [--border=halo|zero|valid]"
                " [--lr=X]\n"
+               "           [--checkpoint-dir=DIR] [--checkpoint-every=N] "
+               "[--resume]\n"
                "  eval     --data=FILE --model=FILE [--train-fraction=X]\n"
                "  rollout  --data=FILE --model=FILE [--steps=N] [--start=N] "
                "[--render]\n"
+               "           [--halo-timeout-ms=N] [--halo-retries=N]\n"
                "  info     --model=FILE | --data=FILE\n"
                "observability flags (any command; see docs/observability.md):\n"
                "  --trace=FILE      Chrome trace-event JSON of the run's spans\n"
                "  --metrics=FILE    JSONL run report (per rank per epoch +\n"
                "                    summary with comm/compute split)\n"
-               "  --log-level=debug|info|warn|error   (or PARPDE_LOG_LEVEL)\n");
+               "  --log-level=debug|info|warn|error   (or PARPDE_LOG_LEVEL)\n"
+               "robustness (see docs/robustness.md):\n"
+               "  PARPDE_FAULT env  seeded fault plan (message drop/delay/dup/\n"
+               "                    corrupt, rank kill); train checkpoints +\n"
+               "                    --resume restart bit-identically\n");
   return 2;
+}
+
+std::string json_int_array(const std::vector<int>& values) {
+  std::string out = "[";
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (i != 0) out += ",";
+    out += std::to_string(values[i]);
+  }
+  return out + "]";
+}
+
+std::string json_string_array(const std::vector<std::string>& values) {
+  std::string out = "[";
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (i != 0) out += ",";
+    out += '"';
+    for (const char c : values[i]) {
+      if (c == '"' || c == '\\') out += '\\';
+      out += c;
+    }
+    out += '"';
+  }
+  return out + "]";
 }
 
 std::string require(const util::Options& opts, const std::string& key) {
@@ -158,6 +191,7 @@ void write_train_metrics(const std::string& path,
              telemetry::histogram("halo.exchange_seconds").sum())
       .field("bytes_sent_total", sent_total)
       .field("bytes_received_total", recv_total)
+      .raw("retrained_ranks", json_int_array(report.retrained_ranks))
       .raw("metrics", registry.metrics_json());
   writer.write_line(summary.str());
   std::printf("wrote run report to %s\n", path.c_str());
@@ -174,7 +208,23 @@ int cmd_train(const util::Options& opts) {
               ranks, static_cast<long long>(dataset.num_pairs()),
               config.loss.c_str(), border_mode_name(config.border).c_str());
   const ParallelTrainer trainer(config, ranks);
-  const auto report = trainer.train(dataset, ExecutionMode::kConcurrent);
+
+  FaultToleranceOptions fault_tolerance;
+  fault_tolerance.checkpoint_dir = opts.get_string("checkpoint-dir", "");
+  fault_tolerance.checkpoint_every = opts.get_int(
+      "checkpoint-every", fault_tolerance.checkpoint_dir.empty() ? 0 : 1);
+  fault_tolerance.resume = opts.get_bool("resume", false);
+  if (fault_tolerance.resume && fault_tolerance.checkpoint_dir.empty()) {
+    std::fprintf(stderr, "--resume requires --checkpoint-dir\n");
+    return 2;
+  }
+  // Engage the fault-tolerant path whenever the user asked for checkpoints or
+  // a fault plan is live; otherwise keep the plain (byte-identical) call.
+  const bool tolerant = !fault_tolerance.checkpoint_dir.empty() ||
+                        fault_tolerance.resume || mpi::fault::enabled();
+  const auto report =
+      trainer.train(dataset, ExecutionMode::kConcurrent, nullptr,
+                    tolerant ? &fault_tolerance : nullptr);
 
   util::Table table({"rank", "final loss", "time [s]", "sent [B]", "recv [B]"});
   for (const auto& outcome : report.rank_outcomes) {
@@ -185,6 +235,15 @@ int cmd_train(const util::Options& opts) {
                    std::to_string(outcome.train_bytes_received)});
   }
   table.print("per-rank training:");
+  if (!report.retrained_ranks.empty()) {
+    std::string list;
+    for (const int r : report.retrained_ranks) {
+      if (!list.empty()) list += ", ";
+      list += std::to_string(r);
+    }
+    std::printf("retrained after rank failure: %s (see docs/robustness.md)\n",
+                list.c_str());
+  }
   if (opts.has("metrics")) {
     write_train_metrics(opts.get_string("metrics", ""), report);
   }
@@ -247,8 +306,12 @@ int cmd_rollout(const util::Options& opts) {
                  static_cast<long long>(start + steps));
     return 2;
   }
-  const auto result =
-      parallel_rollout(config, checkpoint.report, dataset.frame(start), steps);
+  domain::HaloOptions halo;
+  halo.recv_timeout =
+      std::chrono::milliseconds(opts.get_int("halo-timeout-ms", 250));
+  halo.max_retries = opts.get_int("halo-retries", 40);
+  const auto result = parallel_rollout(config, checkpoint.report,
+                                       dataset.frame(start), steps, halo);
   std::vector<Tensor> truths;
   for (int k = 1; k <= steps; ++k) truths.push_back(dataset.frame(start + k));
   const auto curve = rollout_error_curve(result.frames, truths);
@@ -263,6 +326,15 @@ int cmd_rollout(const util::Options& opts) {
       static_cast<unsigned long long>(result.halo_bytes),
       static_cast<unsigned long long>(result.halo_bytes_received),
       result.comm_seconds, result.compute_seconds);
+  if (result.degraded_borders > 0) {
+    std::fprintf(stderr,
+                 "warning: %d border(s) degraded to zero padding after halo "
+                 "message loss (docs/robustness.md):\n",
+                 result.degraded_borders);
+    for (const auto& line : result.degraded_detail) {
+      std::fprintf(stderr, "  %s\n", line.c_str());
+    }
+  }
   if (opts.has("metrics")) {
     telemetry::JsonlWriter writer(opts.get_string("metrics", ""));
     if (writer.ok()) {
@@ -282,6 +354,9 @@ int cmd_rollout(const util::Options& opts) {
           .field("halo_bytes_received", result.halo_bytes_received)
           .field("bytes_sent_total", result.bytes_sent)
           .field("bytes_received_total", result.bytes_received)
+          .field("degraded_borders",
+                 static_cast<std::int64_t>(result.degraded_borders))
+          .raw("degraded_detail", json_string_array(result.degraded_detail))
           .raw("metrics", telemetry::Registry::global().metrics_json());
       writer.write_line(summary.str());
     } else {
@@ -362,6 +437,15 @@ int main(int argc, char** argv) {
       return 2;
     }
     util::set_log_level(level);
+  }
+
+  // PARPDE_FAULT installs a seeded fault plan before any command runs, so an
+  // injected drop/kill covers the whole pipeline (docs/robustness.md).
+  try {
+    mpi::fault::install_from_env();
+  } catch (const std::invalid_argument& e) {
+    std::fprintf(stderr, "bad PARPDE_FAULT: %s\n", e.what());
+    return 2;
   }
 
   const std::string trace_path = opts.get_string("trace", "");

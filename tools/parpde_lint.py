@@ -20,6 +20,13 @@ rule):
   include-hygiene  headers start with #pragma once; no relative-parent or
                    <bits/...> includes; a .cpp's first include is its own
                    header.
+  unbounded-halo-recv
+                   inference-phase files may not block forever on halo
+                   traffic: every receive on a halo tag must be the bounded
+                   recv_for/recv_bytes_for so a lost neighbour degrades the
+                   border instead of hanging the rollout. Blocking receives
+                   on the registry's rendezvous tags (field gather/scatter)
+                   are allowlisted.
 
 Usage:
   tools/parpde_lint.py [--root DIR]   lint the tree (exit 1 on violations)
@@ -256,6 +263,48 @@ def rule_zero_comm(rel: str, code: str, code_includes: str, out: list):
             )
 
 
+# --- rule: unbounded-halo-recv -----------------------------------------------
+
+# Files on the inference-time communication path. A lost neighbour must
+# degrade the border (docs/robustness.md), so these files may only use the
+# bounded receives on halo traffic.
+INFERENCE_PHASE_FILES = (
+    "src/domain/exchange.cpp",
+    "src/core/inference.cpp",
+)
+# Registry tags whose owner implements a rendezvous with a live root (full
+# field gather/scatter); blocking on them is the intended protocol.
+ALLOWED_BLOCKING_TAGS = ("kFieldGather", "kFieldScatter")
+
+# Matches the unbounded receive family only: the bounded recv_for /
+# recv_bytes_for calls fail the `\s*(?:<...>)?\s*\(` tail after the name.
+_UNBOUNDED_RECV = re.compile(
+    r"\.\s*(recv_value|recv_bytes|recv|irecv)\s*(?:<[^<>()]*>)?\s*\("
+)
+
+
+def rule_unbounded_halo_recv(rel: str, code: str, out: list):
+    if rel not in INFERENCE_PHASE_FILES:
+        return
+    for m in _UNBOUNDED_RECV.finditer(code):
+        args = split_args(code, m.end() - 1)
+        if len(args) >= 2 and any(
+            tag in args[1][0] for tag in ALLOWED_BLOCKING_TAGS
+        ):
+            continue
+        out.append(
+            Violation(
+                "unbounded-halo-recv",
+                rel,
+                line_of(code, m.start()),
+                f"unbounded .{m.group(1)}() in an inference-phase file — a "
+                "dead neighbour would hang the rollout forever; use "
+                "recv_for/recv_bytes_for with a timeout and degrade the "
+                "border (docs/robustness.md)",
+            )
+        )
+
+
 # --- rule: include-hygiene ---------------------------------------------------
 
 _INCLUDE = re.compile(r'#\s*include\s+(["<][^">]+[">])')
@@ -333,6 +382,7 @@ def lint_file(root: str, rel: str) -> list:
     rule_nondeterminism(rel_posix, code, out)
     rule_span_temporary(rel_posix, code, out)
     rule_zero_comm(rel_posix, code, code_includes, out)
+    rule_unbounded_halo_recv(rel_posix, code, out)
     rule_include_hygiene(rel_posix, code_includes, raw, out)
     return out
 
@@ -389,6 +439,18 @@ SEEDED_FILES = {
         '#include "minimpi/communicator.hpp"\n'
         "void h() {}\n"
     ),
+    # unbounded-halo-recv: one blocking halo receive (bad) next to an
+    # allowlisted gather receive and a bounded recv_for (both fine).
+    "src/core/inference.cpp": (
+        '#include "core/inference.hpp"\n'
+        "void f(parpde::mpi::Communicator& comm) {\n"
+        "  auto bad = comm.recv<float>(1, parpde::mpi::tags::kHalo.base);\n"
+        "  auto ok1 = comm.recv<float>(0, parpde::mpi::tags::kFieldGather.base);\n"
+        "  std::vector<float> out;\n"
+        "  comm.recv_for<float>(1, parpde::mpi::tags::kHalo.base,\n"
+        "                       std::chrono::milliseconds(10), &out);\n"
+        "}\n"
+    ),
     # include-hygiene: missing pragma once, parent include, bits include.
     "src/util/bad_header.hpp": (
         "#include <vector>\n"
@@ -413,6 +475,7 @@ EXPECTED = {
     "nondeterminism": {"src/tensor/bad_rng.cpp"},
     "span-temporary": {"src/domain/bad_span.cpp"},
     "zero-comm": {"src/core/parallel_trainer.cpp", "src/nn/bad_layer.cpp"},
+    "unbounded-halo-recv": {"src/core/inference.cpp"},
     "include-hygiene": {"src/util/bad_header.hpp"},
 }
 
@@ -444,6 +507,16 @@ def self_test() -> int:
         if len(literal) != 3:
             failures.append(
                 f"literal-tag: expected 3 findings, got {len(literal)}"
+            )
+        # Exactly the blocking halo receive: the allowlisted gather receive
+        # and the bounded recv_for in the same seed must not be flagged.
+        unbounded = [
+            v for v in violations if v.rule == "unbounded-halo-recv"
+        ]
+        if len(unbounded) != 1:
+            failures.append(
+                "unbounded-halo-recv: expected exactly 1 finding, got "
+                f"{len(unbounded)}"
             )
         if failures:
             print("parpde_lint self-test FAILED:", file=sys.stderr)
