@@ -1,0 +1,223 @@
+// Rollout engine microbenchmark (ISSUE 5): per-step latency of the overlapped
+// halo/compute pipeline against the serialized reference loop on the Table-I
+// network, for 2x2 and 4x4 partitions. Reports p50/p99 step latency, the
+// overlap efficiency (halo time hidden by interior compute / serialized halo
+// time), the steady-state allocation count, and the per-step speedup. Emits a
+// single JSON object on stdout and writes it to BENCH_rollout.json (progress
+// lines go to stderr so stdout stays machine-parseable).
+//
+//   bench_rollout_latency [--grid G] [--steps N] [--warmup N] [--threads N]
+//                         [--record-every K] [--out FILE] [--full]
+//
+// Defaults are laptop-scale (grid 128); --full / PARPDE_FULL=1 selects the
+// paper's 256 x 256 grid. The acceptance target is >= 1.3x per-step
+// throughput on the 4-rank 256 x 256 halo-pad rollout.
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/config.hpp"
+#include "core/inference.hpp"
+#include "core/model.hpp"
+#include "util/options.hpp"
+#include "util/random.hpp"
+#include "util/thread_pool.hpp"
+
+namespace {
+
+using parpde::Tensor;
+namespace core = parpde::core;
+
+double percentile(std::vector<double> xs, double q) {
+  if (xs.empty()) return 0.0;
+  std::sort(xs.begin(), xs.end());
+  const auto n = static_cast<double>(xs.size());
+  const auto idx = static_cast<std::size_t>(
+      std::min(n - 1.0, std::max(0.0, q * n - 0.5)));
+  return xs[idx];
+}
+
+struct EngineStats {
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+  double mean_ms = 0.0;
+  double comm_seconds = 0.0;
+  double compute_seconds = 0.0;
+  double overlap_seconds = 0.0;
+  std::uint64_t halo_bytes = 0;
+  std::uint64_t steady_state_allocs = 0;
+};
+
+EngineStats summarize(const core::RolloutResult& r, int warmup) {
+  EngineStats s;
+  std::vector<double> steady;
+  for (std::size_t i = static_cast<std::size_t>(warmup); i < r.step_seconds.size();
+       ++i) {
+    steady.push_back(r.step_seconds[i]);
+  }
+  double sum = 0.0;
+  for (const double v : steady) sum += v;
+  s.p50_ms = percentile(steady, 0.50) * 1e3;
+  s.p99_ms = percentile(steady, 0.99) * 1e3;
+  s.mean_ms = steady.empty() ? 0.0 : sum / static_cast<double>(steady.size()) * 1e3;
+  s.comm_seconds = r.comm_seconds;
+  s.compute_seconds = r.compute_seconds;
+  s.overlap_seconds = r.overlap_seconds;
+  s.halo_bytes = r.halo_bytes;
+  s.steady_state_allocs = r.steady_state_allocs;
+  return s;
+}
+
+void print_engine_json(std::FILE* f, const char* name, const EngineStats& s) {
+  std::fprintf(f,
+               "    \"%s\": {\"p50_ms\": %.4f, \"p99_ms\": %.4f, "
+               "\"mean_ms\": %.4f, \"comm_seconds\": %.4f, "
+               "\"compute_seconds\": %.4f, \"overlap_seconds\": %.4f, "
+               "\"halo_bytes\": %llu, \"steady_state_allocs\": %llu}",
+               name, s.p50_ms, s.p99_ms, s.mean_ms, s.comm_seconds,
+               s.compute_seconds, s.overlap_seconds,
+               static_cast<unsigned long long>(s.halo_bytes),
+               static_cast<unsigned long long>(s.steady_state_allocs));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const parpde::util::Options opts(argc, argv);
+  const bool full =
+      parpde::util::env_flag("PARPDE_FULL") || opts.get_bool("full", false);
+  const int grid = opts.get_int("grid", full ? 256 : 128);
+  const int steps = opts.get_int("steps", full ? 40 : 24);
+  const int warmup = opts.get_int("warmup", 3);
+  const int threads = opts.get_int("threads", 1);
+  const int record_every = opts.get_int("record-every", 0);
+  const std::string out_path = opts.get_string("out", "BENCH_rollout.json");
+  parpde::util::ThreadPool::configure_global(threads - 1);
+
+  core::TrainConfig cfg;  // Table I network
+  cfg.border = core::BorderMode::kHaloPad;
+
+  // Shared random weights on every rank: the bench measures latency, not
+  // accuracy, and identical weights keep both engines numerically comparable.
+  parpde::util::Rng weight_rng(cfg.seed);
+  const auto model = core::build_model(cfg.network, cfg.border, weight_rng);
+  const auto params = core::export_parameters(*model);
+
+  Tensor initial({cfg.network.channels.front(), grid, grid});
+  parpde::util::Rng data_rng(1234);
+  data_rng.fill_uniform(initial.values(), 0.5f, 1.5f);
+
+  std::fprintf(stderr,
+               "== bench_rollout_latency ==\n"
+               "grid %dx%d | steps %d (+%d warmup) | threads %d | "
+               "record_every %d | Table-I halo %lld\n",
+               grid, grid, steps, warmup, threads, record_every,
+               static_cast<long long>(cfg.network.receptive_halo()));
+
+  struct Row {
+    int px, py;
+    EngineStats serialized, overlapped;
+    double speedup = 0.0;
+    double overlap_efficiency = 0.0;
+  };
+  std::vector<Row> rows;
+
+  for (const int side : {2, 4}) {
+    const int ranks = side * side;
+    core::ParallelTrainReport report;
+    report.ranks = ranks;
+    report.dims = parpde::mpi::dims_create(ranks);
+    const parpde::domain::Partition part(grid, grid, report.dims.px,
+                                         report.dims.py);
+    report.rank_outcomes.resize(static_cast<std::size_t>(ranks));
+    for (int r = 0; r < ranks; ++r) {
+      auto& outcome = report.rank_outcomes[static_cast<std::size_t>(r)];
+      outcome.rank = r;
+      outcome.block = part.block_of_rank(r);
+      outcome.parameters = params;
+    }
+
+    Row row;
+    row.px = report.dims.px;
+    row.py = report.dims.py;
+    const int total_steps = steps + warmup;
+
+    core::RolloutOptions serialized;
+    serialized.engine = core::RolloutEngine::kSerialized;
+    serialized.record_every = record_every;
+    std::fprintf(stderr, "%dx%d serialized...\n", row.px, row.py);
+    row.serialized = summarize(
+        core::parallel_rollout(cfg, report, initial, total_steps, serialized),
+        warmup);
+
+    core::RolloutOptions overlapped;
+    overlapped.engine = core::RolloutEngine::kOverlapped;
+    overlapped.record_every = record_every;
+    std::fprintf(stderr, "%dx%d overlapped...\n", row.px, row.py);
+    row.overlapped = summarize(
+        core::parallel_rollout(cfg, report, initial, total_steps, overlapped),
+        warmup);
+
+    row.speedup = row.overlapped.mean_ms > 0.0
+                      ? row.serialized.mean_ms / row.overlapped.mean_ms
+                      : 0.0;
+    // Fraction of the serialized engine's halo time that the overlapped
+    // engine removed from the critical path.
+    row.overlap_efficiency =
+        row.serialized.comm_seconds > 0.0
+            ? std::max(0.0, row.serialized.comm_seconds -
+                                row.overlapped.comm_seconds) /
+                  row.serialized.comm_seconds
+            : 0.0;
+    std::fprintf(stderr,
+                 "%dx%d: serialized p50 %.3f ms | overlapped p50 %.3f ms | "
+                 "speedup %.2fx | overlap efficiency %.0f%% | steady allocs "
+                 "%llu\n",
+                 row.px, row.py, row.serialized.p50_ms, row.overlapped.p50_ms,
+                 row.speedup, row.overlap_efficiency * 100.0,
+                 static_cast<unsigned long long>(
+                     row.overlapped.steady_state_allocs));
+    rows.push_back(row);
+  }
+
+  const auto emit = [&](std::FILE* f) {
+    std::fprintf(f,
+                 "{\n"
+                 "  \"bench\": \"rollout_latency\",\n"
+                 "  \"grid\": %d,\n"
+                 "  \"steps\": %d,\n"
+                 "  \"warmup\": %d,\n"
+                 "  \"threads\": %d,\n"
+                 "  \"record_every\": %d,\n"
+                 "  \"network\": \"table1\",\n"
+                 "  \"partitions\": [\n",
+                 grid, steps, warmup, threads, record_every);
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      const Row& row = rows[i];
+      std::fprintf(f,
+                   "  {\"px\": %d, \"py\": %d, \"ranks\": %d,\n",
+                   row.px, row.py, row.px * row.py);
+      print_engine_json(f, "serialized", row.serialized);
+      std::fprintf(f, ",\n");
+      print_engine_json(f, "overlapped", row.overlapped);
+      std::fprintf(f,
+                   ",\n    \"speedup\": %.4f, \"overlap_efficiency\": %.4f}%s\n",
+                   row.speedup, row.overlap_efficiency,
+                   i + 1 < rows.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+  };
+
+  emit(stdout);
+  if (std::FILE* f = std::fopen(out_path.c_str(), "w")) {
+    emit(f);
+    std::fclose(f);
+    std::fprintf(stderr, "wrote %s\n", out_path.c_str());
+  } else {
+    std::fprintf(stderr, "could not open %s for writing\n", out_path.c_str());
+    return 1;
+  }
+  return 0;
+}

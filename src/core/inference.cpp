@@ -1,21 +1,99 @@
 #include "core/inference.hpp"
 
+#include <algorithm>
+#include <deque>
+#include <optional>
 #include <stdexcept>
 
 #include "domain/exchange.hpp"
 #include "domain/halo.hpp"
 #include "minimpi/collectives.hpp"
 #include "minimpi/environment.hpp"
+#include "nn/forward_plan.hpp"
 #include "tensor/ops.hpp"
 #include "util/telemetry.hpp"
+#include "util/thread_pool.hpp"
 #include "util/timer.hpp"
 
 namespace parpde::core {
+
+namespace {
+
+// Copies a dense [c, sh, sw] plane block into the (y0, x0) window of a
+// [c, h, w] tensor.
+void insert_window(Tensor& dst, std::int64_t y0, std::int64_t x0,
+                   const float* src, std::int64_t c, std::int64_t sh,
+                   std::int64_t sw) {
+  const auto h = dst.dim(1), w = dst.dim(2);
+  for (std::int64_t ic = 0; ic < c; ++ic) {
+    for (std::int64_t y = 0; y < sh; ++y) {
+      float* d = dst.data() + (ic * h + y0 + y) * w + x0;
+      std::copy(src, src + sw, d);
+      src += sw;
+    }
+  }
+}
+
+// Copies the (y0, x0) window of extent [rows, cols] out of a [c, h, w]
+// tensor into a dense staging tensor (resized on first use, reused after).
+void extract_window(const Tensor& src, std::int64_t y0, std::int64_t rows,
+                    std::int64_t x0, std::int64_t cols, Tensor& out,
+                    std::uint64_t* growths) {
+  const auto c = src.dim(0), h = src.dim(1), w = src.dim(2);
+  if (out.ndim() != 3 || out.dim(0) != c || out.dim(1) != rows ||
+      out.dim(2) != cols) {
+    out = Tensor({c, rows, cols});
+    if (growths != nullptr) ++*growths;
+  }
+  float* d = out.data();
+  for (std::int64_t ic = 0; ic < c; ++ic) {
+    for (std::int64_t y = 0; y < rows; ++y) {
+      const float* s = src.data() + (ic * h + y0 + y) * w + x0;
+      std::copy(s, s + cols, d);
+      d += cols;
+    }
+  }
+}
+
+// Module-graph forward on a [C, bh, bw] tile (the plan-incompatible
+// fallback): reshapes in place around Sequential::forward, no input copy.
+Tensor module_forward(nn::Sequential& model, Tensor& input) {
+  input.reshape({1, input.dim(0), input.dim(1), input.dim(2)});
+  Tensor out = model.forward(input);
+  input.reshape({input.dim(1), input.dim(2), input.dim(3)});
+  out.reshape({out.dim(1), out.dim(2), out.dim(3)});
+  return out;
+}
+
+// Per-rank state of the deferred (double-buffered) frame recording: rank 0
+// stages a copy of its own interior when a recorded step is produced and
+// collects the non-root blocks one recorded step later, so the strip sends
+// overlap the next step's compute.
+struct DeferredGather {
+  struct Round {
+    std::size_t frame_index = 0;
+    int stage_slot = 0;
+  };
+  std::deque<Round> pending;
+  Tensor stages[2];
+  int next_slot = 0;
+};
+
+}  // namespace
 
 RolloutResult parallel_rollout(const TrainConfig& config,
                                const ParallelTrainReport& trained,
                                const Tensor& initial, int steps,
                                const domain::HaloOptions& halo_options) {
+  RolloutOptions options;
+  options.halo = halo_options;
+  return parallel_rollout(config, trained, initial, steps, options);
+}
+
+RolloutResult parallel_rollout(const TrainConfig& config,
+                               const ParallelTrainReport& trained,
+                               const Tensor& initial, int steps,
+                               const RolloutOptions& options) {
   if (config.border == BorderMode::kValidInner) {
     throw std::invalid_argument(
         "parallel_rollout: valid-inner mode cannot roll out (output loses the "
@@ -32,11 +110,26 @@ RolloutResult parallel_rollout(const TrainConfig& config,
   const std::int64_t halo = config.border == BorderMode::kHaloPad
                                 ? config.network.receptive_halo()
                                 : 0;
+  const bool overlapped = options.engine == RolloutEngine::kOverlapped;
+
+  // A step is recorded every `record_every` steps, plus always the last one.
+  auto recorded = [&](int step) {
+    if (options.record_every <= 0) return false;
+    return (step + 1) % options.record_every == 0 || step + 1 == steps;
+  };
+  std::vector<int> recorded_steps;
+  for (int s = 0; s < steps; ++s) {
+    if (recorded(s)) recorded_steps.push_back(s);
+  }
 
   RolloutResult result;
-  result.frames.resize(static_cast<std::size_t>(steps));
+  result.recorded_steps = recorded_steps;
+  result.frames.resize(recorded_steps.size());
+  result.step_seconds.resize(static_cast<std::size_t>(steps), 0.0);
   std::vector<double> comm_seconds(static_cast<std::size_t>(ranks), 0.0);
   std::vector<double> compute_seconds(static_cast<std::size_t>(ranks), 0.0);
+  std::vector<double> overlap_seconds(static_cast<std::size_t>(ranks), 0.0);
+  std::vector<std::uint64_t> steady_allocs(static_cast<std::size_t>(ranks), 0);
   std::vector<std::uint64_t> halo_bytes(static_cast<std::size_t>(ranks), 0);
   std::vector<std::uint64_t> halo_bytes_recv(static_cast<std::size_t>(ranks), 0);
   std::vector<std::uint64_t> total_sent(static_cast<std::size_t>(ranks), 0);
@@ -55,52 +148,204 @@ RolloutResult parallel_rollout(const TrainConfig& config,
     import_parameters(
         *model, trained.rank_outcomes[static_cast<std::size_t>(rank)].parameters);
 
-    Tensor interior = domain::extract_interior(
-        initial, partition.block(cart.cx(), cart.cy()));
+    const domain::BlockRange block = partition.block(cart.cx(), cart.cy());
+    const std::int64_t bh = block.height();
+    const std::int64_t bw = block.width();
+    Tensor interior = domain::extract_interior(initial, block);
+    const std::int64_t c = interior.dim(0);
+
+    // Pre-size everything the steady-state step touches (ISSUE 5 tentpole):
+    // the plan's activations + im2col workspaces for the largest geometry it
+    // will see (the halo-padded tile), the halo staging, and the assembly
+    // buffers. Only the overlapped engine runs the plan — kSerialized is the
+    // module-graph reference loop.
+    nn::ForwardPlan plan(*model, c, bh + 2 * halo, bw + 2 * halo);
+    const bool use_plan = overlapped && plan.supported();
+    // Interior/rim split needs a non-empty halo-independent interior.
+    const bool split = use_plan && halo > 0 && bh > 2 * halo && bw > 2 * halo;
+    std::optional<domain::HaloExchange> exchange;
+    if (halo > 0 && overlapped) {
+      exchange.emplace(cart, partition, halo, options.halo,
+                       &health[static_cast<std::size_t>(rank)]);
+    }
+    Tensor padded;                    // [c, bh + 2 halo, bw + 2 halo]
+    Tensor next({c, bh, bw});         // assembled step output
+    Tensor band_h;                    // horizontal rim staging [c, 3h, bw + 2h]
+    Tensor band_v;                    // vertical rim staging [c, bh, 3h]
+    std::uint64_t buffer_growths = 0;  // engine-side regrowth events
+    DeferredGather gather;
+
+    static telemetry::Histogram& step_latency =
+        telemetry::histogram("rollout.step_seconds");
+    static telemetry::Gauge& overlap_gauge =
+        telemetry::gauge("rollout.overlap_seconds");
+    static telemetry::Counter& steady_counter =
+        telemetry::counter("inference.steady_state_allocs");
 
     util::AccumulatingTimer comm_timer;
     util::AccumulatingTimer compute_timer;
     comm.reset_counters();
     std::uint64_t exchange_bytes = 0;
     std::uint64_t exchange_bytes_recv = 0;
+    std::uint64_t warm_growths = 0;  // growth baseline after the first step
+    double overlap = 0.0;
+
+    // Runs the plan over the [rows x cols] output window at (y0, x0),
+    // staging the matching halo-extended input band from `padded` and
+    // assembling the result into `next`.
+    auto run_rim = [&](std::int64_t y0, std::int64_t rows, std::int64_t x0,
+                       std::int64_t cols, Tensor& staging) {
+      extract_window(padded, y0, rows + 2 * halo, x0, cols + 2 * halo,
+                     staging, &buffer_growths);
+      const nn::ForwardPlan::Output out =
+          plan.run(staging.data(), rows + 2 * halo, cols + 2 * halo);
+      insert_window(next, y0, x0, out.data, out.channels, rows, cols);
+    };
 
     for (int step = 0; step < steps; ++step) {
       telemetry::Span step_span("rollout.step", "rollout");
-      // Sec. III: "extra data points must be received from the neighboring
-      // processes" — halo exchange in halo-pad mode; zero-pad mode keeps the
-      // borders implicit in the conv padding.
-      Tensor input = interior;
-      if (halo > 0) {
+      util::WallTimer step_timer;
+
+      if (halo > 0 && overlapped) {
+        // Sec. III: "extra data points must be received from the neighboring
+        // processes" — post this step's border strips immediately, then run
+        // the halo-independent compute while they are in flight.
         const std::uint64_t sent_before = comm.bytes_sent();
         const std::uint64_t recv_before = comm.bytes_received();
-        input = domain::exchange_halo(
-            cart, partition, interior, halo, &comm_timer, halo_options,
+        exchange->begin(interior, &comm_timer);
+        if (split) {
+          compute_timer.start();
+          util::WallTimer overlap_timer;
+          {
+            telemetry::Span forward_span("rollout.forward", "rollout");
+            mpi::PhaseScope forward_phase(comm, "rollout.forward",
+                                          mpi::CommPolicy::kForbidden);
+            const nn::ForwardPlan::Output out =
+                plan.run(interior.data(), bh, bw);
+            insert_window(next, halo, halo, out.data, out.channels,
+                          bh - 2 * halo, bw - 2 * halo);
+          }
+          overlap += overlap_timer.seconds();
+          compute_timer.stop();
+        }
+        exchange->finish(interior, padded, &comm_timer);
+        exchange_bytes += comm.bytes_sent() - sent_before;
+        exchange_bytes_recv += comm.bytes_received() - recv_before;
+        compute_timer.start();
+        {
+          telemetry::Span forward_span("rollout.forward", "rollout");
+          mpi::PhaseScope forward_phase(comm, "rollout.forward",
+                                        mpi::CommPolicy::kForbidden);
+          if (split) {
+            // Finish the rim: four thin bands of the halo-padded input.
+            run_rim(0, halo, 0, bw, band_h);                     // top
+            run_rim(bh - halo, halo, 0, bw, band_h);             // bottom
+            run_rim(halo, bh - 2 * halo, 0, halo, band_v);       // left
+            run_rim(halo, bh - 2 * halo, bw - halo, halo, band_v);  // right
+          } else if (use_plan) {
+            const nn::ForwardPlan::Output out =
+                plan.run(padded.data(), bh + 2 * halo, bw + 2 * halo);
+            insert_window(next, 0, 0, out.data, out.channels, bh, bw);
+          } else {
+            Tensor out = module_forward(*model, padded);
+            next = std::move(out);
+          }
+        }
+        compute_timer.stop();
+        std::swap(interior, next);
+      } else if (halo > 0) {
+        // Serialized reference: blocking exchange, then the forward.
+        const std::uint64_t sent_before = comm.bytes_sent();
+        const std::uint64_t recv_before = comm.bytes_received();
+        Tensor input = domain::exchange_halo(
+            cart, partition, interior, halo, &comm_timer, options.halo,
             &health[static_cast<std::size_t>(rank)]);
         exchange_bytes += comm.bytes_sent() - sent_before;
         exchange_bytes_recv += comm.bytes_received() - recv_before;
+        compute_timer.start();
+        {
+          telemetry::Span forward_span("rollout.forward", "rollout");
+          mpi::PhaseScope forward_phase(comm, "rollout.forward",
+                                        mpi::CommPolicy::kForbidden);
+          interior = module_forward(*model, input);
+        }
+        compute_timer.stop();
+      } else {
+        // Zero-pad (or deconv) mode: communication-free step on the bare
+        // interior — no input copy (the halo == 0 copy the serialized loop
+        // used to pay every step).
+        compute_timer.start();
+        {
+          telemetry::Span forward_span("rollout.forward", "rollout");
+          mpi::PhaseScope forward_phase(comm, "rollout.forward",
+                                        mpi::CommPolicy::kForbidden);
+          if (use_plan) {
+            const nn::ForwardPlan::Output out = plan.run(interior.data(), bh, bw);
+            insert_window(next, 0, 0, out.data, out.channels, bh, bw);
+            std::swap(interior, next);
+          } else {
+            interior = module_forward(*model, interior);
+          }
+        }
+        compute_timer.stop();
       }
-      compute_timer.start();
-      {
-        telemetry::Span forward_span("rollout.forward", "rollout");
-        // The forward pass is pure compute; the halo already arrived above.
-        mpi::PhaseScope forward_phase(comm, "rollout.forward",
-                                      mpi::CommPolicy::kForbidden);
-        input.reshape({1, input.dim(0), input.dim(1), input.dim(2)});
-        Tensor out = model->forward(input);
-        out.reshape({out.dim(1), out.dim(2), out.dim(3)});
-        interior = std::move(out);
-      }
-      compute_timer.stop();
 
       // Gather the predicted frame for validation/recording (not part of the
-      // scheme's communication cost; a production run would keep fields
-      // distributed).
-      telemetry::Span gather_span("rollout.gather", "rollout");
-      Tensor full = domain::gather_field(cart, partition, interior);
+      // scheme's communication cost; a production run keeps fields
+      // distributed — record_every <= 0 skips this entirely). The overlapped
+      // engine defers rank 0's collection by one recorded step so the
+      // non-root strip sends overlap the next step's compute.
+      if (recorded(step)) {
+        telemetry::Span gather_span("rollout.gather", "rollout");
+        const std::size_t frame_index = static_cast<std::size_t>(
+            std::lower_bound(recorded_steps.begin(), recorded_steps.end(), step) -
+            recorded_steps.begin());
+        if (!overlapped) {
+          Tensor full = domain::gather_field(cart, partition, interior);
+          if (rank == 0) {
+            result.frames[frame_index] = std::move(full);
+          }
+        } else {
+          domain::gather_field_send(cart, interior);
+          if (rank == 0) {
+            if (gather.pending.size() == 2) {
+              const DeferredGather::Round round = gather.pending.front();
+              gather.pending.pop_front();
+              domain::gather_field_collect(cart, partition,
+                                           gather.stages[round.stage_slot],
+                                           result.frames[round.frame_index]);
+            }
+            gather.stages[gather.next_slot] = interior;
+            gather.pending.push_back({frame_index, gather.next_slot});
+            gather.next_slot ^= 1;
+          }
+        }
+      }
+      if (step == 0) {
+        warm_growths = plan.supported() ? plan.growth_events() : 0;
+        warm_growths += buffer_growths;
+      }
       if (rank == 0) {
-        result.frames[static_cast<std::size_t>(step)] = std::move(full);
+        const double seconds = step_timer.seconds();
+        result.step_seconds[static_cast<std::size_t>(step)] = seconds;
+        step_latency.observe(seconds);
       }
     }
+    // Drain the deferred recording rounds.
+    while (rank == 0 && !gather.pending.empty()) {
+      const DeferredGather::Round round = gather.pending.front();
+      gather.pending.pop_front();
+      domain::gather_field_collect(cart, partition,
+                                   gather.stages[round.stage_slot],
+                                   result.frames[round.frame_index]);
+    }
+
+    const std::uint64_t total_growths =
+        (plan.supported() ? plan.growth_events() : 0) + buffer_growths;
+    steady_allocs[static_cast<std::size_t>(rank)] = total_growths - warm_growths;
+    steady_counter.add(total_growths - warm_growths);
+    overlap_gauge.add(overlap);
+    overlap_seconds[static_cast<std::size_t>(rank)] = overlap;
     comm_seconds[static_cast<std::size_t>(rank)] = comm_timer.seconds();
     compute_seconds[static_cast<std::size_t>(rank)] = compute_timer.seconds();
     halo_bytes[static_cast<std::size_t>(rank)] = exchange_bytes;
@@ -120,6 +365,9 @@ RolloutResult parallel_rollout(const TrainConfig& config,
         std::max(result.comm_seconds, comm_seconds[static_cast<std::size_t>(r)]);
     result.compute_seconds = std::max(
         result.compute_seconds, compute_seconds[static_cast<std::size_t>(r)]);
+    result.overlap_seconds = std::max(
+        result.overlap_seconds, overlap_seconds[static_cast<std::size_t>(r)]);
+    result.steady_state_allocs += steady_allocs[static_cast<std::size_t>(r)];
     result.halo_bytes += halo_bytes[static_cast<std::size_t>(r)];
     result.halo_bytes_received += halo_bytes_recv[static_cast<std::size_t>(r)];
     result.bytes_sent += total_sent[static_cast<std::size_t>(r)];
@@ -137,13 +385,23 @@ SubdomainEnsemble::SubdomainEnsemble(const TrainConfig& config,
                 ? config.network.receptive_halo()
                 : 0) {
   models_.reserve(trained.rank_outcomes.size());
-  for (const auto& outcome : trained.rank_outcomes) {
+  plans_.reserve(trained.rank_outcomes.size());
+  for (std::size_t r = 0; r < trained.rank_outcomes.size(); ++r) {
     util::Rng rng(config.seed);
     auto model = build_model(config.network, config.border, rng);
-    import_parameters(*model, outcome.parameters);
+    import_parameters(*model, trained.rank_outcomes[r].parameters);
+    const auto block = partition_.block_of_rank(static_cast<int>(r));
+    auto plan = std::make_unique<nn::ForwardPlan>(
+        *model, config.network.channels.front(), block.height() + 2 * halo_,
+        block.width() + 2 * halo_);
+    if (!plan->supported()) plan.reset();
     models_.push_back(std::move(model));
+    plans_.push_back(std::move(plan));
   }
+  inputs_.resize(models_.size());
 }
+
+SubdomainEnsemble::~SubdomainEnsemble() = default;
 
 Tensor SubdomainEnsemble::predict(const Tensor& frame) const {
   if (frame.ndim() != 3 || frame.dim(1) != partition_.grid_h() ||
@@ -151,14 +409,27 @@ Tensor SubdomainEnsemble::predict(const Tensor& frame) const {
     throw std::invalid_argument("SubdomainEnsemble::predict: bad frame shape");
   }
   Tensor assembled({frame.dim(0), frame.dim(1), frame.dim(2)});
-  for (std::size_t r = 0; r < models_.size(); ++r) {
-    const auto block = partition_.block_of_rank(static_cast<int>(r));
-    Tensor input = domain::extract_with_halo(frame, block, halo_);
-    input.reshape({1, input.dim(0), input.dim(1), input.dim(2)});
-    Tensor out = models_[r]->forward(input);
-    out.reshape({out.dim(1), out.dim(2), out.dim(3)});
-    domain::insert_interior(assembled, block, out);
-  }
+  // Subdomains write disjoint blocks of `assembled` and touch only their own
+  // model/plan/staging, so fanning them out is bit-deterministic; the nested
+  // kernels inside each forward run inline on the claiming thread.
+  util::ThreadPool::global().parallel_for(
+      static_cast<std::int64_t>(models_.size()), 1,
+      [&](std::int64_t begin, std::int64_t end) {
+        for (std::int64_t r = begin; r < end; ++r) {
+          const auto block = partition_.block_of_rank(static_cast<int>(r));
+          const auto i = static_cast<std::size_t>(r);
+          domain::extract_with_halo_into(frame, block, halo_, inputs_[i]);
+          if (plans_[i] != nullptr) {
+            const nn::ForwardPlan::Output out = plans_[i]->run(
+                inputs_[i].data(), inputs_[i].dim(1), inputs_[i].dim(2));
+            insert_window(assembled, block.h0, block.w0, out.data,
+                          out.channels, block.height(), block.width());
+          } else {
+            Tensor out = module_forward(*models_[i], inputs_[i]);
+            domain::insert_interior(assembled, block, out);
+          }
+        }
+      });
   return assembled;
 }
 
@@ -174,17 +445,20 @@ std::vector<Tensor> sequential_rollout(NetworkTrainer& trainer,
                                 ? trainer.config().network.receptive_halo()
                                 : 0;
   for (int step = 0; step < steps; ++step) {
-    Tensor input = current;
     if (halo > 0) {
       // The monolithic model in halo-pad mode expects a zero-extended frame
-      // (the physical-boundary treatment used during training).
-      input = input.reshaped({1, input.dim(0), input.dim(1), input.dim(2)});
-      input = ops::pad_nchw(input, halo);
-      input = input.reshaped({input.dim(1), input.dim(2), input.dim(3)});
+      // (the physical-boundary treatment used during training). Reshape in
+      // place around the pad — the old reshaped() round-trips copied the
+      // whole frame twice per step.
+      current.reshape({1, current.dim(0), current.dim(1), current.dim(2)});
+      Tensor padded = ops::pad_nchw(current, halo);
+      current.reshape({current.dim(1), current.dim(2), current.dim(3)});
+      padded.reshape({padded.dim(1), padded.dim(2), padded.dim(3)});
+      current = trainer.predict(padded);
+    } else {
+      current = trainer.predict(current);
     }
-    Tensor out = trainer.predict(input);
-    frames.push_back(out);
-    current = out;
+    frames.push_back(current);
   }
   return frames;
 }

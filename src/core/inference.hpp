@@ -11,12 +11,49 @@
 #include "core/trainer.hpp"
 #include "domain/exchange.hpp"
 
+namespace parpde::nn {
+class ForwardPlan;
+}  // namespace parpde::nn
+
 namespace parpde::core {
 
+// Which rollout loop parallel_rollout runs.
+enum class RolloutEngine {
+  // Asynchronous pipeline (the default): border strips are posted the moment
+  // a step's output exists, the halo-independent interior of the next forward
+  // runs while they are in flight, and the rim is finished after the bounded
+  // receives land. All per-layer activations, im2col workspaces and halo
+  // staging buffers are pre-sized at rollout start (ForwardPlan), so the
+  // steady-state step performs zero heap allocations. Bit-identical to
+  // kSerialized (tests/test_rollout_overlap.cpp).
+  kOverlapped,
+  // The straight-line reference loop: blocking halo exchange, then the
+  // module-graph forward, then the frame gather — halo latency sits on the
+  // critical path. Kept as the baseline for equivalence tests and the
+  // bench_rollout_latency speedup measurement.
+  kSerialized,
+};
+
+struct RolloutOptions {
+  domain::HaloOptions halo;
+  RolloutEngine engine = RolloutEngine::kOverlapped;
+  // Gather the full frame on rank 0 every `record_every`-th step (the final
+  // step is always recorded so callers get the end state); <= 0 disables
+  // recording entirely. With the overlapped engine the gather is deferred and
+  // double-buffered: non-root strip sends overlap the next step's compute and
+  // rank 0 collects one recorded step behind.
+  int record_every = 1;
+};
+
 struct RolloutResult {
-  // Predicted full-domain frames, one per step (gathered on rank 0;
-  // prediction k is the network's estimate of frame t0+k+1).
+  // Predicted full-domain frames, one per recorded step (gathered on rank 0;
+  // the prediction of step k is the network's estimate of frame t0+k+1).
+  // With record_every == 1 (the default) every step is recorded.
   std::vector<Tensor> frames;
+  // 0-based step index of each entry of `frames`.
+  std::vector<int> recorded_steps;
+  // Wall time of each step as seen by rank 0 (drives the bench's p50/p99).
+  std::vector<double> step_seconds;
   double comm_seconds = 0.0;     // max over ranks, halo exchange only
   double compute_seconds = 0.0;  // max over ranks, forward passes
   std::uint64_t halo_bytes = 0;  // total halo bytes sent over all ranks
@@ -31,6 +68,15 @@ struct RolloutResult {
   // empty on a healthy run.
   int degraded_borders = 0;
   std::vector<std::string> degraded_detail;  // e.g. "rank 2: E,N"
+  // Max over ranks of the forward time that ran while that rank's halo strips
+  // were in flight (0 for the serialized engine): the hidden-latency window
+  // the overlap design section of docs/performance.md measures.
+  double overlap_seconds = 0.0;
+  // Total buffer regrowths after the first step, summed over ranks (plan
+  // activations, im2col workspaces, halo staging). 0 means the steady-state
+  // step ran allocation-free; also exported as the
+  // `inference.steady_state_allocs` telemetry counter.
+  std::uint64_t steady_state_allocs = 0;
 };
 
 // Multi-step rollout with the per-rank models of a ParallelTrainReport,
@@ -45,6 +91,12 @@ struct RolloutResult {
 RolloutResult parallel_rollout(const TrainConfig& config,
                                const ParallelTrainReport& trained,
                                const Tensor& initial, int steps,
+                               const RolloutOptions& options);
+
+// Compatibility overload: overlapped engine, every step recorded.
+RolloutResult parallel_rollout(const TrainConfig& config,
+                               const ParallelTrainReport& trained,
+                               const Tensor& initial, int steps,
                                const domain::HaloOptions& halo_options = {});
 
 // Monolithic rollout with a single full-domain network.
@@ -54,11 +106,15 @@ std::vector<Tensor> sequential_rollout(NetworkTrainer& trainer,
 // Serial convenience wrapper around the per-rank models of a trained report:
 // rebuilds every subdomain network once and evaluates full-domain one-step
 // predictions without spinning up an Environment (validation/metrics path,
-// not the production inference path).
+// not the production inference path). Subdomains are evaluated in parallel on
+// the global ThreadPool (disjoint output blocks — deterministic at any worker
+// count) with per-subdomain input/plan buffers reused across calls; a single
+// instance is therefore NOT safe to call from several threads at once.
 class SubdomainEnsemble {
  public:
   SubdomainEnsemble(const TrainConfig& config, const ParallelTrainReport& trained,
                     std::int64_t grid_h, std::int64_t grid_w);
+  ~SubdomainEnsemble();
 
   // One-step prediction assembled over all subdomains: [C,H,W] -> [C,H,W].
   [[nodiscard]] Tensor predict(const Tensor& frame) const;
@@ -70,6 +126,11 @@ class SubdomainEnsemble {
   domain::Partition partition_;
   std::int64_t halo_;
   std::vector<std::unique_ptr<nn::Sequential>> models_;
+  // Per-subdomain pre-sized forward plans (null where the model graph is not
+  // plan-compatible, e.g. deconv mode) and input staging, reused across
+  // predict() calls.
+  std::vector<std::unique_ptr<nn::ForwardPlan>> plans_;
+  mutable std::vector<Tensor> inputs_;
 };
 
 }  // namespace parpde::core

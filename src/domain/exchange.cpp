@@ -24,11 +24,12 @@ int arrival_tag(mpi::Direction side) {
 }
 
 // Copies the [y0, y0+hh) x [x0, x0+ww) window of a [C, h, w] tensor into a
-// packed strip buffer (length C * hh * ww).
-std::vector<float> pack_region(const Tensor& t, std::int64_t y0, std::int64_t hh,
-                               std::int64_t x0, std::int64_t ww) {
+// packed strip buffer (length C * hh * ww), reusing its capacity.
+void pack_region_into(const Tensor& t, std::int64_t y0, std::int64_t hh,
+                      std::int64_t x0, std::int64_t ww,
+                      std::vector<float>& out) {
   const auto c = t.dim(0), h = t.dim(1), w = t.dim(2);
-  std::vector<float> out(static_cast<std::size_t>(c * hh * ww));
+  out.resize(static_cast<std::size_t>(c * hh * ww));
   float* dst = out.data();
   for (std::int64_t ic = 0; ic < c; ++ic) {
     for (std::int64_t y = 0; y < hh; ++y) {
@@ -37,6 +38,12 @@ std::vector<float> pack_region(const Tensor& t, std::int64_t y0, std::int64_t hh
       dst += ww;
     }
   }
+}
+
+std::vector<float> pack_region(const Tensor& t, std::int64_t y0, std::int64_t hh,
+                               std::int64_t x0, std::int64_t ww) {
+  std::vector<float> out;
+  pack_region_into(t, y0, hh, x0, ww, out);
   return out;
 }
 
@@ -57,6 +64,32 @@ void unpack_region(Tensor& t, std::int64_t y0, std::int64_t hh, std::int64_t x0,
   }
 }
 
+// Zeroes the [y0, y0+hh) x [x0, x0+ww) window of a [C, h, w] tensor.
+void zero_region(Tensor& t, std::int64_t y0, std::int64_t hh, std::int64_t x0,
+                 std::int64_t ww) {
+  const auto c = t.dim(0), h = t.dim(1), w = t.dim(2);
+  for (std::int64_t ic = 0; ic < c; ++ic) {
+    for (std::int64_t y = 0; y < hh; ++y) {
+      float* dst = t.data() + (ic * h + y0 + y) * w + x0;
+      std::fill(dst, dst + ww, 0.0f);
+    }
+  }
+}
+
+// Copies all of `src` ([C, sh, sw]) into `dst` ([C, h, w]) at (y0, x0).
+void copy_window(Tensor& dst, std::int64_t y0, std::int64_t x0,
+                 const Tensor& src) {
+  const auto c = src.dim(0), sh = src.dim(1), sw = src.dim(2);
+  const auto h = dst.dim(1), w = dst.dim(2);
+  for (std::int64_t ic = 0; ic < c; ++ic) {
+    for (std::int64_t y = 0; y < sh; ++y) {
+      const float* s = src.data() + (ic * sh + y) * sw;
+      float* d = dst.data() + (ic * h + y0 + y) * w + x0;
+      std::copy(s, s + sw, d);
+    }
+  }
+}
+
 }  // namespace
 
 std::string BorderHealth::describe() const {
@@ -69,6 +102,207 @@ std::string BorderHealth::describe() const {
   return out;
 }
 
+HaloExchange::HaloExchange(mpi::CartComm& cart, const Partition& partition,
+                           std::int64_t halo, const HaloOptions& options,
+                           BorderHealth* health)
+    : cart_(cart),
+      partition_(partition),
+      halo_(halo),
+      options_(options),
+      health_(health) {
+  if (halo <= 0) {
+    throw std::invalid_argument("HaloExchange: halo must be positive");
+  }
+}
+
+bool HaloExchange::live(mpi::Direction side) const {
+  return cart_.neighbor(side) != mpi::kProcNull &&
+         !(health_ != nullptr && health_->degraded(side));
+}
+
+void HaloExchange::degrade(mpi::Direction side, const std::string& why) {
+  static telemetry::Counter& degraded_borders =
+      telemetry::counter("inference.degraded_borders");
+  mpi::Communicator& comm = cart_.comm();
+  const std::string what =
+      "rank " + std::to_string(comm.rank()) + ": halo border " +
+      direction_name(side) + " (neighbour rank " +
+      std::to_string(cart_.neighbor(side)) + ") lost: " + why;
+  if (health_ == nullptr) {
+    throw std::runtime_error("exchange_halo: " + what);
+  }
+  degraded_borders.add(1);
+  health_->mark_degraded(side);
+  util::log_warn() << what << "; border degraded to zero padding";
+}
+
+void HaloExchange::drain_stale(mpi::Direction side) {
+  // A degraded border's neighbour may keep sending until it degrades its own
+  // side; discard that stale mail so it cannot mismatch a later step (and so
+  // the finalize leak check stays clean).
+  if (cart_.neighbor(side) == mpi::kProcNull || health_ == nullptr ||
+      !health_->degraded(side)) {
+    return;
+  }
+  mpi::Communicator& comm = cart_.comm();
+  while (comm.recv_for<float>(cart_.neighbor(side), arrival_tag(side),
+                              std::chrono::milliseconds(0),
+                              &recv_strip_) != mpi::RecvStatus::kTimeout) {
+  }
+}
+
+void HaloExchange::timed_send(mpi::Direction side,
+                              const std::vector<float>& strip,
+                              util::AccumulatingTimer* comm_time) {
+  util::WallTimer timer;
+  cart_.comm().send<float>(cart_.neighbor(side), travel_tag(side), strip);
+  if (comm_time != nullptr) comm_time->add(timer.seconds());
+}
+
+// Bounded receive across `side` with retry: timeouts retry until the budget
+// is exhausted; a CRC-corrupt strip is a definitive loss (the payload was
+// consumed — waiting longer would only steal the next step's strip and
+// desynchronize the border forever). Returns false when the border just
+// degraded; the caller leaves its halo zero.
+bool HaloExchange::robust_recv(mpi::Direction side,
+                               util::AccumulatingTimer* comm_time) {
+  static telemetry::Counter& retries = telemetry::counter("comm.retries");
+  static telemetry::Histogram& retry_latency =
+      telemetry::histogram("comm.retry_seconds");
+  mpi::Communicator& comm = cart_.comm();
+  util::WallTimer timer;
+  int timeouts = 0;
+  bool got = false;
+  bool corrupt = false;
+  for (int attempt = 0; attempt <= options_.max_retries; ++attempt) {
+    const mpi::RecvStatus status =
+        comm.recv_for<float>(cart_.neighbor(side), arrival_tag(side),
+                             options_.recv_timeout, &recv_strip_);
+    if (status == mpi::RecvStatus::kOk) {
+      got = true;
+      break;
+    }
+    if (status == mpi::RecvStatus::kCorrupt) {
+      corrupt = true;
+      break;
+    }
+    ++timeouts;
+    retries.add(1);
+  }
+  if (comm_time != nullptr) comm_time->add(timer.seconds());
+  if (timeouts > 0) retry_latency.observe(timer.seconds());
+  if (got) return true;
+  degrade(side, corrupt ? "strip failed its CRC envelope"
+                        : "no strip within the retry budget (" +
+                              std::to_string(timeouts) + " attempts)");
+  return false;
+}
+
+void HaloExchange::begin(const Tensor& interior,
+                         util::AccumulatingTimer* comm_time) {
+  if (interior.ndim() != 3) {
+    throw std::invalid_argument("HaloExchange: expected [C,bh,bw] interior");
+  }
+  const BlockRange block = partition_.block(cart_.cx(), cart_.cy());
+  const auto bh = interior.dim(1);
+  const auto bw = interior.dim(2);
+  if (bh != block.height() || bw != block.width()) {
+    throw std::invalid_argument("HaloExchange: interior does not match block");
+  }
+  if (halo_ > bh || halo_ > bw) {
+    throw std::invalid_argument("HaloExchange: halo exceeds block size");
+  }
+  if (in_flight_) {
+    throw std::logic_error("HaloExchange::begin: previous exchange unfinished");
+  }
+  static telemetry::Counter& exchanges = telemetry::counter("halo.exchanges");
+  telemetry::Span span("halo.begin", "comm");
+  exchanges.add(1);
+  bytes_before_ = cart_.comm().bytes_sent();
+  util::WallTimer begin_timer;
+
+  for (const mpi::Direction side : mpi::kAllDirections) drain_stale(side);
+
+  // Phase-1 sends: the bare interior's west/east strips leave as soon as the
+  // step's output exists (buffered — the mailbox copy completes them).
+  if (live(mpi::Direction::kWest)) {
+    pack_region_into(interior, 0, bh, 0, halo_, send_strip_);
+    timed_send(mpi::Direction::kWest, send_strip_, comm_time);
+  }
+  if (live(mpi::Direction::kEast)) {
+    pack_region_into(interior, 0, bh, bw - halo_, halo_, send_strip_);
+    timed_send(mpi::Direction::kEast, send_strip_, comm_time);
+  }
+  begin_seconds_ = begin_timer.seconds();
+  in_flight_ = true;
+}
+
+void HaloExchange::finish(const Tensor& interior, Tensor& padded,
+                          util::AccumulatingTimer* comm_time) {
+  if (!in_flight_) {
+    throw std::logic_error("HaloExchange::finish without begin");
+  }
+  in_flight_ = false;
+  static telemetry::Counter& halo_bytes = telemetry::counter("halo.bytes_sent");
+  static telemetry::Histogram& latency =
+      telemetry::histogram("halo.exchange_seconds");
+  telemetry::Span span("halo.finish", "comm");
+  util::WallTimer finish_timer;
+
+  const auto c = interior.dim(0);
+  const auto bh = interior.dim(1);
+  const auto bw = interior.dim(2);
+
+  // Phase 1 completes: west/east strips land in the x-extended staging
+  // tensor. The side bands are re-zeroed every step because the buffer is
+  // persistent and a degraded (or physical) border must stay zero.
+  if (ext_x_.ndim() != 3 || ext_x_.dim(0) != c || ext_x_.dim(1) != bh ||
+      ext_x_.dim(2) != bw + 2 * halo_) {
+    ext_x_ = Tensor({c, bh, bw + 2 * halo_});
+  }
+  copy_window(ext_x_, 0, halo_, interior);
+  zero_region(ext_x_, 0, bh, 0, halo_);
+  zero_region(ext_x_, 0, bh, halo_ + bw, halo_);
+  if (live(mpi::Direction::kEast) &&
+      robust_recv(mpi::Direction::kEast, comm_time)) {
+    // East neighbour's west strip travelled west into our east halo.
+    unpack_region(ext_x_, 0, bh, halo_ + bw, halo_, recv_strip_);
+  }
+  if (live(mpi::Direction::kWest) &&
+      robust_recv(mpi::Direction::kWest, comm_time)) {
+    unpack_region(ext_x_, 0, bh, 0, halo_, recv_strip_);
+  }
+
+  // Phase 2: exchange south/north strips of the x-extended tensor, so the
+  // diagonal corners arrive via the row neighbours.
+  if (padded.ndim() != 3 || padded.dim(0) != c ||
+      padded.dim(1) != bh + 2 * halo_ || padded.dim(2) != bw + 2 * halo_) {
+    padded = Tensor({c, bh + 2 * halo_, bw + 2 * halo_});
+  }
+  copy_window(padded, halo_, 0, ext_x_);
+  zero_region(padded, 0, halo_, 0, bw + 2 * halo_);
+  zero_region(padded, halo_ + bh, halo_, 0, bw + 2 * halo_);
+
+  if (live(mpi::Direction::kSouth)) {
+    pack_region_into(ext_x_, 0, halo_, 0, bw + 2 * halo_, send_strip_);
+    timed_send(mpi::Direction::kSouth, send_strip_, comm_time);
+  }
+  if (live(mpi::Direction::kNorth)) {
+    pack_region_into(ext_x_, bh - halo_, halo_, 0, bw + 2 * halo_, send_strip_);
+    timed_send(mpi::Direction::kNorth, send_strip_, comm_time);
+  }
+  if (live(mpi::Direction::kNorth) &&
+      robust_recv(mpi::Direction::kNorth, comm_time)) {
+    unpack_region(padded, halo_ + bh, halo_, 0, bw + 2 * halo_, recv_strip_);
+  }
+  if (live(mpi::Direction::kSouth) &&
+      robust_recv(mpi::Direction::kSouth, comm_time)) {
+    unpack_region(padded, 0, halo_, 0, bw + 2 * halo_, recv_strip_);
+  }
+  halo_bytes.add(cart_.comm().bytes_sent() - bytes_before_);
+  latency.observe(begin_seconds_ + finish_timer.seconds());
+}
+
 Tensor exchange_halo(mpi::CartComm& cart, const Partition& partition,
                      const Tensor& interior, std::int64_t halo,
                      util::AccumulatingTimer* comm_time,
@@ -77,183 +311,49 @@ Tensor exchange_halo(mpi::CartComm& cart, const Partition& partition,
     throw std::invalid_argument("exchange_halo: expected [C,bh,bw] interior");
   }
   const BlockRange block = partition.block(cart.cx(), cart.cy());
-  const auto c = interior.dim(0);
-  const auto bh = interior.dim(1);
-  const auto bw = interior.dim(2);
-  if (bh != block.height() || bw != block.width()) {
+  if (interior.dim(1) != block.height() || interior.dim(2) != block.width()) {
     throw std::invalid_argument("exchange_halo: interior does not match block");
   }
-  if (halo < 0 || halo > bh || halo > bw) {
+  if (halo < 0 || halo > interior.dim(1) || halo > interior.dim(2)) {
     throw std::invalid_argument("exchange_halo: halo exceeds block size");
   }
   if (halo == 0) return interior;
 
-  mpi::Communicator& comm = cart.comm();
-  telemetry::Span span("halo.exchange", "comm");
-  static telemetry::Counter& exchanges = telemetry::counter("halo.exchanges");
-  static telemetry::Counter& halo_bytes =
-      telemetry::counter("halo.bytes_sent");
-  static telemetry::Histogram& latency =
-      telemetry::histogram("halo.exchange_seconds");
-  static telemetry::Counter& retries = telemetry::counter("comm.retries");
-  static telemetry::Histogram& retry_latency =
-      telemetry::histogram("comm.retry_seconds");
-  static telemetry::Counter& degraded_borders =
-      telemetry::counter("inference.degraded_borders");
-  exchanges.add(1);
-  const std::uint64_t bytes_before = comm.bytes_sent();
-  util::WallTimer exchange_timer;
-  util::WallTimer timer;
-
-  // A border is live when a neighbour exists there and the border has not
-  // been degraded by an earlier step.
-  auto live = [&](mpi::Direction side) {
-    return cart.neighbor(side) != mpi::kProcNull &&
-           !(health != nullptr && health->degraded(side));
-  };
-
-  // Definitive loss on `side`: record the sticky degradation (zero halo from
-  // now on) or, for callers with no degradation story, fail loudly. Either
-  // way the exchange never hangs.
-  auto degrade = [&](mpi::Direction side, const std::string& why) {
-    const std::string what =
-        "rank " + std::to_string(comm.rank()) + ": halo border " +
-        direction_name(side) + " (neighbour rank " +
-        std::to_string(cart.neighbor(side)) + ") lost: " + why;
-    if (health == nullptr) {
-      throw std::runtime_error("exchange_halo: " + what);
-    }
-    degraded_borders.add(1);
-    health->mark_degraded(side);
-    util::log_warn() << what << "; border degraded to zero padding";
-  };
-
-  // A degraded border's neighbour may keep sending until it degrades its own
-  // side; discard that stale mail so it cannot mismatch a later step (and so
-  // the finalize leak check stays clean).
-  auto drain_stale = [&](mpi::Direction side) {
-    if (cart.neighbor(side) == mpi::kProcNull || health == nullptr ||
-        !health->degraded(side)) {
-      return;
-    }
-    std::vector<float> junk;
-    while (comm.recv_for<float>(cart.neighbor(side), arrival_tag(side),
-                                std::chrono::milliseconds(0),
-                                &junk) != mpi::RecvStatus::kTimeout) {
-    }
-  };
-
-  auto timed_send = [&](mpi::Direction side, const std::vector<float>& strip) {
-    timer.reset();
-    comm.send<float>(cart.neighbor(side), travel_tag(side), strip);
-    if (comm_time != nullptr) comm_time->add(timer.seconds());
-  };
-
-  // Bounded receive across `side` with retry: timeouts retry until the budget
-  // is exhausted; a CRC-corrupt strip is a definitive loss (the payload was
-  // consumed — waiting longer would only steal the next step's strip and
-  // desynchronize the border forever). Returns false when the border just
-  // degraded; the caller leaves its halo zero.
-  auto robust_recv = [&](mpi::Direction side, std::vector<float>* out) {
-    timer.reset();
-    int timeouts = 0;
-    bool got = false;
-    bool corrupt = false;
-    for (int attempt = 0; attempt <= options.max_retries; ++attempt) {
-      const mpi::RecvStatus status = comm.recv_for<float>(
-          cart.neighbor(side), arrival_tag(side), options.recv_timeout, out);
-      if (status == mpi::RecvStatus::kOk) {
-        got = true;
-        break;
-      }
-      if (status == mpi::RecvStatus::kCorrupt) {
-        corrupt = true;
-        break;
-      }
-      ++timeouts;
-      retries.add(1);
-    }
-    if (comm_time != nullptr) comm_time->add(timer.seconds());
-    if (timeouts > 0) retry_latency.observe(timer.seconds());
-    if (got) return true;
-    degrade(side, corrupt ? "strip failed its CRC envelope"
-                          : "no strip within the retry budget (" +
-                                std::to_string(timeouts) + " attempts)");
-    return false;
-  };
-
-  for (const mpi::Direction side : mpi::kAllDirections) drain_stale(side);
-
-  // Phase 1: exchange west/east strips of the bare interior.
-  Tensor ext_x({c, bh, bw + 2 * halo});
-  unpack_region(ext_x, 0, bh, halo, bw, pack_region(interior, 0, bh, 0, bw));
-
-  if (live(mpi::Direction::kWest)) {
-    timed_send(mpi::Direction::kWest, pack_region(interior, 0, bh, 0, halo));
-  }
-  if (live(mpi::Direction::kEast)) {
-    timed_send(mpi::Direction::kEast,
-               pack_region(interior, 0, bh, bw - halo, halo));
-  }
-  if (live(mpi::Direction::kEast)) {
-    // East neighbour's west strip travelled west into our east halo.
-    std::vector<float> strip;
-    if (robust_recv(mpi::Direction::kEast, &strip)) {
-      unpack_region(ext_x, 0, bh, halo + bw, halo, strip);
-    }
-  }
-  if (live(mpi::Direction::kWest)) {
-    std::vector<float> strip;
-    if (robust_recv(mpi::Direction::kWest, &strip)) {
-      unpack_region(ext_x, 0, bh, 0, halo, strip);
-    }
-  }
-
-  // Phase 2: exchange south/north strips of the x-extended tensor, so the
-  // diagonal corners arrive via the row neighbours.
-  Tensor out({c, bh + 2 * halo, bw + 2 * halo});
-  unpack_region(out, halo, bh, 0, bw + 2 * halo,
-                pack_region(ext_x, 0, bh, 0, bw + 2 * halo));
-
-  if (live(mpi::Direction::kSouth)) {
-    timed_send(mpi::Direction::kSouth,
-               pack_region(ext_x, 0, halo, 0, bw + 2 * halo));
-  }
-  if (live(mpi::Direction::kNorth)) {
-    timed_send(mpi::Direction::kNorth,
-               pack_region(ext_x, bh - halo, halo, 0, bw + 2 * halo));
-  }
-  if (live(mpi::Direction::kNorth)) {
-    std::vector<float> strip;
-    if (robust_recv(mpi::Direction::kNorth, &strip)) {
-      unpack_region(out, halo + bh, halo, 0, bw + 2 * halo, strip);
-    }
-  }
-  if (live(mpi::Direction::kSouth)) {
-    std::vector<float> strip;
-    if (robust_recv(mpi::Direction::kSouth, &strip)) {
-      unpack_region(out, 0, halo, 0, bw + 2 * halo, strip);
-    }
-  }
-  halo_bytes.add(comm.bytes_sent() - bytes_before);
-  latency.observe(exchange_timer.seconds());
-  return out;
+  HaloExchange exchange(cart, partition, halo, options, health);
+  Tensor padded;
+  exchange.begin(interior, comm_time);
+  exchange.finish(interior, padded, comm_time);
+  return padded;
 }
 
 Tensor gather_field(mpi::CartComm& cart, const Partition& partition,
                     const Tensor& interior) {
+  gather_field_send(cart, interior);
+  Tensor full;
+  gather_field_collect(cart, partition, interior, full);
+  return full;
+}
+
+void gather_field_send(mpi::CartComm& cart, const Tensor& interior) {
   mpi::Communicator& comm = cart.comm();
-  if (comm.rank() != 0) {
-    comm.send<float>(0, mpi::tags::kFieldGather.base, interior.values());
-    return {};
+  if (comm.rank() == 0) return;
+  comm.send<float>(0, mpi::tags::kFieldGather.base, interior.values());
+}
+
+void gather_field_collect(mpi::CartComm& cart, const Partition& partition,
+                          const Tensor& root_interior, Tensor& full) {
+  mpi::Communicator& comm = cart.comm();
+  if (comm.rank() != 0) return;
+  const auto c = root_interior.dim(0);
+  if (full.ndim() != 3 || full.dim(0) != c ||
+      full.dim(1) != partition.grid_h() || full.dim(2) != partition.grid_w()) {
+    full = Tensor({c, partition.grid_h(), partition.grid_w()});
   }
-  const auto c = interior.dim(0);
-  Tensor full({c, partition.grid_h(), partition.grid_w()});
   // Rank 0's own block.
   {
     const BlockRange block = partition.block_of_rank(0);
     float* base = full.data();
-    const float* src = interior.data();
+    const float* src = root_interior.data();
     for (std::int64_t ic = 0; ic < c; ++ic) {
       for (std::int64_t y = 0; y < block.height(); ++y) {
         float* dst = base + (ic * partition.grid_h() + block.h0 + y) *
@@ -282,7 +382,6 @@ Tensor gather_field(mpi::CartComm& cart, const Partition& partition,
       }
     }
   }
-  return full;
 }
 
 Tensor scatter_field(mpi::CartComm& cart, const Partition& partition,

@@ -63,18 +63,85 @@ class BorderHealth {
   std::array<bool, 4> degraded_{};  // indexed by mpi::Direction
 };
 
+// Split halo exchange with persistent staging buffers, the building block of
+// the overlapped rollout engine (docs/performance.md):
+//
+//   HaloExchange hx(cart, partition, halo, options, &health);
+//   for (step ...) {
+//     hx.begin(interior);            // posts W/E border strips (buffered
+//                                    //  sends — returns immediately)
+//     ... compute on the interior while the strips are in flight ...
+//     hx.finish(interior, padded);   // bounded receives + S/N corner phase
+//   }
+//
+// begin() posts this rank's west/east strips the moment the step's interior
+// exists; finish() completes the two-phase exchange (receive W/E, then
+// send/receive the x-extended S/N strips so diagonal corners are correct)
+// and writes the [C, bh + 2 halo, bw + 2 halo] result into `padded` (resized
+// on first use, reused afterwards — the steady state allocates nothing
+// beyond the minimpi mailbox copies). The message sequence per neighbour
+// channel is identical to the serialized exchange_halo below, so seeded
+// fault injection draws the same faults on either path and degradation
+// outcomes are bit-reproducible across engines.
+//
+// Receive semantics match exchange_halo: bounded by `options`, CRC-checked,
+// degrading the border into `health` (or throwing when health is null).
+// begin()/finish() must alternate; the referenced cart/partition/health must
+// outlive the object.
+class HaloExchange {
+ public:
+  HaloExchange(mpi::CartComm& cart, const Partition& partition,
+               std::int64_t halo, const HaloOptions& options = {},
+               BorderHealth* health = nullptr);
+
+  // Posts the west/east strips of `interior` ([C, bh, bw]) to the live
+  // neighbours. Wall time spent sending accumulates into `comm_time`.
+  void begin(const Tensor& interior,
+             util::AccumulatingTimer* comm_time = nullptr);
+
+  // Completes the exchange begun with the same `interior` and assembles the
+  // halo-padded tensor into `padded`. Wall time spent in receives/sends
+  // accumulates into `comm_time` (the overlapped engine's "wait" share).
+  void finish(const Tensor& interior, Tensor& padded,
+              util::AccumulatingTimer* comm_time = nullptr);
+
+  [[nodiscard]] std::int64_t halo() const noexcept { return halo_; }
+
+ private:
+  void timed_send(mpi::Direction side, const std::vector<float>& strip,
+                  util::AccumulatingTimer* comm_time);
+  bool robust_recv(mpi::Direction side, util::AccumulatingTimer* comm_time);
+  void drain_stale(mpi::Direction side);
+  void degrade(mpi::Direction side, const std::string& why);
+  [[nodiscard]] bool live(mpi::Direction side) const;
+
+  mpi::CartComm& cart_;
+  const Partition& partition_;
+  std::int64_t halo_;
+  HaloOptions options_;
+  BorderHealth* health_;
+
+  Tensor ext_x_;                   // [C, bh, bw + 2 halo] phase-1 staging
+  std::vector<float> send_strip_;  // packed outgoing strip (reused)
+  std::vector<float> recv_strip_;  // packed incoming strip (reused)
+  std::uint64_t bytes_before_ = 0;
+  double begin_seconds_ = 0.0;
+  bool in_flight_ = false;
+};
+
 // Surrounds this rank's interior [C, bh, bw] with a halo of width `halo`
 // filled from the four neighbours (two-phase exchange, so diagonal corners
 // are correct). Physical-boundary halo stays zero. Returns
 // [C, bh + 2 halo, bw + 2 halo]. If `comm_time` is non-null, the wall time
 // spent in sends/receives is accumulated into it.
 //
-// Receives are bounded by `options`. When a border's retry budget is
-// exhausted (or its strip arrives CRC-corrupt), the border is degraded: with
-// `health` non-null the degradation is recorded there and the exchange
-// continues with a zero halo on that side; with `health` null (callers that
-// have no degradation story, e.g. benchmarks) the exchange throws instead —
-// either way it never hangs.
+// Serialized convenience wrapper over HaloExchange::begin + finish; receives
+// are bounded by `options`. When a border's retry budget is exhausted (or
+// its strip arrives CRC-corrupt), the border is degraded: with `health`
+// non-null the degradation is recorded there and the exchange continues with
+// a zero halo on that side; with `health` null (callers that have no
+// degradation story, e.g. benchmarks) the exchange throws instead — either
+// way it never hangs.
 Tensor exchange_halo(mpi::CartComm& cart, const Partition& partition,
                      const Tensor& interior, std::int64_t halo,
                      util::AccumulatingTimer* comm_time = nullptr,
@@ -85,6 +152,20 @@ Tensor exchange_halo(mpi::CartComm& cart, const Partition& partition,
 // (other ranks get an empty tensor).
 Tensor gather_field(mpi::CartComm& cart, const Partition& partition,
                     const Tensor& interior);
+
+// Split gather for the deferred/double-buffered recording path: non-root
+// ranks post their interior toward rank 0 (buffered send — returns
+// immediately) and move on to the next step; rank 0 stages a copy of its own
+// interior and collects the posted blocks later. Per-channel FIFO ordering of
+// the mailbox keeps successive deferred gathers matched in step order.
+void gather_field_send(mpi::CartComm& cart, const Tensor& interior);
+
+// Rank 0 only (no-op elsewhere): receives every non-root block posted by the
+// matching gather_field_send round and assembles the full field into `full`
+// (resized on first use, reused afterwards). `root_interior` supplies rank
+// 0's own block, typically the copy staged when the round was posted.
+void gather_field_collect(mpi::CartComm& cart, const Partition& partition,
+                          const Tensor& root_interior, Tensor& full);
 
 // Rank 0 distributes a full [C, H, W] field; every rank returns its interior
 // block [C, bh, bw]. On non-root ranks `full` is ignored.

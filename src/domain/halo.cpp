@@ -22,6 +22,13 @@ Tensor extract_interior(const Tensor& frame, const BlockRange& block) {
 
 Tensor extract_with_halo(const Tensor& frame, const BlockRange& block,
                          std::int64_t halo) {
+  Tensor out;
+  extract_with_halo_into(frame, block, halo, out);
+  return out;
+}
+
+void extract_with_halo_into(const Tensor& frame, const BlockRange& block,
+                            std::int64_t halo, Tensor& out) {
   check_frame(frame, "extract_with_halo");
   if (halo < 0) throw std::invalid_argument("extract_with_halo: negative halo");
   const auto c = frame.dim(0), h = frame.dim(1), w = frame.dim(2);
@@ -31,7 +38,12 @@ Tensor extract_with_halo(const Tensor& frame, const BlockRange& block,
   }
   const std::int64_t oh = block.height() + 2 * halo;
   const std::int64_t ow = block.width() + 2 * halo;
-  Tensor out({c, oh, ow});
+  if (out.ndim() != 3 || out.dim(0) != c || out.dim(1) != oh ||
+      out.dim(2) != ow) {
+    out = Tensor({c, oh, ow});
+  } else {
+    out.fill(0.0f);  // the physical-boundary margin must stay zero on reuse
+  }
   for (std::int64_t ic = 0; ic < c; ++ic) {
     for (std::int64_t y = 0; y < oh; ++y) {
       const std::int64_t gy = block.h0 - halo + y;
@@ -44,7 +56,6 @@ Tensor extract_with_halo(const Tensor& frame, const BlockRange& block,
       std::copy(src, src + (gx_hi - gx_lo), dst);
     }
   }
-  return out;
 }
 
 void insert_interior(Tensor& frame, const BlockRange& block,

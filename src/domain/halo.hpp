@@ -20,6 +20,12 @@ Tensor extract_interior(const Tensor& frame, const BlockRange& block);
 Tensor extract_with_halo(const Tensor& frame, const BlockRange& block,
                          std::int64_t halo);
 
+// extract_with_halo writing into a caller-owned tensor: `out` is resized on
+// first use and reused afterwards (re-zeroed so the physical-boundary margin
+// stays correct), which keeps repeated callers allocation-free.
+void extract_with_halo_into(const Tensor& frame, const BlockRange& block,
+                            std::int64_t halo, Tensor& out);
+
 // Inserts a [C, bh, bw] interior tensor into a global [C, H, W] frame.
 void insert_interior(Tensor& frame, const BlockRange& block, const Tensor& interior);
 

@@ -1,0 +1,176 @@
+#include "nn/forward_plan.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "nn/activation.hpp"
+#include "nn/conv2d.hpp"
+#include "tensor/gemm.hpp"
+#include "tensor/im2col.hpp"
+#include "util/thread_pool.hpp"
+
+namespace parpde::nn {
+
+namespace {
+
+// Same grain the activation layers use, so the plan's elementwise passes
+// chunk identically (values are order-independent either way).
+constexpr std::int64_t kElementwiseGrain = 1 << 14;
+
+}  // namespace
+
+ForwardPlan::ForwardPlan(Sequential& model, std::int64_t in_channels,
+                         std::int64_t max_h, std::int64_t max_w)
+    : in_channels_(in_channels), max_h_(max_h), max_w_(max_w) {
+  std::int64_t ch = in_channels;
+  std::int64_t h = max_h;
+  std::int64_t w = max_w;
+  std::int64_t peak_plane = 0;   // largest activation buffer, floats
+  std::int64_t peak_col = 0;     // largest im2col matrix, floats
+  for (std::size_t i = 0; i < model.layer_count(); ++i) {
+    Module& layer = model.layer(i);
+    Step step;
+    if (auto* conv = dynamic_cast<Conv2d*>(&layer)) {
+      if (conv->in_channels() != ch) {
+        supported_ = false;
+        return;
+      }
+      step.op = Op::kConv;
+      step.weight = conv->weight().data();
+      step.bias = conv->bias().empty() ? nullptr : conv->bias().data();
+      step.in_channels = conv->in_channels();
+      step.out_channels = conv->out_channels();
+      step.kernel = conv->kernel();
+      step.pad = conv->pad();
+      const ConvGeometry g{ch, h, w, step.kernel, step.pad};
+      if (g.out_height() <= 0 || g.out_width() <= 0) {
+        supported_ = false;
+        return;
+      }
+      peak_col = std::max(peak_col, g.col_rows() * g.col_cols());
+      ch = step.out_channels;
+      h = g.out_height();
+      w = g.out_width();
+      peak_plane = std::max(peak_plane, ch * h * w);
+    } else if (auto* leaky = dynamic_cast<LeakyReLU*>(&layer)) {
+      step.op = Op::kLeakyReLU;
+      step.slope = leaky->negative_slope();
+    } else if (dynamic_cast<ReLU*>(&layer) != nullptr) {
+      step.op = Op::kReLU;
+    } else if (dynamic_cast<Tanh*>(&layer) != nullptr) {
+      step.op = Op::kTanh;
+    } else {
+      supported_ = false;  // e.g. ConvTranspose2d in deconv mode
+      return;
+    }
+    steps_.push_back(step);
+  }
+  out_channels_ = ch;
+  shrink_ = max_h - h;
+  if (shrink_ != max_w - w) {
+    supported_ = false;  // non-square shrink; no caller needs it
+    return;
+  }
+  // An activation as the very first layer writes into a buffer too.
+  if (!steps_.empty() && steps_.front().op != Op::kConv) {
+    peak_plane = std::max(peak_plane, in_channels * max_h * max_w);
+  }
+  col_.resize(static_cast<std::size_t>(peak_col));
+  ping_.resize(static_cast<std::size_t>(peak_plane));
+  pong_.resize(static_cast<std::size_t>(peak_plane));
+  growth_events_ = 0;
+}
+
+float* ForwardPlan::ensure(std::vector<float>& buf, std::int64_t floats) {
+  if (static_cast<std::int64_t>(buf.size()) < floats) {
+    buf.resize(static_cast<std::size_t>(floats));
+    ++growth_events_;
+  }
+  return buf.data();
+}
+
+ForwardPlan::Output ForwardPlan::run(const float* x, std::int64_t h,
+                                     std::int64_t w) {
+  if (!supported_) {
+    throw std::logic_error("ForwardPlan::run on an unsupported model");
+  }
+  const float* cur = x;
+  float* cur_buf = nullptr;  // non-null iff `cur` is one of our buffers
+  std::int64_t ch = in_channels_;
+  auto& pool = util::ThreadPool::global();
+
+  for (const Step& step : steps_) {
+    if (step.op == Op::kConv) {
+      const ConvGeometry g{ch, h, w, step.kernel, step.pad};
+      const std::int64_t oh = g.out_height();
+      const std::int64_t ow = g.out_width();
+      if (oh <= 0 || ow <= 0) {
+        throw std::invalid_argument("ForwardPlan::run: input below kernel size");
+      }
+      const std::int64_t plane = oh * ow;
+      float* col = ensure(col_, g.col_rows() * g.col_cols());
+      im2col(cur, g, col);
+      // Write the other ping-pong buffer than the one `cur` lives in.
+      std::vector<float>& out_vec = (cur_buf == ping_.data() && cur_buf != nullptr)
+                                        ? pong_
+                                        : ping_;
+      float* dst = ensure(out_vec, step.out_channels * plane);
+      // out [Cout x plane] = W [Cout x Cin*k*k] * col — the same lowering
+      // Conv2d::forward uses, so every output element sees the identical
+      // k-reduction order.
+      gemm(step.weight, col, dst, step.out_channels, g.col_rows(), plane);
+      if (step.bias != nullptr) {
+        const float* bias = step.bias;
+        pool.parallel_for(step.out_channels, 1,
+                          [&](std::int64_t begin, std::int64_t end) {
+                            for (std::int64_t c = begin; c < end; ++c) {
+                              float* row = dst + c * plane;
+                              const float b = bias[c];
+                              for (std::int64_t i = 0; i < plane; ++i) {
+                                row[i] = row[i] + b;
+                              }
+                            }
+                          });
+      }
+      cur = dst;
+      cur_buf = dst;
+      ch = step.out_channels;
+      h = oh;
+      w = ow;
+      continue;
+    }
+    // Pointwise activation: in place when `cur` is already ours, otherwise
+    // into a buffer (only possible for an activation-first model).
+    const std::int64_t n = ch * h * w;
+    float* dst = cur_buf != nullptr ? cur_buf : ensure(ping_, n);
+    const float* src = cur;
+    switch (step.op) {
+      case Op::kLeakyReLU: {
+        const float eps = step.slope;
+        pool.parallel_for(n, kElementwiseGrain,
+                          [&](std::int64_t begin, std::int64_t end) {
+                            for (std::int64_t i = begin; i < end; ++i) {
+                              const float v = src[i];
+                              dst[i] = v >= 0.0f ? v : eps * v;
+                            }
+                          });
+        break;
+      }
+      case Op::kReLU:
+        for (std::int64_t i = 0; i < n; ++i) {
+          dst[i] = src[i] > 0.0f ? src[i] : 0.0f;
+        }
+        break;
+      case Op::kTanh:
+        for (std::int64_t i = 0; i < n; ++i) dst[i] = std::tanh(src[i]);
+        break;
+      case Op::kConv:
+        break;  // unreachable
+    }
+    cur = dst;
+    cur_buf = dst;
+  }
+  return Output{cur, ch, h, w};
+}
+
+}  // namespace parpde::nn

@@ -1,0 +1,103 @@
+#pragma once
+
+// Pre-sized inference plan for a Sequential of Conv2d + pointwise activation
+// layers (the paper's Table-I subdomain network). The plan walks the model
+// once at construction, pre-allocates every per-layer activation buffer and
+// im2col workspace for a maximum input geometry, and then evaluates forward
+// passes into those buffers: the steady-state step performs zero heap
+// allocations (verified by the counting-allocator test in
+// tests/test_rollout_overlap.cpp).
+//
+// run() accepts any input no larger than the pre-sized maximum, which is what
+// lets the overlapped rollout engine evaluate the same plan on the bare
+// interior tile (while halo strips are in flight) and afterwards on the four
+// thin rim bands — see docs/performance.md. Results are bit-identical to
+// Module::forward: the convs lower to the same im2col + GEMM kernels (whose
+// per-element k-reduction order is independent of the matrix width and the
+// worker count) and the activations replicate the layers' exact formulas.
+//
+// The plan holds non-owning pointers into the Sequential's layers; the model
+// must outlive the plan and keep its layer list unchanged.
+
+#include <cstdint>
+#include <vector>
+
+#include "nn/sequential.hpp"
+
+namespace parpde::nn {
+
+class ForwardPlan {
+ public:
+  // Walks `model` and pre-sizes all buffers for inputs up to
+  // [in_channels, max_h, max_w]. If the model contains a layer type the plan
+  // cannot replay (anything but Conv2d / LeakyReLU / ReLU / Tanh), the plan
+  // is marked unsupported and run() must not be called — callers fall back
+  // to Module::forward.
+  ForwardPlan(Sequential& model, std::int64_t in_channels, std::int64_t max_h,
+              std::int64_t max_w);
+
+  [[nodiscard]] bool supported() const noexcept { return supported_; }
+
+  // Non-owning view of the result; valid until the next run() call.
+  struct Output {
+    const float* data = nullptr;
+    std::int64_t channels = 0;
+    std::int64_t height = 0;
+    std::int64_t width = 0;
+
+    [[nodiscard]] std::int64_t size() const { return channels * height * width; }
+  };
+
+  // Evaluates the model on a dense CHW input [in_channels, h, w] with
+  // h <= max_h and w <= max_w. Never allocates for in-range geometries;
+  // out-of-range ones grow the buffers and bump growth_events().
+  Output run(const float* x, std::int64_t h, std::int64_t w);
+
+  [[nodiscard]] std::int64_t in_channels() const noexcept {
+    return in_channels_;
+  }
+  [[nodiscard]] std::int64_t out_channels() const noexcept {
+    return out_channels_;
+  }
+  // Total spatial shrink of the stack: output is [out_channels, h - s, w - s]
+  // for input height/width h, w (0 for "same"-padded nets).
+  [[nodiscard]] std::int64_t shrink() const noexcept { return shrink_; }
+
+  // Buffer regrowths since construction; 0 in a pre-sized steady state.
+  [[nodiscard]] std::uint64_t growth_events() const noexcept {
+    return growth_events_;
+  }
+
+ private:
+  enum class Op { kConv, kLeakyReLU, kReLU, kTanh };
+
+  struct Step {
+    Op op = Op::kConv;
+    // kConv only: non-owning views of the layer's parameters.
+    const float* weight = nullptr;  // [Cout, Cin*k*k] row-major
+    const float* bias = nullptr;    // [Cout] (nullptr = no bias)
+    std::int64_t in_channels = 0;
+    std::int64_t out_channels = 0;
+    std::int64_t kernel = 0;
+    std::int64_t pad = 0;
+    // kLeakyReLU only.
+    float slope = 0.0f;
+  };
+
+  float* ensure(std::vector<float>& buf, std::int64_t floats);
+
+  std::vector<Step> steps_;
+  std::int64_t in_channels_ = 0;
+  std::int64_t out_channels_ = 0;
+  std::int64_t max_h_ = 0;
+  std::int64_t max_w_ = 0;
+  std::int64_t shrink_ = 0;
+  bool supported_ = true;
+  std::uint64_t growth_events_ = 0;
+
+  std::vector<float> col_;    // im2col workspace, sized for the widest conv
+  std::vector<float> ping_;   // activation ping-pong buffers
+  std::vector<float> pong_;
+};
+
+}  // namespace parpde::nn

@@ -17,14 +17,38 @@
 // oversubscribes (ThreadPool::resolve_workers encodes this rule).
 
 #include <cstdint>
-#include <functional>
+#include <type_traits>
 
 namespace parpde::util {
 
 class ThreadPool {
  public:
-  // Chunk body: half-open index range [begin, end).
-  using Body = std::function<void(std::int64_t, std::int64_t)>;
+  // Chunk body: half-open index range [begin, end). A Body is a *non-owning*
+  // reference to the caller's callable (two raw pointers, no heap) — safe
+  // because parallel_for blocks until every chunk has run, so the referenced
+  // callable outlives all invocations. This keeps the steady-state inference
+  // loop free of the per-call std::function allocation the previous type
+  // paid on every GEMM / conv / activation fan-out.
+  class Body {
+   public:
+    template <typename F,
+              typename = std::enable_if_t<
+                  !std::is_same_v<std::remove_cvref_t<F>, Body> &&
+                  std::is_invocable_v<const F&, std::int64_t, std::int64_t>>>
+    Body(const F& f) noexcept  // NOLINT(google-explicit-constructor)
+        : obj_(&f), invoke_([](const void* obj, std::int64_t begin,
+                               std::int64_t end) {
+            (*static_cast<const F*>(obj))(begin, end);
+          }) {}
+
+    void operator()(std::int64_t begin, std::int64_t end) const {
+      invoke_(obj_, begin, end);
+    }
+
+   private:
+    const void* obj_;
+    void (*invoke_)(const void*, std::int64_t, std::int64_t);
+  };
 
   // `workers` is the number of helper threads (0 = everything runs inline on
   // the calling thread).

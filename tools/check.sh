@@ -6,8 +6,9 @@
 # Two out-of-tree builds under <build-root> (default: build-sanitize):
 #   * tsan:  ThreadSanitizer over the mini-MPI runtime and the intra-rank
 #            thread pool — the tests that exercise cross-thread mailboxes,
-#            collectives, concurrent rank training, and the blocked GEMM's
-#            parallel_for fan-out.
+#            collectives, concurrent rank training, the blocked GEMM's
+#            parallel_for fan-out, and the overlapped rollout engine's
+#            begin/finish halo split (bit-identity under races).
 #   * asan:  Address+UB sanitizers over the full ctest suite, with
 #            PARPDE_CHECKED_TENSOR=ON so every Tensor access is also
 #            bounds- and rank-checked, plus a second pass over the `chaos`
@@ -35,9 +36,10 @@ cmake -S "$root" -B "$build_root/tsan" \
   -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread" >/dev/null
 cmake --build "$build_root/tsan" -j "$jobs" --target \
   test_minimpi_p2p test_minimpi_collectives test_minimpi_collectives2 \
-  test_minimpi_cart test_gemm_blocked test_core_parallel test_fault >/dev/null
+  test_minimpi_cart test_gemm_blocked test_core_parallel test_fault \
+  test_rollout_overlap >/dev/null
 (cd "$build_root/tsan" && ctest --output-on-failure -R \
-  'test_minimpi_p2p|test_minimpi_collectives|test_minimpi_collectives2|test_minimpi_cart|test_gemm_blocked|test_core_parallel|test_fault')
+  'test_minimpi_p2p|test_minimpi_collectives|test_minimpi_collectives2|test_minimpi_cart|test_gemm_blocked|test_core_parallel|test_fault|test_rollout_overlap')
 
 echo "== Address/UB sanitizer + checked tensor accessors: full test suite =="
 cmake -S "$root" -B "$build_root/asan" \

@@ -48,7 +48,10 @@ int usage() {
                "  eval     --data=FILE --model=FILE [--train-fraction=X]\n"
                "  rollout  --data=FILE --model=FILE [--steps=N] [--start=N] "
                "[--render]\n"
-               "           [--halo-timeout-ms=N] [--halo-retries=N]\n"
+               "           [--halo-timeout-ms=N] [--halo-retries=N] "
+               "[--record-every=N]\n"
+               "           [--serialized]   (reference engine; default is the\n"
+               "                             overlapped halo/compute pipeline)\n"
                "  info     --model=FILE | --data=FILE\n"
                "observability flags (any command; see docs/observability.md):\n"
                "  --trace=FILE      Chrome trace-event JSON of the run's spans\n"
@@ -306,18 +309,26 @@ int cmd_rollout(const util::Options& opts) {
                  static_cast<long long>(start + steps));
     return 2;
   }
-  domain::HaloOptions halo;
-  halo.recv_timeout =
+  RolloutOptions rollout_options;
+  rollout_options.halo.recv_timeout =
       std::chrono::milliseconds(opts.get_int("halo-timeout-ms", 250));
-  halo.max_retries = opts.get_int("halo-retries", 40);
+  rollout_options.halo.max_retries = opts.get_int("halo-retries", 40);
+  rollout_options.engine = opts.get_bool("serialized", false)
+                               ? RolloutEngine::kSerialized
+                               : RolloutEngine::kOverlapped;
+  rollout_options.record_every = opts.get_int("record-every", 1);
   const auto result = parallel_rollout(config, checkpoint.report,
-                                       dataset.frame(start), steps, halo);
+                                       dataset.frame(start), steps,
+                                       rollout_options);
   std::vector<Tensor> truths;
-  for (int k = 1; k <= steps; ++k) truths.push_back(dataset.frame(start + k));
+  for (const int s : result.recorded_steps) {
+    truths.push_back(dataset.frame(start + s + 1));
+  }
   const auto curve = rollout_error_curve(result.frames, truths);
   util::Table table({"step", "rel-L2"});
   for (std::size_t k = 0; k < curve.size(); ++k) {
-    table.add_row({std::to_string(k + 1), util::Table::fmt_sci(curve[k])});
+    table.add_row({std::to_string(result.recorded_steps[k] + 1),
+                   util::Table::fmt_sci(curve[k])});
   }
   table.print("rollout error from frame " + std::to_string(start) + ":");
   std::printf(
@@ -341,15 +352,26 @@ int cmd_rollout(const util::Options& opts) {
       for (std::size_t k = 0; k < curve.size(); ++k) {
         telemetry::JsonObject record;
         record.field("record", "rollout_step")
-            .field("step", static_cast<std::int64_t>(k + 1))
+            .field("step",
+                   static_cast<std::int64_t>(result.recorded_steps[k] + 1))
             .field("rel_l2", curve[k]);
         writer.write_line(record.str());
       }
       telemetry::JsonObject summary;
       summary.field("record", "rollout_summary")
           .field("steps", steps)
+          .field("engine", rollout_options.engine == RolloutEngine::kSerialized
+                               ? "serialized"
+                               : "overlapped")
+          .field("record_every",
+                 static_cast<std::int64_t>(rollout_options.record_every))
+          .field("recorded_frames",
+                 static_cast<std::int64_t>(result.frames.size()))
           .field("comm_seconds", result.comm_seconds)
           .field("compute_seconds", result.compute_seconds)
+          .field("overlap_seconds", result.overlap_seconds)
+          .field("steady_state_allocs",
+                 static_cast<std::int64_t>(result.steady_state_allocs))
           .field("halo_bytes_sent", result.halo_bytes)
           .field("halo_bytes_received", result.halo_bytes_received)
           .field("bytes_sent_total", result.bytes_sent)
@@ -364,7 +386,7 @@ int cmd_rollout(const util::Options& opts) {
                    opts.get_string("metrics", "").c_str());
     }
   }
-  if (opts.get_bool("render", false)) {
+  if (opts.get_bool("render", false) && !result.frames.empty()) {
     std::printf("\n%s", util::render_comparison(
                             result.frames.back(), truths.back(), 0,
                             "channel 0 after " + std::to_string(steps) +
