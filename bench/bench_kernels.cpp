@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "backend/kernel_backend.hpp"
 #include "core/config.hpp"
 #include "core/trainer.hpp"
 #include "tensor/gemm.hpp"
@@ -119,6 +120,67 @@ int main(int argc, char** argv) {
     std::fflush(stdout);
   }
   std::printf("  ],\n");
+
+  // Per-backend fused inference conv on each Table-I layer: the single-sample
+  // [Cin, grid+4, grid+4] valid conv the rollout's ForwardPlan runs (halo-pad
+  // geometry), fp32 vs int8 through the KernelBackend conv_forward entry.
+  {
+    namespace backend = parpde::backend;
+    const std::int64_t kernel = 5, h = grid + 4, w = grid + 4;
+    const std::int64_t oh = h - kernel + 1, ow = w - kernel + 1;
+    std::vector<backend::ConvLayerDesc> descs;
+    std::vector<std::vector<float>> weights, biases;
+    std::vector<float> ranges;
+    for (std::size_t l = 0; l + 1 < channels.size(); ++l) {
+      const std::int64_t cin = channels[l], cout = channels[l + 1];
+      weights.push_back(random_vec(cout * cin * kernel * kernel, rng));
+      biases.push_back(random_vec(cout, rng));
+      backend::ConvLayerDesc d;
+      d.weight = weights.back().data();
+      d.bias = biases.back().data();
+      d.in_channels = cin;
+      d.out_channels = cout;
+      d.kernel = kernel;
+      d.pad = 0;
+      d.fused = backend::Fused::kLeakyReLU;
+      d.slope = 0.01f;
+      descs.push_back(d);
+      ranges.push_back(1.0f);  // inputs are drawn uniform in [-1, 1]
+    }
+    const backend::KernelBackend& fp32 = backend::blocked_f32();
+    const backend::KernelBackend& int8 = backend::quantized_int8();
+    auto fp32_ctx = fp32.make_plan_context(descs, h, w);
+    auto int8_ctx = int8.make_plan_context(descs, h, w);
+    int8.set_input_ranges(*int8_ctx, ranges);
+
+    std::printf("  \"conv_backends\": [\n");
+    for (std::size_t l = 0; l < descs.size(); ++l) {
+      const auto& d = descs[l];
+      const auto x = random_vec(d.in_channels * h * w, rng);
+      std::vector<float> y(static_cast<std::size_t>(d.out_channels * oh * ow));
+      const double flops = 2.0 * static_cast<double>(d.out_channels) *
+                           static_cast<double>(d.in_channels) * kernel *
+                           kernel * static_cast<double>(oh) * ow;
+      const double fp32_s = time_call([&] {
+        fp32.conv_forward(*fp32_ctx, static_cast<int>(l), x.data(), h, w,
+                          y.data());
+      });
+      const double int8_s = time_call([&] {
+        int8.conv_forward(*int8_ctx, static_cast<int>(l), x.data(), h, w,
+                          y.data());
+      });
+      std::printf(
+          "    {\"name\": \"layer%zu_conv\", \"cin\": %lld, \"cout\": %lld, "
+          "\"hw\": %lld, \"fp32_gflops\": %.3f, \"int8_gflops\": %.3f, "
+          "\"int8_speedup\": %.2f}%s\n",
+          l + 1, static_cast<long long>(d.in_channels),
+          static_cast<long long>(d.out_channels), static_cast<long long>(oh),
+          flops / fp32_s * 1e-9, flops / int8_s * 1e-9, fp32_s / int8_s,
+          l + 1 < descs.size() ? "," : "");
+      std::fflush(stdout);
+    }
+    std::printf("  ],\n");
+  }
 
   // Full Table-I training step (forward + backward + ADAM) on random data.
   {

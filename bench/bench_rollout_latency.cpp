@@ -7,17 +7,25 @@
 // lines go to stderr so stdout stays machine-parseable).
 //
 //   bench_rollout_latency [--grid G] [--steps N] [--warmup N] [--threads N]
-//                         [--record-every K] [--out FILE] [--full]
+//                         [--record-every K] [--backend fp32|int8]
+//                         [--out FILE] [--quant-out FILE] [--full]
 //
 // Defaults are laptop-scale (grid 128); --full / PARPDE_FULL=1 selects the
-// paper's 256 x 256 grid. The acceptance target is >= 1.3x per-step
-// throughput on the 4-rank 256 x 256 halo-pad rollout.
+// paper's 256 x 256 grid. The engine comparison target is >= 1.3x per-step
+// throughput on the 4-rank 256 x 256 halo-pad rollout; --backend selects the
+// execution provider it runs on (entries are tagged, so fp32 and int8
+// BENCH_rollout.json archives can sit side by side). A second section races
+// the int8 backend against fp32 on the 4-rank overlapped rollout and writes
+// BENCH_quant.json (per-step speedup — target >= 2x — plus the worst
+// relative L2 divergence against the quantization error budget).
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <string>
 #include <vector>
 
+#include "backend/kernel_backend.hpp"
 #include "core/config.hpp"
 #include "core/inference.hpp"
 #include "core/model.hpp"
@@ -82,6 +90,17 @@ void print_engine_json(std::FILE* f, const char* name, const EngineStats& s) {
                static_cast<unsigned long long>(s.steady_state_allocs));
 }
 
+// Relative L2 distance between two recorded frames.
+double relative_l2(const Tensor& a, const Tensor& b) {
+  double num = 0.0, den = 0.0;
+  for (std::int64_t i = 0; i < a.size(); ++i) {
+    const double d = static_cast<double>(a[i]) - static_cast<double>(b[i]);
+    num += d * d;
+    den += static_cast<double>(b[i]) * static_cast<double>(b[i]);
+  }
+  return den > 0.0 ? std::sqrt(num / den) : std::sqrt(num);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -93,7 +112,17 @@ int main(int argc, char** argv) {
   const int warmup = opts.get_int("warmup", 3);
   const int threads = opts.get_int("threads", 1);
   const int record_every = opts.get_int("record-every", 0);
+  const std::string backend_name = opts.get_string("backend", "fp32");
   const std::string out_path = opts.get_string("out", "BENCH_rollout.json");
+  const std::string quant_path =
+      opts.get_string("quant-out", "BENCH_quant.json");
+  const parpde::backend::KernelBackend* bk =
+      parpde::backend::by_name(backend_name);
+  if (bk == nullptr) {
+    std::fprintf(stderr, "unknown --backend=%s (fp32 or int8)\n",
+                 backend_name.c_str());
+    return 2;
+  }
   parpde::util::ThreadPool::configure_global(threads - 1);
 
   core::TrainConfig cfg;  // Table I network
@@ -101,9 +130,21 @@ int main(int argc, char** argv) {
 
   // Shared random weights on every rank: the bench measures latency, not
   // accuracy, and identical weights keep both engines numerically comparable.
+  // Damped weights + bounded biases keep the autoregressive rollout on a
+  // finite attractor (raw random weights explode within a few steps), so the
+  // int8-vs-fp32 divergence number below reflects quantization error rather
+  // than two different overflow trajectories.
   parpde::util::Rng weight_rng(cfg.seed);
   const auto model = core::build_model(cfg.network, cfg.border, weight_rng);
-  const auto params = core::export_parameters(*model);
+  auto params = core::export_parameters(*model);
+  parpde::util::Rng bias_rng(1234);
+  for (auto& t : params) {
+    if (t.ndim() == 1) {
+      bias_rng.fill_uniform(t.values(), -0.3f, 0.3f);
+    } else {
+      for (std::int64_t i = 0; i < t.size(); ++i) t[i] *= 0.5f;
+    }
+  }
 
   Tensor initial({cfg.network.channels.front(), grid, grid});
   parpde::util::Rng data_rng(1234);
@@ -112,8 +153,8 @@ int main(int argc, char** argv) {
   std::fprintf(stderr,
                "== bench_rollout_latency ==\n"
                "grid %dx%d | steps %d (+%d warmup) | threads %d | "
-               "record_every %d | Table-I halo %lld\n",
-               grid, grid, steps, warmup, threads, record_every,
+               "record_every %d | backend %s | Table-I halo %lld\n",
+               grid, grid, steps, warmup, threads, record_every, bk->name(),
                static_cast<long long>(cfg.network.receptive_halo()));
 
   struct Row {
@@ -147,6 +188,7 @@ int main(int argc, char** argv) {
     core::RolloutOptions serialized;
     serialized.engine = core::RolloutEngine::kSerialized;
     serialized.record_every = record_every;
+    serialized.backend = bk;
     std::fprintf(stderr, "%dx%d serialized...\n", row.px, row.py);
     row.serialized = summarize(
         core::parallel_rollout(cfg, report, initial, total_steps, serialized),
@@ -155,6 +197,7 @@ int main(int argc, char** argv) {
     core::RolloutOptions overlapped;
     overlapped.engine = core::RolloutEngine::kOverlapped;
     overlapped.record_every = record_every;
+    overlapped.backend = bk;
     std::fprintf(stderr, "%dx%d overlapped...\n", row.px, row.py);
     row.overlapped = summarize(
         core::parallel_rollout(cfg, report, initial, total_steps, overlapped),
@@ -191,9 +234,10 @@ int main(int argc, char** argv) {
                  "  \"warmup\": %d,\n"
                  "  \"threads\": %d,\n"
                  "  \"record_every\": %d,\n"
+                 "  \"backend\": \"%s\",\n"
                  "  \"network\": \"table1\",\n"
                  "  \"partitions\": [\n",
-                 grid, steps, warmup, threads, record_every);
+                 grid, steps, warmup, threads, record_every, bk->name());
     for (std::size_t i = 0; i < rows.size(); ++i) {
       const Row& row = rows[i];
       std::fprintf(f,
@@ -218,6 +262,94 @@ int main(int argc, char** argv) {
   } else {
     std::fprintf(stderr, "could not open %s for writing\n", out_path.c_str());
     return 1;
+  }
+
+  // --- int8 vs fp32 backend race: the quantization acceptance numbers. -------
+  // Same 4-rank overlapped halo-pad rollout through both execution providers;
+  // reports the per-step speedup (target >= 2x) and the worst relative L2
+  // between the recorded frames against the int8 error budget (the bound
+  // tests/test_quant_rollout.cpp enforces; see docs/performance.md).
+  {
+    constexpr double kQuantErrorBudget = 5e-2;
+    core::ParallelTrainReport report;
+    report.ranks = 4;
+    report.dims = parpde::mpi::dims_create(4);
+    const parpde::domain::Partition part(grid, grid, report.dims.px,
+                                         report.dims.py);
+    report.rank_outcomes.resize(4);
+    for (int r = 0; r < 4; ++r) {
+      auto& outcome = report.rank_outcomes[static_cast<std::size_t>(r)];
+      outcome.rank = r;
+      outcome.block = part.block_of_rank(r);
+      outcome.parameters = params;
+    }
+    const int total_steps = steps + warmup;
+    const int quant_record = std::max(1, steps / 4);
+
+    EngineStats stats[2];
+    std::vector<Tensor> frames[2];
+    const char* names[2] = {"fp32", "int8"};
+    for (int i = 0; i < 2; ++i) {
+      core::RolloutOptions ropts;
+      ropts.engine = core::RolloutEngine::kOverlapped;
+      ropts.record_every = quant_record;
+      ropts.backend = parpde::backend::by_name(names[i]);
+      std::fprintf(stderr, "2x2 overlapped, %s backend...\n", names[i]);
+      auto result =
+          core::parallel_rollout(cfg, report, initial, total_steps, ropts);
+      stats[i] = summarize(result, warmup);
+      frames[i] = std::move(result.frames);
+    }
+    double max_rel_l2 = 0.0;
+    for (std::size_t i = 0;
+         i < std::min(frames[0].size(), frames[1].size()); ++i) {
+      max_rel_l2 = std::max(max_rel_l2, relative_l2(frames[1][i], frames[0][i]));
+    }
+    const double speedup =
+        stats[1].mean_ms > 0.0 ? stats[0].mean_ms / stats[1].mean_ms : 0.0;
+    std::fprintf(stderr,
+                 "int8 vs fp32: fp32 p50 %.3f ms | int8 p50 %.3f ms | "
+                 "speedup %.2fx | max rel L2 %.2e (budget %.0e)\n",
+                 stats[0].p50_ms, stats[1].p50_ms, speedup, max_rel_l2,
+                 kQuantErrorBudget);
+
+    const auto emit_quant = [&](std::FILE* f) {
+      std::fprintf(f,
+                   "{\n"
+                   "  \"bench\": \"quant_rollout\",\n"
+                   "  \"grid\": %d,\n"
+                   "  \"steps\": %d,\n"
+                   "  \"warmup\": %d,\n"
+                   "  \"threads\": %d,\n"
+                   "  \"ranks\": 4,\n"
+                   "  \"engine\": \"overlapped\",\n"
+                   "  \"network\": \"table1\",\n",
+                   grid, steps, warmup, threads);
+      for (int i = 0; i < 2; ++i) {
+        std::fprintf(f, "  ");
+        print_engine_json(f, names[i], stats[i]);
+        std::fprintf(f, ",\n");
+      }
+      std::fprintf(f,
+                   "  \"speedup\": %.4f,\n"
+                   "  \"max_rel_l2\": %.6e,\n"
+                   "  \"error_budget\": %.1e,\n"
+                   "  \"within_budget\": %s\n"
+                   "}\n",
+                   speedup, max_rel_l2, kQuantErrorBudget,
+                   max_rel_l2 <= kQuantErrorBudget ? "true" : "false");
+    };
+    // Only the file gets the quant JSON — stdout already carries the rollout
+    // object and must stay parseable as a single document.
+    if (std::FILE* f = std::fopen(quant_path.c_str(), "w")) {
+      emit_quant(f);
+      std::fclose(f);
+      std::fprintf(stderr, "wrote %s\n", quant_path.c_str());
+    } else {
+      std::fprintf(stderr, "could not open %s for writing\n",
+                   quant_path.c_str());
+      return 1;
+    }
   }
   return 0;
 }

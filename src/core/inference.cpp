@@ -5,6 +5,7 @@
 #include <optional>
 #include <stdexcept>
 
+#include "backend/kernel_backend.hpp"
 #include "domain/exchange.hpp"
 #include "domain/halo.hpp"
 #include "minimpi/collectives.hpp"
@@ -111,6 +112,11 @@ RolloutResult parallel_rollout(const TrainConfig& config,
                                 ? config.network.receptive_halo()
                                 : 0;
   const bool overlapped = options.engine == RolloutEngine::kOverlapped;
+  const backend::KernelBackend* bk =
+      options.backend != nullptr ? options.backend : &backend::blocked_f32();
+  // Anything but the reference backend must run through the plan — the
+  // module graph is the fp32 reference path by definition.
+  const bool non_reference = bk != &backend::blocked_f32();
 
   // A step is recorded every `record_every` steps, plus always the last one.
   auto recorded = [&](int step) {
@@ -123,6 +129,7 @@ RolloutResult parallel_rollout(const TrainConfig& config,
   }
 
   RolloutResult result;
+  result.backend = bk->name();
   result.recorded_steps = recorded_steps;
   result.frames.resize(recorded_steps.size());
   result.step_seconds.resize(static_cast<std::size_t>(steps), 0.0);
@@ -159,10 +166,33 @@ RolloutResult parallel_rollout(const TrainConfig& config,
     // will see (the halo-padded tile), the halo staging, and the assembly
     // buffers. Only the overlapped engine runs the plan — kSerialized is the
     // module-graph reference loop.
-    nn::ForwardPlan plan(*model, c, bh + 2 * halo, bw + 2 * halo);
-    const bool use_plan = overlapped && plan.supported();
+    nn::ForwardPlan plan(*model, c, bh + 2 * halo, bw + 2 * halo, bk);
+    if (non_reference && !plan.supported()) {
+      throw std::invalid_argument(
+          std::string("parallel_rollout: the ") + bk->name() +
+          " backend requires a plan-compatible model (deconv mode runs fp32 "
+          "only)");
+    }
+    // The serialized fp32 engine stays the module-graph reference loop; any
+    // other combination evaluates through the plan (and its backend).
+    const bool use_plan = plan.supported() && (overlapped || non_reference);
     // Interior/rim split needs a non-empty halo-independent interior.
-    const bool split = use_plan && halo > 0 && bh > 2 * halo && bw > 2 * halo;
+    const bool split = use_plan && overlapped && halo > 0 && bh > 2 * halo &&
+                       bw > 2 * halo;
+    if (use_plan && plan.needs_calibration()) {
+      // int8 activation-scale calibration: one fp32 reference pass over the
+      // step-0 input at the geometry the plan will see. The interior sits in
+      // a zero-extended halo frame (the physical-boundary treatment), so the
+      // pass is identical under both engines and any thread count.
+      if (halo > 0) {
+        Tensor calib({c, bh + 2 * halo, bw + 2 * halo});
+        calib.fill(0.0f);
+        insert_window(calib, halo, halo, interior.data(), c, bh, bw);
+        plan.calibrate(calib.data(), calib.dim(1), calib.dim(2));
+      } else {
+        plan.calibrate(interior.data(), bh, bw);
+      }
+    }
     std::optional<domain::HaloExchange> exchange;
     if (halo > 0 && overlapped) {
       exchange.emplace(cart, partition, halo, options.halo,
@@ -267,7 +297,14 @@ RolloutResult parallel_rollout(const TrainConfig& config,
           telemetry::Span forward_span("rollout.forward", "rollout");
           mpi::PhaseScope forward_phase(comm, "rollout.forward",
                                         mpi::CommPolicy::kForbidden);
-          interior = module_forward(*model, input);
+          if (use_plan) {
+            const nn::ForwardPlan::Output out =
+                plan.run(input.data(), bh + 2 * halo, bw + 2 * halo);
+            insert_window(next, 0, 0, out.data, out.channels, bh, bw);
+            std::swap(interior, next);
+          } else {
+            interior = module_forward(*model, input);
+          }
         }
         compute_timer.stop();
       } else {

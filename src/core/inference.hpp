@@ -15,6 +15,10 @@ namespace parpde::nn {
 class ForwardPlan;
 }  // namespace parpde::nn
 
+namespace parpde::backend {
+class KernelBackend;
+}  // namespace parpde::backend
+
 namespace parpde::core {
 
 // Which rollout loop parallel_rollout runs.
@@ -43,9 +47,18 @@ struct RolloutOptions {
   // double-buffered: non-root strip sends overlap the next step's compute and
   // rank 0 collects one recorded step behind.
   int record_every = 1;
+  // Execution provider for the per-step forward passes (see src/backend/):
+  // nullptr = the reference fp32 backend. The int8 backend
+  // (backend::quantized_int8()) calibrates activation scales from the initial
+  // frame on each rank before the first step and requires a plan-compatible
+  // model (not deconv mode). Halo exchange always stages fp32 either way —
+  // quantization is internal to the conv kernels, never on the wire.
+  const backend::KernelBackend* backend = nullptr;
 };
 
 struct RolloutResult {
+  // Name of the execution provider the rollout ran on ("fp32", "int8").
+  std::string backend;
   // Predicted full-domain frames, one per recorded step (gathered on rank 0;
   // the prediction of step k is the network's estimate of frame t0+k+1).
   // With record_every == 1 (the default) every step is recorded.

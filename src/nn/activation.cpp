@@ -3,6 +3,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "backend/kernel_backend.hpp"
 #include "util/thread_pool.hpp"
 
 namespace parpde::nn {
@@ -18,14 +19,8 @@ constexpr std::int64_t kElementwiseGrain = 1 << 14;
 Tensor LeakyReLU::forward(const Tensor& x) {
   input_ = x;
   Tensor y(x.shape());
-  const float eps = negative_slope_;
-  util::ThreadPool::global().parallel_for(
-      x.size(), kElementwiseGrain, [&](std::int64_t b, std::int64_t e) {
-        for (std::int64_t i = b; i < e; ++i) {
-          const float v = x[i];
-          y[i] = v >= 0.0f ? v : eps * v;
-        }
-      });
+  backend::blocked_f32().leaky_relu(x.data(), y.data(), x.size(),
+                                    negative_slope_);
   return y;
 }
 
@@ -54,7 +49,7 @@ std::string LeakyReLU::name() const {
 Tensor ReLU::forward(const Tensor& x) {
   input_ = x;
   Tensor y(x.shape());
-  for (std::int64_t i = 0; i < x.size(); ++i) y[i] = x[i] > 0.0f ? x[i] : 0.0f;
+  backend::blocked_f32().relu(x.data(), y.data(), x.size());
   return y;
 }
 
@@ -72,7 +67,7 @@ Tensor ReLU::backward(const Tensor& grad_out) {
 
 Tensor Tanh::forward(const Tensor& x) {
   Tensor y(x.shape());
-  for (std::int64_t i = 0; i < x.size(); ++i) y[i] = std::tanh(x[i]);
+  backend::blocked_f32().tanh(x.data(), y.data(), x.size());
   output_ = y;
   return y;
 }

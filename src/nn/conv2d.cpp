@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "backend/kernel_backend.hpp"
 #include "nn/init.hpp"
 #include "util/telemetry.hpp"
 
@@ -38,9 +39,12 @@ Tensor Conv2d::forward(const Tensor& x) {
   static telemetry::Counter& calls = telemetry::counter("nn.conv2d.forward");
   calls.add(1);
   telemetry::Span span("conv2d.forward", "nn");
-  // Whole-batch lowering: one wide im2col + one GEMM per layer (conv_ops).
+  // Whole-batch lowering: one wide im2col + one GEMM per layer. Training is
+  // fp32 by design, so the module graph dispatches through the reference
+  // backend explicitly (int8 applies to the fused inference path only).
   Tensor y;
-  conv2d_forward_batched(x, weight_, bias_, pad_, y, ws_);
+  backend::blocked_f32().conv2d_forward_batched(x, weight_, bias_, pad_, y,
+                                                ws_);
   return y;
 }
 
@@ -61,9 +65,9 @@ Tensor Conv2d::backward(const Tensor& grad_out) {
   telemetry::Span span("conv2d.backward", "nn");
   Tensor grad_in;
   // Batched backward: recomputes the wide column matrix once, then one GEMM
-  // each for dW and the data gradient (conv_ops).
-  conv2d_backward_batched(input_, grad_out, weight_, pad_, grad_in,
-                          weight_grad_, bias_grad_, ws_);
+  // each for dW and the data gradient.
+  backend::blocked_f32().conv2d_backward_batched(
+      input_, grad_out, weight_, pad_, grad_in, weight_grad_, bias_grad_, ws_);
   return grad_in;
 }
 

@@ -13,6 +13,7 @@
 // loop with shuffle disabled.
 
 #include "nn/module.hpp"
+#include "util/aligned.hpp"
 #include "util/random.hpp"
 
 namespace parpde::nn {
@@ -63,7 +64,7 @@ class ConvLSTM final : public Module {
   std::int64_t height_ = 0;
   std::int64_t width_ = 0;
 
-  std::vector<float> col_;  // conv scratch
+  util::AlignedVector<float> col_;  // conv scratch
 };
 
 }  // namespace parpde::nn

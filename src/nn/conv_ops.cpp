@@ -43,7 +43,7 @@ ConvGeometry geometry_of(const Tensor& x, const Tensor& w, std::int64_t pad,
 }  // namespace
 
 void conv2d_forward(const Tensor& x, const Tensor& w, const Tensor& b,
-                    std::int64_t pad, Tensor& y, std::vector<float>& col) {
+                    std::int64_t pad, Tensor& y, util::AlignedVector<float>& col) {
   const ConvGeometry g = geometry_of(x, w, pad, "conv2d_forward");
   const std::int64_t cout = w.dim(0);
   const std::int64_t oh = g.out_height(), ow = g.out_width();
@@ -69,7 +69,7 @@ void conv2d_forward(const Tensor& x, const Tensor& w, const Tensor& b,
 }
 
 void conv2d_backward_data(const Tensor& dy, const Tensor& w, std::int64_t pad,
-                          Tensor& dx, std::vector<float>& col) {
+                          Tensor& dx, util::AlignedVector<float>& col) {
   if (dy.ndim() != 3 || w.ndim() != 4 || dy.dim(0) != w.dim(0)) {
     throw std::invalid_argument(
         "conv2d_backward_data: expected dy [Cout,OH,OW], w [Cout,Cin,k,k]");
@@ -88,7 +88,7 @@ void conv2d_backward_data(const Tensor& dy, const Tensor& w, std::int64_t pad,
 }
 
 void conv2d_backward_weights(const Tensor& x, const Tensor& dy, std::int64_t pad,
-                             Tensor& dw, Tensor& db, std::vector<float>& col) {
+                             Tensor& dw, Tensor& db, util::AlignedVector<float>& col) {
   const ConvGeometry g = geometry_of(x, dw, pad, "conv2d_backward_weights");
   const std::int64_t cout = dw.dim(0);
   if (dy.dim(0) != cout || dy.dim(1) != g.out_height() ||

@@ -13,16 +13,18 @@
 
 #include "tensor/im2col.hpp"
 #include "tensor/tensor.hpp"
+#include "util/aligned.hpp"
 
 namespace parpde::nn {
 
 // Persistent per-layer scratch for the batched convolution path. Buffers only
-// grow; a layer reuses them for every batch of the same geometry.
+// grow; a layer reuses them for every batch of the same geometry. All buffers
+// are 64-byte aligned so the GEMM micro-kernels get clean vector loads.
 struct Conv2dWorkspace {
-  std::vector<float> col;   // [Cin*k*k x G*OH*OW] batched im2col columns
-  std::vector<float> out;   // [Cout    x G*OH*OW] channel-major GEMM output
-  std::vector<float> dy;    // [Cout    x G*OH*OW] channel-major gathered dY
-  std::vector<float> dcol;  // [Cin*k*k x G*OH*OW] backward-data columns
+  util::AlignedVector<float> col;   // [Cin*k*k x G*OH*OW] batched im2col columns
+  util::AlignedVector<float> out;   // [Cout    x G*OH*OW] channel-major GEMM output
+  util::AlignedVector<float> dy;    // [Cout    x G*OH*OW] channel-major gathered dY
+  util::AlignedVector<float> dcol;  // [Cin*k*k x G*OH*OW] backward-data columns
 };
 
 // Number of samples lowered per wide GEMM: the whole batch when the column
@@ -46,14 +48,14 @@ void conv2d_backward_batched(const Tensor& x, const Tensor& dy,
 // [Cout, Cin, k, k] and b is [Cout] (b may be empty to skip the bias).
 // `col` is caller-provided scratch resized as needed.
 void conv2d_forward(const Tensor& x, const Tensor& w, const Tensor& b,
-                    std::int64_t pad, Tensor& y, std::vector<float>& col);
+                    std::int64_t pad, Tensor& y, util::AlignedVector<float>& col);
 
 // dx = w^T (*) dy (backward-data). dx is overwritten, shaped like x.
 void conv2d_backward_data(const Tensor& dy, const Tensor& w, std::int64_t pad,
-                          Tensor& dx, std::vector<float>& col);
+                          Tensor& dx, util::AlignedVector<float>& col);
 
 // dw += dy (*) x, db += sum(dy) (backward-weights, accumulating).
 void conv2d_backward_weights(const Tensor& x, const Tensor& dy, std::int64_t pad,
-                             Tensor& dw, Tensor& db, std::vector<float>& col);
+                             Tensor& dw, Tensor& db, util::AlignedVector<float>& col);
 
 }  // namespace parpde::nn

@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "backend/kernel_backend.hpp"
 #include "nn/init.hpp"
 
 namespace parpde::nn {
@@ -35,35 +36,11 @@ Tensor ConvTranspose2d::forward(const Tensor& x) {
   const std::int64_t n = x.dim(0), h = x.dim(2), w = x.dim(3);
   const std::int64_t oh = h + kernel_ - 1, ow = w + kernel_ - 1;
   Tensor y({n, out_channels_, oh, ow});
-  for (std::int64_t s = 0; s < n; ++s) {
-    for (std::int64_t co = 0; co < out_channels_; ++co) {
-      float* yplane = y.data() + ((s * out_channels_ + co) * oh) * ow;
-      const float b = bias_[co];
-      for (std::int64_t i = 0; i < oh * ow; ++i) yplane[i] = b;
-    }
-    for (std::int64_t ci = 0; ci < in_channels_; ++ci) {
-      const float* xplane = x.data() + ((s * in_channels_ + ci) * h) * w;
-      for (std::int64_t co = 0; co < out_channels_; ++co) {
-        const float* ker = weight_.data() +
-                           ((ci * out_channels_ + co) * kernel_) * kernel_;
-        float* yplane = y.data() + ((s * out_channels_ + co) * oh) * ow;
-        for (std::int64_t iy = 0; iy < h; ++iy) {
-          for (std::int64_t ky = 0; ky < kernel_; ++ky) {
-            float* yrow = yplane + (iy + ky) * ow;
-            const float* krow = ker + ky * kernel_;
-            const float* xrow = xplane + iy * w;
-            for (std::int64_t ix = 0; ix < w; ++ix) {
-              const float xv = xrow[ix];
-              if (xv == 0.0f) continue;
-              for (std::int64_t kx = 0; kx < kernel_; ++kx) {
-                yrow[ix + kx] += xv * krow[kx];
-              }
-            }
-          }
-        }
-      }
-    }
-  }
+  // The scatter loop nest lives in the backend now (same kernel both the
+  // module graph and any future fused deconv path share).
+  backend::blocked_f32().conv_transpose2d_forward(
+      x.data(), weight_.data(), bias_.data(), n, in_channels_, out_channels_,
+      h, w, kernel_, y.data());
   return y;
 }
 

@@ -1,67 +1,118 @@
 #include "nn/forward_plan.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
 
 #include "nn/activation.hpp"
 #include "nn/conv2d.hpp"
-#include "tensor/gemm.hpp"
 #include "tensor/im2col.hpp"
-#include "util/thread_pool.hpp"
 
 namespace parpde::nn {
 
 namespace {
 
-// Same grain the activation layers use, so the plan's elementwise passes
-// chunk identically (values are order-independent either way).
-constexpr std::int64_t kElementwiseGrain = 1 << 14;
+// Walks the fused step list once and returns the largest activation buffer
+// (in floats) any step writes for an input of [in_channels, h, w].
+std::int64_t peak_plane_floats(const std::vector<backend::ConvLayerDesc>& descs,
+                               std::int64_t in_channels, std::int64_t h,
+                               std::int64_t w, bool activation_first) {
+  std::int64_t peak = activation_first ? in_channels * h * w : 0;
+  for (const backend::ConvLayerDesc& l : descs) {
+    const ConvGeometry g{l.in_channels, h, w, l.kernel, l.pad};
+    h = g.out_height();
+    w = g.out_width();
+    peak = std::max(peak, l.out_channels * h * w);
+  }
+  return peak;
+}
+
+float max_abs(const float* x, std::int64_t n) {
+  float m = 0.0f;
+  for (std::int64_t i = 0; i < n; ++i) m = std::max(m, std::fabs(x[i]));
+  return m;
+}
 
 }  // namespace
 
 ForwardPlan::ForwardPlan(Sequential& model, std::int64_t in_channels,
-                         std::int64_t max_h, std::int64_t max_w)
-    : in_channels_(in_channels), max_h_(max_h), max_w_(max_w) {
+                         std::int64_t max_h, std::int64_t max_w,
+                         const backend::KernelBackend* backend)
+    : backend_(backend != nullptr ? backend : &backend::blocked_f32()),
+      in_channels_(in_channels),
+      max_h_(max_h),
+      max_w_(max_w) {
   std::int64_t ch = in_channels;
   std::int64_t h = max_h;
   std::int64_t w = max_w;
-  std::int64_t peak_plane = 0;   // largest activation buffer, floats
-  std::int64_t peak_col = 0;     // largest im2col matrix, floats
   for (std::size_t i = 0; i < model.layer_count(); ++i) {
     Module& layer = model.layer(i);
-    Step step;
     if (auto* conv = dynamic_cast<Conv2d*>(&layer)) {
       if (conv->in_channels() != ch) {
         supported_ = false;
         return;
       }
-      step.op = Op::kConv;
-      step.weight = conv->weight().data();
-      step.bias = conv->bias().empty() ? nullptr : conv->bias().data();
-      step.in_channels = conv->in_channels();
-      step.out_channels = conv->out_channels();
-      step.kernel = conv->kernel();
-      step.pad = conv->pad();
-      const ConvGeometry g{ch, h, w, step.kernel, step.pad};
+      backend::ConvLayerDesc desc;
+      desc.weight = conv->weight().data();
+      desc.bias = conv->bias().empty() ? nullptr : conv->bias().data();
+      desc.in_channels = conv->in_channels();
+      desc.out_channels = conv->out_channels();
+      desc.kernel = conv->kernel();
+      desc.pad = conv->pad();
+      const ConvGeometry g{ch, h, w, desc.kernel, desc.pad};
       if (g.out_height() <= 0 || g.out_width() <= 0) {
         supported_ = false;
         return;
       }
-      peak_col = std::max(peak_col, g.col_rows() * g.col_cols());
-      ch = step.out_channels;
+      ch = desc.out_channels;
       h = g.out_height();
       w = g.out_width();
-      peak_plane = std::max(peak_plane, ch * h * w);
-    } else if (auto* leaky = dynamic_cast<LeakyReLU*>(&layer)) {
-      step.op = Op::kLeakyReLU;
-      step.slope = leaky->negative_slope();
+      Step step;
+      step.op = Op::kConv;
+      step.conv = static_cast<int>(descs_.size());
+      descs_.push_back(desc);
+      steps_.push_back(step);
+      continue;
+    }
+    // Pointwise layer: fuse into the preceding conv's epilogue when there is
+    // one (the Table-I net is conv/act pairs throughout); otherwise keep it
+    // as a standalone step.
+    backend::Fused fused = backend::Fused::kNone;
+    float slope = 0.0f;
+    if (auto* leaky = dynamic_cast<LeakyReLU*>(&layer)) {
+      fused = backend::Fused::kLeakyReLU;
+      slope = leaky->negative_slope();
     } else if (dynamic_cast<ReLU*>(&layer) != nullptr) {
-      step.op = Op::kReLU;
+      fused = backend::Fused::kReLU;
     } else if (dynamic_cast<Tanh*>(&layer) != nullptr) {
-      step.op = Op::kTanh;
+      fused = backend::Fused::kTanh;
     } else {
       supported_ = false;  // e.g. ConvTranspose2d in deconv mode
       return;
+    }
+    if (!steps_.empty() && steps_.back().op == Op::kConv &&
+        descs_[static_cast<std::size_t>(steps_.back().conv)].fused ==
+            backend::Fused::kNone) {
+      backend::ConvLayerDesc& prev =
+          descs_[static_cast<std::size_t>(steps_.back().conv)];
+      prev.fused = fused;
+      prev.slope = slope;
+      continue;
+    }
+    Step step;
+    switch (fused) {
+      case backend::Fused::kLeakyReLU:
+        step.op = Op::kLeakyReLU;
+        step.slope = slope;
+        break;
+      case backend::Fused::kReLU:
+        step.op = Op::kReLU;
+        break;
+      case backend::Fused::kTanh:
+        step.op = Op::kTanh;
+        break;
+      case backend::Fused::kNone:
+        break;  // unreachable
     }
     steps_.push_back(step);
   }
@@ -71,22 +122,94 @@ ForwardPlan::ForwardPlan(Sequential& model, std::int64_t in_channels,
     supported_ = false;  // non-square shrink; no caller needs it
     return;
   }
-  // An activation as the very first layer writes into a buffer too.
-  if (!steps_.empty() && steps_.front().op != Op::kConv) {
-    peak_plane = std::max(peak_plane, in_channels * max_h * max_w);
-  }
-  col_.resize(static_cast<std::size_t>(peak_col));
+  const bool activation_first = !steps_.empty() && steps_.front().op != Op::kConv;
+  const std::int64_t peak_plane =
+      peak_plane_floats(descs_, in_channels, max_h, max_w, activation_first);
   ping_.resize(static_cast<std::size_t>(peak_plane));
   pong_.resize(static_cast<std::size_t>(peak_plane));
+  ctx_ = backend_->make_plan_context(descs_, max_h, max_w);
   growth_events_ = 0;
 }
 
-float* ForwardPlan::ensure(std::vector<float>& buf, std::int64_t floats) {
+float* ForwardPlan::ensure(util::AlignedVector<float>& buf,
+                           std::int64_t floats) {
   if (static_cast<std::int64_t>(buf.size()) < floats) {
     buf.resize(static_cast<std::size_t>(floats));
     ++growth_events_;
   }
   return buf.data();
+}
+
+bool ForwardPlan::needs_calibration() const {
+  return supported_ && backend_->needs_calibration(*ctx_);
+}
+
+void ForwardPlan::calibrate(const float* x, std::int64_t h, std::int64_t w) {
+  if (!supported_) {
+    throw std::logic_error("ForwardPlan::calibrate on an unsupported model");
+  }
+  // One fp32 reference pass through a throwaway context, recording each conv
+  // layer's input max-abs. Runs on the reference backend regardless of the
+  // plan's own, so calibration is backend-independent and deterministic.
+  const backend::KernelBackend& ref = backend::blocked_f32();
+  auto ctx = ref.make_plan_context(descs_, h, w);
+  const bool activation_first = !steps_.empty() && steps_.front().op != Op::kConv;
+  const std::int64_t peak =
+      peak_plane_floats(descs_, in_channels_, h, w, activation_first);
+  util::AlignedVector<float> ping(static_cast<std::size_t>(peak));
+  util::AlignedVector<float> pong(static_cast<std::size_t>(peak));
+  std::vector<float> ranges;
+  ranges.reserve(descs_.size());
+
+  const float* cur = x;
+  float* cur_buf = nullptr;
+  std::int64_t ch = in_channels_;
+  std::int64_t th = h, tw = w;
+  for (const Step& step : steps_) {
+    if (step.op == Op::kConv) {
+      const backend::ConvLayerDesc& l =
+          descs_[static_cast<std::size_t>(step.conv)];
+      ranges.push_back(max_abs(cur, ch * th * tw));
+      const ConvGeometry g{ch, th, tw, l.kernel, l.pad};
+      float* dst = (cur_buf == ping.data() && cur_buf != nullptr)
+                       ? pong.data()
+                       : ping.data();
+      ref.conv_forward(*ctx, step.conv, cur, th, tw, dst);
+      cur = dst;
+      cur_buf = dst;
+      ch = l.out_channels;
+      th = g.out_height();
+      tw = g.out_width();
+      continue;
+    }
+    const std::int64_t n = ch * th * tw;
+    float* dst = cur_buf != nullptr ? cur_buf : ping.data();
+    switch (step.op) {
+      case Op::kLeakyReLU:
+        ref.leaky_relu(cur, dst, n, step.slope);
+        break;
+      case Op::kReLU:
+        ref.relu(cur, dst, n);
+        break;
+      case Op::kTanh:
+        ref.tanh(cur, dst, n);
+        break;
+      case Op::kConv:
+        break;  // unreachable
+    }
+    cur = dst;
+    cur_buf = dst;
+  }
+  set_calibration(std::move(ranges));
+}
+
+void ForwardPlan::set_calibration(std::vector<float> ranges) {
+  if (ranges.size() != descs_.size()) {
+    throw std::invalid_argument(
+        "ForwardPlan::set_calibration: one range per conv layer required");
+  }
+  ranges_ = std::move(ranges);
+  backend_->set_input_ranges(*ctx_, ranges_);
 }
 
 ForwardPlan::Output ForwardPlan::run(const float* x, std::int64_t h,
@@ -97,72 +220,42 @@ ForwardPlan::Output ForwardPlan::run(const float* x, std::int64_t h,
   const float* cur = x;
   float* cur_buf = nullptr;  // non-null iff `cur` is one of our buffers
   std::int64_t ch = in_channels_;
-  auto& pool = util::ThreadPool::global();
 
   for (const Step& step : steps_) {
     if (step.op == Op::kConv) {
-      const ConvGeometry g{ch, h, w, step.kernel, step.pad};
+      const backend::ConvLayerDesc& l =
+          descs_[static_cast<std::size_t>(step.conv)];
+      const ConvGeometry g{ch, h, w, l.kernel, l.pad};
       const std::int64_t oh = g.out_height();
       const std::int64_t ow = g.out_width();
       if (oh <= 0 || ow <= 0) {
         throw std::invalid_argument("ForwardPlan::run: input below kernel size");
       }
-      const std::int64_t plane = oh * ow;
-      float* col = ensure(col_, g.col_rows() * g.col_cols());
-      im2col(cur, g, col);
       // Write the other ping-pong buffer than the one `cur` lives in.
-      std::vector<float>& out_vec = (cur_buf == ping_.data() && cur_buf != nullptr)
-                                        ? pong_
-                                        : ping_;
-      float* dst = ensure(out_vec, step.out_channels * plane);
-      // out [Cout x plane] = W [Cout x Cin*k*k] * col — the same lowering
-      // Conv2d::forward uses, so every output element sees the identical
-      // k-reduction order.
-      gemm(step.weight, col, dst, step.out_channels, g.col_rows(), plane);
-      if (step.bias != nullptr) {
-        const float* bias = step.bias;
-        pool.parallel_for(step.out_channels, 1,
-                          [&](std::int64_t begin, std::int64_t end) {
-                            for (std::int64_t c = begin; c < end; ++c) {
-                              float* row = dst + c * plane;
-                              const float b = bias[c];
-                              for (std::int64_t i = 0; i < plane; ++i) {
-                                row[i] = row[i] + b;
-                              }
-                            }
-                          });
-      }
+      util::AlignedVector<float>& out_vec =
+          (cur_buf == ping_.data() && cur_buf != nullptr) ? pong_ : ping_;
+      float* dst = ensure(out_vec, l.out_channels * oh * ow);
+      backend_->conv_forward(*ctx_, step.conv, cur, h, w, dst);
       cur = dst;
       cur_buf = dst;
-      ch = step.out_channels;
+      ch = l.out_channels;
       h = oh;
       w = ow;
       continue;
     }
-    // Pointwise activation: in place when `cur` is already ours, otherwise
-    // into a buffer (only possible for an activation-first model).
+    // Standalone pointwise activation: in place when `cur` is already ours,
+    // otherwise into a buffer (only possible for an activation-first model).
     const std::int64_t n = ch * h * w;
     float* dst = cur_buf != nullptr ? cur_buf : ensure(ping_, n);
-    const float* src = cur;
     switch (step.op) {
-      case Op::kLeakyReLU: {
-        const float eps = step.slope;
-        pool.parallel_for(n, kElementwiseGrain,
-                          [&](std::int64_t begin, std::int64_t end) {
-                            for (std::int64_t i = begin; i < end; ++i) {
-                              const float v = src[i];
-                              dst[i] = v >= 0.0f ? v : eps * v;
-                            }
-                          });
+      case Op::kLeakyReLU:
+        backend_->leaky_relu(cur, dst, n, step.slope);
         break;
-      }
       case Op::kReLU:
-        for (std::int64_t i = 0; i < n; ++i) {
-          dst[i] = src[i] > 0.0f ? src[i] : 0.0f;
-        }
+        backend_->relu(cur, dst, n);
         break;
       case Op::kTanh:
-        for (std::int64_t i = 0; i < n; ++i) dst[i] = std::tanh(src[i]);
+        backend_->tanh(cur, dst, n);
         break;
       case Op::kConv:
         break;  // unreachable

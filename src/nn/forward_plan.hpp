@@ -2,19 +2,25 @@
 
 // Pre-sized inference plan for a Sequential of Conv2d + pointwise activation
 // layers (the paper's Table-I subdomain network). The plan walks the model
-// once at construction, pre-allocates every per-layer activation buffer and
-// im2col workspace for a maximum input geometry, and then evaluates forward
-// passes into those buffers: the steady-state step performs zero heap
-// allocations (verified by the counting-allocator test in
-// tests/test_rollout_overlap.cpp).
+// once at construction, pre-allocates every per-layer activation buffer, asks
+// the selected KernelBackend for a PlanContext holding the backend-side state
+// (im2col workspace for fp32; quantized weights and int8 workspaces for
+// int8), and then evaluates forward passes into those buffers: the
+// steady-state step performs zero heap allocations on either backend
+// (verified by the counting-allocator tests in tests/test_rollout_overlap.cpp
+// and tests/test_quant_rollout.cpp).
 //
 // run() accepts any input no larger than the pre-sized maximum, which is what
 // lets the overlapped rollout engine evaluate the same plan on the bare
 // interior tile (while halo strips are in flight) and afterwards on the four
-// thin rim bands — see docs/performance.md. Results are bit-identical to
-// Module::forward: the convs lower to the same im2col + GEMM kernels (whose
-// per-element k-reduction order is independent of the matrix width and the
-// worker count) and the activations replicate the layers' exact formulas.
+// thin rim bands — see docs/performance.md. On the fp32 backend results are
+// bit-identical to Module::forward: the convs lower to the same im2col + GEMM
+// kernels (whose per-element k-reduction order is independent of the matrix
+// width and the worker count) and the fused bias/activation epilogue applies
+// the layers' exact per-element formulas. On the int8 backend results are
+// bit-deterministic (integer accumulation is exact; activation scales are
+// fixed by calibration, not derived per call) but intentionally differ from
+// fp32 within the documented error budget.
 //
 // The plan holds non-owning pointers into the Sequential's layers; the model
 // must outlive the plan and keep its layer list unchanged.
@@ -22,7 +28,9 @@
 #include <cstdint>
 #include <vector>
 
+#include "backend/kernel_backend.hpp"
 #include "nn/sequential.hpp"
+#include "util/aligned.hpp"
 
 namespace parpde::nn {
 
@@ -32,11 +40,17 @@ class ForwardPlan {
   // [in_channels, max_h, max_w]. If the model contains a layer type the plan
   // cannot replay (anything but Conv2d / LeakyReLU / ReLU / Tanh), the plan
   // is marked unsupported and run() must not be called — callers fall back
-  // to Module::forward.
+  // to Module::forward. `backend` selects the execution provider
+  // (nullptr = the reference fp32 backend).
   ForwardPlan(Sequential& model, std::int64_t in_channels, std::int64_t max_h,
-              std::int64_t max_w);
+              std::int64_t max_w,
+              const backend::KernelBackend* backend = nullptr);
 
   [[nodiscard]] bool supported() const noexcept { return supported_; }
+
+  [[nodiscard]] const backend::KernelBackend& backend() const noexcept {
+    return *backend_;
+  }
 
   // Non-owning view of the result; valid until the next run() call.
   struct Output {
@@ -53,6 +67,22 @@ class ForwardPlan {
   // out-of-range ones grow the buffers and bump growth_events().
   Output run(const float* x, std::int64_t h, std::int64_t w);
 
+  // --- activation-scale calibration (int8 backend) --------------------------
+  // True when the backend quantizes activations and no input ranges have been
+  // installed yet; run() must not be called in that state.
+  [[nodiscard]] bool needs_calibration() const;
+  // One fp32 reference pass over a representative tile [in_channels, h, w]:
+  // records each conv layer's input max-abs and installs the ranges into the
+  // backend context. Allocates (calibration happens before steady state).
+  void calibrate(const float* x, std::int64_t h, std::int64_t w);
+  // Installs externally recorded ranges (e.g. the quantized-weights section
+  // of a serialized model); one entry per conv layer.
+  void set_calibration(std::vector<float> ranges);
+  // Ranges installed by calibrate()/set_calibration(); empty before either.
+  [[nodiscard]] const std::vector<float>& calibration() const noexcept {
+    return ranges_;
+  }
+
   [[nodiscard]] std::int64_t in_channels() const noexcept {
     return in_channels_;
   }
@@ -63,30 +93,32 @@ class ForwardPlan {
   // for input height/width h, w (0 for "same"-padded nets).
   [[nodiscard]] std::int64_t shrink() const noexcept { return shrink_; }
 
-  // Buffer regrowths since construction; 0 in a pre-sized steady state.
+  // Buffer regrowths since construction (plan activation buffers plus the
+  // backend context's workspaces); 0 in a pre-sized steady state.
   [[nodiscard]] std::uint64_t growth_events() const noexcept {
-    return growth_events_;
+    return growth_events_ +
+           (ctx_ != nullptr ? ctx_->growth_events() : std::uint64_t{0});
   }
 
  private:
   enum class Op { kConv, kLeakyReLU, kReLU, kTanh };
 
+  // Post-fusion step list: a kConv step indexes the ConvLayerDesc (which may
+  // carry a fused activation); the pointwise ops only appear standalone when
+  // they have no conv to fuse into (e.g. an activation-first model).
   struct Step {
     Op op = Op::kConv;
-    // kConv only: non-owning views of the layer's parameters.
-    const float* weight = nullptr;  // [Cout, Cin*k*k] row-major
-    const float* bias = nullptr;    // [Cout] (nullptr = no bias)
-    std::int64_t in_channels = 0;
-    std::int64_t out_channels = 0;
-    std::int64_t kernel = 0;
-    std::int64_t pad = 0;
-    // kLeakyReLU only.
-    float slope = 0.0f;
+    int conv = -1;       // kConv: index into descs_
+    float slope = 0.0f;  // kLeakyReLU only
   };
 
-  float* ensure(std::vector<float>& buf, std::int64_t floats);
+  float* ensure(util::AlignedVector<float>& buf, std::int64_t floats);
 
+  const backend::KernelBackend* backend_ = nullptr;
   std::vector<Step> steps_;
+  std::vector<backend::ConvLayerDesc> descs_;
+  std::unique_ptr<backend::PlanContext> ctx_;
+  std::vector<float> ranges_;
   std::int64_t in_channels_ = 0;
   std::int64_t out_channels_ = 0;
   std::int64_t max_h_ = 0;
@@ -95,9 +127,8 @@ class ForwardPlan {
   bool supported_ = true;
   std::uint64_t growth_events_ = 0;
 
-  std::vector<float> col_;    // im2col workspace, sized for the widest conv
-  std::vector<float> ping_;   // activation ping-pong buffers
-  std::vector<float> pong_;
+  util::AlignedVector<float> ping_;  // activation ping-pong buffers
+  util::AlignedVector<float> pong_;
 };
 
 }  // namespace parpde::nn

@@ -13,15 +13,19 @@ namespace parpde::nn {
 
 namespace {
 
-// Framed "PPNN" v2 layout:
+// Framed "PPNN" layout:
 //   magic "PPNN" | u32 version | u64 payload_len | u32 crc32(payload) | payload
-//   payload: u32 tensor_count | tensors (tensor format)
+//   v2 payload: u32 tensor_count | tensors (tensor format)
+//   v3 payload: v2 payload | u32 range_count | range_count f32 ranges
 // The length + CRC turn a truncated or bit-rotted checkpoint into a clear
 // diagnostic instead of garbage weights. The v1 format was the bare payload
 // (no magic); load_parameters still reads it — a u32 tensor count can never
-// collide with the magic bytes.
+// collide with the magic bytes. v3 appends the int8 activation-calibration
+// ranges (per-conv-layer input max-abs) and is only written when there are
+// ranges to store, so checkpoints without quantization state stay v2.
 constexpr char kMagic[4] = {'P', 'P', 'N', 'N'};
 constexpr std::uint32_t kVersion = 2;
+constexpr std::uint32_t kVersionQuant = 3;
 
 void parse_tensors(std::istream& in, std::uint32_t count, Module& module) {
   auto params = module.parameters();
@@ -42,15 +46,29 @@ void parse_tensors(std::istream& in, std::uint32_t count, Module& module) {
 }  // namespace
 
 void save_parameters(std::ostream& out, Module& module) {
+  save_parameters(out, module, {});
+}
+
+void save_parameters(std::ostream& out, Module& module,
+                     const std::vector<float>& calibration) {
   const auto params = module.parameters();
   std::ostringstream payload_stream(std::ios::binary);
   const auto count = static_cast<std::uint32_t>(params.size());
   payload_stream.write(reinterpret_cast<const char*>(&count), sizeof(count));
   for (const auto& p : params) write_tensor(payload_stream, *p.value);
+  if (!calibration.empty()) {
+    const auto ranges = static_cast<std::uint32_t>(calibration.size());
+    payload_stream.write(reinterpret_cast<const char*>(&ranges),
+                         sizeof(ranges));
+    payload_stream.write(
+        reinterpret_cast<const char*>(calibration.data()),
+        static_cast<std::streamsize>(calibration.size() * sizeof(float)));
+  }
   const std::string payload = std::move(payload_stream).str();
+  const std::uint32_t version = calibration.empty() ? kVersion : kVersionQuant;
 
   out.write(kMagic, sizeof(kMagic));
-  out.write(reinterpret_cast<const char*>(&kVersion), sizeof(kVersion));
+  out.write(reinterpret_cast<const char*>(&version), sizeof(version));
   const auto len = static_cast<std::uint64_t>(payload.size());
   out.write(reinterpret_cast<const char*>(&len), sizeof(len));
   const std::uint32_t crc = util::crc32(payload.data(), payload.size());
@@ -60,6 +78,12 @@ void save_parameters(std::ostream& out, Module& module) {
 }
 
 void load_parameters(std::istream& in, Module& module) {
+  load_parameters(in, module, nullptr);
+}
+
+void load_parameters(std::istream& in, Module& module,
+                     std::vector<float>* calibration) {
+  if (calibration != nullptr) calibration->clear();
   char head[4];
   in.read(head, sizeof(head));
   if (!in) throw std::runtime_error("load_parameters: empty or unreadable stream");
@@ -80,7 +104,7 @@ void load_parameters(std::istream& in, Module& module) {
   in.read(reinterpret_cast<char*>(&payload_len), sizeof(payload_len));
   in.read(reinterpret_cast<char*>(&crc), sizeof(crc));
   if (!in) throw std::runtime_error("load_parameters: truncated header");
-  if (version != kVersion) {
+  if (version != kVersion && version != kVersionQuant) {
     throw std::runtime_error("load_parameters: unsupported format version " +
                              std::to_string(version));
   }
@@ -104,6 +128,22 @@ void load_parameters(std::istream& in, Module& module) {
   payload_in.read(reinterpret_cast<char*>(&count), sizeof(count));
   if (!payload_in) throw std::runtime_error("load_parameters: empty payload");
   parse_tensors(payload_in, count, module);
+  if (version == kVersionQuant) {
+    std::uint32_t ranges = 0;
+    payload_in.read(reinterpret_cast<char*>(&ranges), sizeof(ranges));
+    if (!payload_in) {
+      throw std::runtime_error(
+          "load_parameters: v3 checkpoint missing its calibration section");
+    }
+    std::vector<float> stored(ranges);
+    payload_in.read(reinterpret_cast<char*>(stored.data()),
+                    static_cast<std::streamsize>(ranges * sizeof(float)));
+    if (!payload_in) {
+      throw std::runtime_error(
+          "load_parameters: truncated calibration section");
+    }
+    if (calibration != nullptr) *calibration = std::move(stored);
+  }
 }
 
 void save_checkpoint(const std::string& path, Module& module) {
@@ -116,6 +156,20 @@ void load_checkpoint(const std::string& path, Module& module) {
   std::ifstream in(path, std::ios::binary);
   if (!in) throw std::runtime_error("load_checkpoint: cannot open " + path);
   load_parameters(in, module);
+}
+
+void save_checkpoint(const std::string& path, Module& module,
+                     const std::vector<float>& calibration) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("save_checkpoint: cannot open " + path);
+  save_parameters(out, module, calibration);
+}
+
+void load_checkpoint(const std::string& path, Module& module,
+                     std::vector<float>* calibration) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("load_checkpoint: cannot open " + path);
+  load_parameters(in, module, calibration);
 }
 
 }  // namespace parpde::nn

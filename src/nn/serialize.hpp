@@ -8,6 +8,7 @@
 #include <istream>
 #include <ostream>
 #include <string>
+#include <vector>
 
 #include "nn/module.hpp"
 
@@ -16,7 +17,24 @@ namespace parpde::nn {
 void save_parameters(std::ostream& out, Module& module);
 void load_parameters(std::istream& in, Module& module);
 
+// With a non-empty `calibration` (one activation max-abs range per conv
+// layer, the quantity ForwardPlan::calibration() records and the int8
+// backend turns into fixed input scales) the file gains a v3 trailer after
+// the weight tensors, so a quantized rollout can start without re-running
+// the fp32 calibration pass. An empty vector writes the plain v2 format —
+// older readers keep working on checkpoints that carry no quantization
+// state. On load, `calibration` (if non-null) receives the stored ranges,
+// or is cleared when the file predates v3 / carries none.
+void save_parameters(std::ostream& out, Module& module,
+                     const std::vector<float>& calibration);
+void load_parameters(std::istream& in, Module& module,
+                     std::vector<float>* calibration);
+
 void save_checkpoint(const std::string& path, Module& module);
 void load_checkpoint(const std::string& path, Module& module);
+void save_checkpoint(const std::string& path, Module& module,
+                     const std::vector<float>& calibration);
+void load_checkpoint(const std::string& path, Module& module,
+                     std::vector<float>* calibration);
 
 }  // namespace parpde::nn

@@ -4,6 +4,7 @@
 #include <cstring>
 #include <vector>
 
+#include "util/aligned.hpp"
 #include "util/telemetry.hpp"
 #include "util/thread_pool.hpp"
 
@@ -204,9 +205,9 @@ void micro_kernel_mr(std::int64_t mr, std::int64_t kc,
 }
 
 // Per-thread packing workspaces; persistent so steady-state training does no
-// allocation in the hot path.
-thread_local std::vector<float> t_pack_a;
-thread_local std::vector<float> t_pack_b;
+// allocation in the hot path, 64-byte aligned for clean vector loads.
+thread_local util::AlignedVector<float> t_pack_a;
+thread_local util::AlignedVector<float> t_pack_b;
 
 // Sequential blocked GEMM on the sub-matrix C[i0:i0+ms, j0:j0+ns] with the
 // full k extent (k is never split across threads). GotoBLAS loop order:
@@ -309,7 +310,9 @@ void gemm_strided(const float* a, std::int64_t a_rs, std::int64_t a_cs,
   static telemetry::Counter& calls = telemetry::counter("gemm.calls");
   flops.add(static_cast<std::uint64_t>(2 * m * k * n));
   calls.add(1);
-  telemetry::Span span("gemm", "gemm");
+  // The tensor-layer GEMM is fp32 on every backend; tag the span so Chrome
+  // traces separate it from the int8 conv spans ("conv.int8" in the backend).
+  telemetry::Span span("gemm.fp32", "gemm");
 
   auto& pool = util::ThreadPool::global();
   // Below ~0.5 MFLOP the fork/join overhead dominates; run inline.

@@ -6,6 +6,7 @@
 #include "helpers.hpp"
 #include "nn/conv2d.hpp"
 #include "nn/conv_ops.hpp"
+#include "util/aligned.hpp"
 #include "util/random.hpp"
 
 namespace parpde::nn {
@@ -29,7 +30,7 @@ TEST(ConvOps, ForwardMatchesConv2dLayer) {
   const Tensor expected = layer.forward(batched);
 
   Tensor y;
-  std::vector<float> col;
+  util::AlignedVector<float> col;
   conv2d_forward(x, layer.weight(), layer.bias(), 1, y, col);
   expect_tensors_close(y.reshaped({1, 5, 7, 9}), expected, 1e-6, 1e-5);
 }
@@ -38,7 +39,7 @@ TEST(ConvOps, ForwardWithoutBias) {
   const Tensor x = random_tensor({2, 5, 5}, 3);
   const Tensor w = random_tensor({4, 2, 3, 3}, 4);
   Tensor y1, y2;
-  std::vector<float> col;
+  util::AlignedVector<float> col;
   Tensor zero_bias({4});
   conv2d_forward(x, w, zero_bias, 1, y1, col);
   conv2d_forward(x, w, Tensor{}, 1, y2, col);
@@ -56,7 +57,7 @@ TEST(ConvOps, BackwardDataMatchesConv2dLayer) {
   const Tensor expected = layer.backward(dy.reshaped({1, 3, 6, 6}));
 
   Tensor dx({2, 6, 6});
-  std::vector<float> col;
+  util::AlignedVector<float> col;
   conv2d_backward_data(dy, layer.weight(), 1, dx, col);
   expect_tensors_close(dx.reshaped({1, 2, 6, 6}), expected, 1e-5, 1e-4);
 }
@@ -74,7 +75,7 @@ TEST(ConvOps, BackwardWeightsMatchesConv2dLayer) {
 
   Tensor dw({3, 2, 3, 3});
   Tensor db({3});
-  std::vector<float> col;
+  util::AlignedVector<float> col;
   conv2d_backward_weights(x, dy, 1, dw, db, col);
   const auto params = layer.parameters();
   expect_tensors_close(dw, *params[0].grad, 1e-5, 1e-4);
@@ -86,7 +87,7 @@ TEST(ConvOps, BackwardWeightsAccumulates) {
   const Tensor dy = random_tensor({2, 4, 4}, 12);
   Tensor dw1({2, 1, 3, 3}), db1({2});
   Tensor dw2({2, 1, 3, 3}), db2({2});
-  std::vector<float> col;
+  util::AlignedVector<float> col;
   conv2d_backward_weights(x, dy, 1, dw1, db1, col);
   conv2d_backward_weights(x, dy, 1, dw2, db2, col);
   conv2d_backward_weights(x, dy, 1, dw2, db2, col);  // dw2 = 2 * dw1 now? no:
@@ -104,14 +105,14 @@ TEST(ConvOps, OneByOneConvIsChannelMix) {
   w.at(0, 0, 0, 0) = 1.0f;
   w.at(1, 1, 0, 0) = 1.0f;
   Tensor y;
-  std::vector<float> col;
+  util::AlignedVector<float> col;
   conv2d_forward(x, w, Tensor{}, 0, y, col);
   expect_tensors_close(y, x, 1e-7, 1e-6);
 }
 
 TEST(ConvOps, RejectsBadShapes) {
   Tensor y;
-  std::vector<float> col;
+  util::AlignedVector<float> col;
   EXPECT_THROW(conv2d_forward(Tensor({2, 4, 4}), Tensor({3, 1, 3, 3}), Tensor{},
                               1, y, col),
                std::invalid_argument);

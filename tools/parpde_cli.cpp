@@ -16,6 +16,7 @@
 #include <stdexcept>
 #include <string>
 
+#include "backend/kernel_backend.hpp"
 #include "core/checkpoint.hpp"
 #include "core/inference.hpp"
 #include "core/metrics.hpp"
@@ -52,6 +53,9 @@ int usage() {
                "[--record-every=N]\n"
                "           [--serialized]   (reference engine; default is the\n"
                "                             overlapped halo/compute pipeline)\n"
+               "           [--backend=fp32|int8]   (execution provider; int8\n"
+               "                             runs the quantized conv kernels,\n"
+               "                             see docs/performance.md)\n"
                "  info     --model=FILE | --data=FILE\n"
                "observability flags (any command; see docs/observability.md):\n"
                "  --trace=FILE      Chrome trace-event JSON of the run's spans\n"
@@ -317,6 +321,13 @@ int cmd_rollout(const util::Options& opts) {
                                ? RolloutEngine::kSerialized
                                : RolloutEngine::kOverlapped;
   rollout_options.record_every = opts.get_int("record-every", 1);
+  const std::string backend_name = opts.get_string("backend", "fp32");
+  rollout_options.backend = backend::by_name(backend_name);
+  if (rollout_options.backend == nullptr) {
+    std::fprintf(stderr, "unknown --backend=%s (fp32 or int8)\n",
+                 backend_name.c_str());
+    return 2;
+  }
   const auto result = parallel_rollout(config, checkpoint.report,
                                        dataset.frame(start), steps,
                                        rollout_options);
@@ -363,6 +374,7 @@ int cmd_rollout(const util::Options& opts) {
           .field("engine", rollout_options.engine == RolloutEngine::kSerialized
                                ? "serialized"
                                : "overlapped")
+          .field("backend", result.backend)
           .field("record_every",
                  static_cast<std::int64_t>(rollout_options.record_every))
           .field("recorded_frames",

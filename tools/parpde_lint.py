@@ -20,6 +20,12 @@ rule):
   include-hygiene  headers start with #pragma once; no relative-parent or
                    <bits/...> includes; a .cpp's first include is its own
                    header.
+  backend-bypass   compute call sites must go through the KernelBackend
+                   interface (src/backend/): direct free-function calls to
+                   the gemm/conv kernels outside the backend layer (and the
+                   kernel implementation files themselves) silently pin the
+                   caller to fp32 and skip the backend's telemetry/quantized
+                   dispatch.
   unbounded-halo-recv
                    inference-phase files may not block forever on halo
                    traffic: every receive on a halo tag must be the bounded
@@ -162,6 +168,7 @@ def rule_literal_tag(rel: str, code: str, out: list):
 
 DETERMINISTIC_DIRS = (
     "src/tensor/",
+    "src/backend/",
     "src/nn/",
     "src/core/",
     "src/domain/",
@@ -228,7 +235,7 @@ TRAINING_PHASE_FILES = (
     "src/core/parallel_trainer.hpp",
 )
 # Pure-compute layers: may not even include the message-passing substrate.
-COMPUTE_ONLY_DIRS = ("src/nn/", "src/tensor/", "src/data/")
+COMPUTE_ONLY_DIRS = ("src/nn/", "src/tensor/", "src/backend/", "src/data/")
 
 _COMM_USE = re.compile(
     r"(\.\s*(?:send_value|send_bytes|isend|send|irecv|recv_value|recv_bytes"
@@ -301,6 +308,44 @@ def rule_unbounded_halo_recv(rel: str, code: str, out: list):
                 "dead neighbour would hang the rollout forever; use "
                 "recv_for/recv_bytes_for with a timeout and degrade the "
                 "border (docs/robustness.md)",
+            )
+        )
+
+
+# --- rule: backend-bypass ----------------------------------------------------
+
+# Files allowed to name the raw kernels: the backend layer itself plus the
+# kernel implementation/declaration files it wraps.
+BACKEND_EXEMPT_PREFIXES = (
+    "src/backend/",
+    "src/tensor/gemm.",
+    "src/tensor/im2col.",
+    "src/nn/conv_ops.",
+)
+
+# Free-function (or namespace-qualified) calls only: the lookbehind rejects
+# `.gemm(` / `->gemm(` member calls, which are exactly the KernelBackend
+# interface invocations the rule wants call sites to use.
+_BACKEND_KERNEL_CALL = re.compile(
+    r"(?<![\w.>])"
+    r"(gemm|gemm_acc|gemm_at|gemm_bt_acc|conv2d_forward|conv2d_forward_batched"
+    r"|conv2d_backward_data|conv2d_backward_weights|conv2d_backward_batched)"
+    r"\s*\("
+)
+
+
+def rule_backend_bypass(rel: str, code: str, out: list):
+    if not rel.startswith("src/") or rel.startswith(BACKEND_EXEMPT_PREFIXES):
+        return
+    for m in _BACKEND_KERNEL_CALL.finditer(code):
+        out.append(
+            Violation(
+                "backend-bypass",
+                rel,
+                line_of(code, m.start()),
+                f"direct {m.group(1)}() call bypasses the KernelBackend "
+                "dispatch — route it through backend::blocked_f32() / the "
+                "plan's backend so int8 and telemetry keep working",
             )
         )
 
@@ -383,6 +428,7 @@ def lint_file(root: str, rel: str) -> list:
     rule_span_temporary(rel_posix, code, out)
     rule_zero_comm(rel_posix, code, code_includes, out)
     rule_unbounded_halo_recv(rel_posix, code, out)
+    rule_backend_bypass(rel_posix, code, out)
     rule_include_hygiene(rel_posix, code_includes, raw, out)
     return out
 
@@ -451,6 +497,24 @@ SEEDED_FILES = {
         "                       std::chrono::milliseconds(10), &out);\n"
         "}\n"
     ),
+    # backend-bypass: direct kernel calls outside the backend layer (one
+    # bare, one namespace-qualified) next to a legal member-call dispatch.
+    "src/core/bad_bypass.cpp": (
+        '#include "core/bad_bypass.hpp"\n'
+        "void f() {\n"
+        "  gemm(a, b, c, m, n, k);\n"
+        "  parpde::nn::conv2d_forward_batched(x, w, bias, pad, y, ws);\n"
+        "  parpde::backend::blocked_f32().gemm(a, b, c, m, n, k);  // fine\n"
+        "}\n"
+    ),
+    # backend layer itself may name the raw kernels.
+    "src/backend/ok_kernels.cpp": (
+        '#include "backend/ok_kernels.hpp"\n'
+        "void g() {\n"
+        "  gemm(a, b, c, m, n, k);\n"
+        "  conv2d_backward_weights(x, gy, pad, gw, col);\n"
+        "}\n"
+    ),
     # include-hygiene: missing pragma once, parent include, bits include.
     "src/util/bad_header.hpp": (
         "#include <vector>\n"
@@ -477,6 +541,7 @@ EXPECTED = {
     "zero-comm": {"src/core/parallel_trainer.cpp", "src/nn/bad_layer.cpp"},
     "unbounded-halo-recv": {"src/core/inference.cpp"},
     "include-hygiene": {"src/util/bad_header.hpp"},
+    "backend-bypass": {"src/core/bad_bypass.cpp"},
 }
 
 
@@ -517,6 +582,14 @@ def self_test() -> int:
             failures.append(
                 "unbounded-halo-recv: expected exactly 1 finding, got "
                 f"{len(unbounded)}"
+            )
+        # Exactly the two direct calls: the member-call dispatch on the same
+        # seed and the exempt backend-layer file must not be flagged.
+        bypass = [v for v in violations if v.rule == "backend-bypass"]
+        if len(bypass) != 2:
+            failures.append(
+                f"backend-bypass: expected exactly 2 findings, got "
+                f"{len(bypass)}"
             )
         if failures:
             print("parpde_lint self-test FAILED:", file=sys.stderr)
