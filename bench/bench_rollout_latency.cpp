@@ -225,6 +225,49 @@ int main(int argc, char** argv) {
     rows.push_back(row);
   }
 
+  // --- health-monitor overhead: the always-on monitor must cost < 2% per
+  // step. Same 2x2 overlapped rollout with the monitor off, then on; the
+  // difference in mean step time is the per-step NaN/Inf scan plus the
+  // per-strip interface-residual probes (docs/observability.md).
+  double health_overhead_pct = 0.0;
+  {
+    core::ParallelTrainReport report;
+    report.ranks = 4;
+    report.dims = parpde::mpi::dims_create(4);
+    const parpde::domain::Partition part(grid, grid, report.dims.px,
+                                         report.dims.py);
+    report.rank_outcomes.resize(4);
+    for (int r = 0; r < 4; ++r) {
+      auto& outcome = report.rank_outcomes[static_cast<std::size_t>(r)];
+      outcome.rank = r;
+      outcome.block = part.block_of_rank(r);
+      outcome.parameters = params;
+    }
+    const int total_steps = steps + warmup;
+    double mean_ms[2] = {0.0, 0.0};
+    for (int i = 0; i < 2; ++i) {
+      core::RolloutOptions ropts;
+      ropts.engine = core::RolloutEngine::kOverlapped;
+      ropts.record_every = record_every;
+      ropts.backend = bk;
+      ropts.monitor_health = i == 1;
+      std::fprintf(stderr, "2x2 overlapped, health monitor %s...\n",
+                   i == 1 ? "on" : "off");
+      mean_ms[i] =
+          summarize(core::parallel_rollout(cfg, report, initial, total_steps,
+                                           ropts),
+                    warmup)
+              .mean_ms;
+    }
+    health_overhead_pct = mean_ms[0] > 0.0
+                              ? (mean_ms[1] - mean_ms[0]) / mean_ms[0] * 100.0
+                              : 0.0;
+    std::fprintf(stderr,
+                 "health monitor: off %.3f ms | on %.3f ms | overhead "
+                 "%.2f%%\n",
+                 mean_ms[0], mean_ms[1], health_overhead_pct);
+  }
+
   const auto emit = [&](std::FILE* f) {
     std::fprintf(f,
                  "{\n"
@@ -236,8 +279,10 @@ int main(int argc, char** argv) {
                  "  \"record_every\": %d,\n"
                  "  \"backend\": \"%s\",\n"
                  "  \"network\": \"table1\",\n"
+                 "  \"health_overhead_pct\": %.2f,\n"
                  "  \"partitions\": [\n",
-                 grid, steps, warmup, threads, record_every, bk->name());
+                 grid, steps, warmup, threads, record_every, bk->name(),
+                 health_overhead_pct);
     for (std::size_t i = 0; i < rows.size(); ++i) {
       const Row& row = rows[i];
       std::fprintf(f,

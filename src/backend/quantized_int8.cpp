@@ -1,4 +1,5 @@
 #include <algorithm>
+#include <bit>
 #include <cmath>
 #include <cstring>
 #include <stdexcept>
@@ -226,11 +227,21 @@ thread_local util::AlignedVector<std::int32_t> t_qacc;
 // overlapped engine's interior/rim sub-tiles and the serialized full tile.
 void quantize_u8(const float* x, std::int64_t n, float inv_sx,
                  std::uint8_t* q) {
+  // Health monitor: values the uint8 clamp actually clipped. Counted per
+  // chunk into a thread-local accumulator, published once per chunk — the
+  // saturating pack stays branch-free and the clean path costs two compares
+  // per vector. Persistent saturation means the calibrated activation scale
+  // no longer covers the data (HealthReport::quant_saturations).
+  static telemetry::Counter& saturated =
+      telemetry::counter("backend.int8.saturated");
   util::ThreadPool::global().parallel_for(
       n, kQuantizeGrain, [&](std::int64_t b, std::int64_t e) {
+        std::uint64_t clipped = 0;
 #if defined(PARPDE_INT8_X86)
         const __m128 s = _mm_set1_ps(inv_sx);
         const __m128i zp = _mm_set1_epi32(128);
+        const __m128i lo = _mm_setzero_si128();
+        const __m128i hi = _mm_set1_epi32(255);
         std::int64_t i = b;
         for (; i + 16 <= e; i += 16) {
           const __m128i a0 = _mm_add_epi32(
@@ -244,20 +255,39 @@ void quantize_u8(const float* x, std::int64_t n, float inv_sx,
           _mm_storeu_si128(reinterpret_cast<__m128i*>(q + i),
                            _mm_packus_epi16(_mm_packs_epi32(a0, a1),
                                             _mm_packs_epi32(a2, a3)));
+          const __m128i bad01 = _mm_or_si128(
+              _mm_or_si128(_mm_cmplt_epi32(a0, lo), _mm_cmpgt_epi32(a0, hi)),
+              _mm_or_si128(_mm_cmplt_epi32(a1, lo), _mm_cmpgt_epi32(a1, hi)));
+          const __m128i bad23 = _mm_or_si128(
+              _mm_or_si128(_mm_cmplt_epi32(a2, lo), _mm_cmpgt_epi32(a2, hi)),
+              _mm_or_si128(_mm_cmplt_epi32(a3, lo), _mm_cmpgt_epi32(a3, hi)));
+          if (_mm_movemask_epi8(_mm_or_si128(bad01, bad23)) != 0) {
+            // Rare path: re-test each register to get an exact lane count.
+            const __m128i regs[4] = {a0, a1, a2, a3};
+            for (const __m128i& a : regs) {
+              const int mask = _mm_movemask_ps(_mm_castsi128_ps(_mm_or_si128(
+                  _mm_cmplt_epi32(a, lo), _mm_cmpgt_epi32(a, hi))));
+              clipped += static_cast<std::uint64_t>(
+                  std::popcount(static_cast<unsigned>(mask)));
+            }
+          }
         }
         for (; i < e; ++i) {
           const auto v = static_cast<std::int32_t>(
               static_cast<std::uint32_t>(_mm_cvtss_si32(
                   _mm_mul_ss(_mm_set_ss(x[i]), _mm_set_ss(inv_sx)))) +
               128u);
+          clipped += static_cast<std::uint64_t>(v < 0 || v > 255);
           q[i] = static_cast<std::uint8_t>(std::clamp<std::int32_t>(v, 0, 255));
         }
 #else
         for (std::int64_t i = b; i < e; ++i) {
           const long v = std::lrintf(x[i] * inv_sx) + 128;
+          clipped += static_cast<std::uint64_t>(v < 0 || v > 255);
           q[i] = static_cast<std::uint8_t>(std::clamp<long>(v, 0, 255));
         }
 #endif
+        if (clipped != 0) saturated.add(clipped);
       });
 }
 

@@ -1,6 +1,7 @@
 #include "core/inference.hpp"
 
 #include <algorithm>
+#include <cstring>
 #include <deque>
 #include <optional>
 #include <stdexcept>
@@ -54,6 +55,19 @@ void extract_window(const Tensor& src, std::int64_t y0, std::int64_t rows,
       d += cols;
     }
   }
+}
+
+// Health monitor: counts NaN/Inf floats via the exponent bits (all-ones
+// exponent = non-finite). Branch-free, no library calls, no allocation —
+// cheap enough to scan every rank's step output unconditionally.
+std::uint64_t count_nonfinite(const float* x, std::int64_t n) {
+  std::uint64_t bad = 0;
+  for (std::int64_t i = 0; i < n; ++i) {
+    std::uint32_t bits;
+    std::memcpy(&bits, &x[i], sizeof(bits));
+    bad += static_cast<std::uint64_t>((bits & 0x7f800000u) == 0x7f800000u);
+  }
+  return bad;
 }
 
 // Module-graph forward on a [C, bh, bw] tile (the plan-incompatible
@@ -142,6 +156,19 @@ RolloutResult parallel_rollout(const TrainConfig& config,
   std::vector<std::uint64_t> total_sent(static_cast<std::size_t>(ranks), 0);
   std::vector<std::uint64_t> total_recv(static_cast<std::size_t>(ranks), 0);
   std::vector<domain::BorderHealth> health(static_cast<std::size_t>(ranks));
+  std::vector<std::uint64_t> nonfinite(static_cast<std::size_t>(ranks), 0);
+  std::vector<int> first_bad_step(static_cast<std::size_t>(ranks), -1);
+
+  // The health monitor forwards the residual-probe switch into the halo
+  // exchange and takes the int8 saturation count as a counter delta around
+  // the whole run (quantize_u8 accounts per chunk into the global counter).
+  domain::HaloOptions halo_options = options.halo;
+  halo_options.probe_residuals = options.monitor_health;
+  static telemetry::Counter& saturated =
+      telemetry::counter("backend.int8.saturated");
+  static telemetry::Counter& nonfinite_counter =
+      telemetry::counter("health.nonfinite_values");
+  const std::uint64_t saturated_before = saturated.value();
 
   mpi::Environment env(ranks);
   env.run([&](mpi::Communicator& comm) {
@@ -195,7 +222,7 @@ RolloutResult parallel_rollout(const TrainConfig& config,
     }
     std::optional<domain::HaloExchange> exchange;
     if (halo > 0 && overlapped) {
-      exchange.emplace(cart, partition, halo, options.halo,
+      exchange.emplace(cart, partition, halo, halo_options,
                        &health[static_cast<std::size_t>(rank)]);
     }
     Tensor padded;                    // [c, bh + 2 halo, bw + 2 halo]
@@ -247,7 +274,10 @@ RolloutResult parallel_rollout(const TrainConfig& config,
           compute_timer.start();
           util::WallTimer overlap_timer;
           {
-            telemetry::Span forward_span("rollout.forward", "rollout");
+            // The halo-independent pass that hides the strip latency; the
+            // critical-path analyzer buckets it as interior compute.
+            telemetry::Span forward_span("rollout.forward.interior",
+                                         "rollout");
             mpi::PhaseScope forward_phase(comm, "rollout.forward",
                                           mpi::CommPolicy::kForbidden);
             const nn::ForwardPlan::Output out =
@@ -263,7 +293,8 @@ RolloutResult parallel_rollout(const TrainConfig& config,
         exchange_bytes_recv += comm.bytes_received() - recv_before;
         compute_timer.start();
         {
-          telemetry::Span forward_span("rollout.forward", "rollout");
+          telemetry::Span forward_span(
+              split ? "rollout.forward.rim" : "rollout.forward", "rollout");
           mpi::PhaseScope forward_phase(comm, "rollout.forward",
                                         mpi::CommPolicy::kForbidden);
           if (split) {
@@ -288,7 +319,7 @@ RolloutResult parallel_rollout(const TrainConfig& config,
         const std::uint64_t sent_before = comm.bytes_sent();
         const std::uint64_t recv_before = comm.bytes_received();
         Tensor input = domain::exchange_halo(
-            cart, partition, interior, halo, &comm_timer, options.halo,
+            cart, partition, interior, halo, &comm_timer, halo_options,
             &health[static_cast<std::size_t>(rank)]);
         exchange_bytes += comm.bytes_sent() - sent_before;
         exchange_bytes_recv += comm.bytes_received() - recv_before;
@@ -325,6 +356,22 @@ RolloutResult parallel_rollout(const TrainConfig& config,
           }
         }
         compute_timer.stop();
+      }
+
+      // Health monitor: scan this step's output for NaN/Inf. `interior`
+      // holds the freshly computed step on every engine path here. One pass
+      // over the rank's own tile, no allocation — the <2% overhead budget is
+      // verified by bench_rollout_latency's health section.
+      if (options.monitor_health) {
+        const std::uint64_t bad =
+            count_nonfinite(interior.data(), interior.size());
+        if (bad > 0) {
+          nonfinite[static_cast<std::size_t>(rank)] += bad;
+          nonfinite_counter.add(bad);
+          if (first_bad_step[static_cast<std::size_t>(rank)] < 0) {
+            first_bad_step[static_cast<std::size_t>(rank)] = step;
+          }
+        }
       }
 
       // Gather the predicted frame for validation/recording (not part of the
@@ -398,6 +445,15 @@ RolloutResult parallel_rollout(const TrainConfig& config,
       result.degraded_detail.push_back("rank " + std::to_string(r) + ": " +
                                        h.describe());
     }
+    result.health.nonfinite_values += nonfinite[static_cast<std::size_t>(r)];
+    const int bad_step = first_bad_step[static_cast<std::size_t>(r)];
+    if (bad_step >= 0 && (result.health.first_nonfinite_step < 0 ||
+                          bad_step < result.health.first_nonfinite_step)) {
+      result.health.first_nonfinite_step = bad_step;
+      result.health.first_nonfinite_rank = r;
+    }
+    result.health.max_interface_residual =
+        std::max(result.health.max_interface_residual, h.max_residual());
     result.comm_seconds =
         std::max(result.comm_seconds, comm_seconds[static_cast<std::size_t>(r)]);
     result.compute_seconds = std::max(
@@ -410,6 +466,8 @@ RolloutResult parallel_rollout(const TrainConfig& config,
     result.bytes_sent += total_sent[static_cast<std::size_t>(r)];
     result.bytes_received += total_recv[static_cast<std::size_t>(r)];
   }
+  result.health.quant_saturations = saturated.value() - saturated_before;
+  result.health.degraded_borders = result.degraded_borders;
   return result;
 }
 

@@ -54,6 +54,33 @@ struct RolloutOptions {
   // model (not deconv mode). Halo exchange always stages fp32 either way —
   // quantization is internal to the conv kernels, never on the wire.
   const backend::KernelBackend* backend = nullptr;
+  // Always-on health monitor (RolloutResult::health): per-step NaN/Inf scan
+  // of each rank's output, interface-residual probes at subdomain seams, and
+  // int8 saturation accounting. Zero allocations and <2% step overhead
+  // (measured in bench_rollout_latency); off only for overhead benchmarking.
+  bool monitor_health = true;
+};
+
+// Rollout health summary, populated whenever RolloutOptions::monitor_health
+// is set (the default). `parpde_cli rollout` prints it under --health-report
+// and exits nonzero when non-finite values appeared.
+struct HealthReport {
+  // Non-finite (NaN/Inf) values seen across all ranks' step outputs.
+  std::uint64_t nonfinite_values = 0;
+  // First step / rank where a non-finite value appeared (-1 = never).
+  int first_nonfinite_step = -1;
+  int first_nonfinite_rank = -1;
+  // Largest interface residual (mean |received halo line − adjacent interior
+  // line|) observed at any subdomain seam — the stitching-error gauge.
+  double max_interface_residual = 0.0;
+  // Int8 quantizer values that clipped at the uint8 clamp during this rollout
+  // (delta of the backend.int8.saturated counter). Persistent saturation
+  // means the calibrated activation scale no longer covers the data.
+  std::uint64_t quant_saturations = 0;
+  // Mirror of RolloutResult::degraded_borders for one-stop health checks.
+  int degraded_borders = 0;
+
+  [[nodiscard]] bool nonfinite() const { return first_nonfinite_step >= 0; }
 };
 
 struct RolloutResult {
@@ -90,6 +117,9 @@ struct RolloutResult {
   // step ran allocation-free; also exported as the
   // `inference.steady_state_allocs` telemetry counter.
   std::uint64_t steady_state_allocs = 0;
+  // Health-monitor summary (see HealthReport); all-zero when
+  // RolloutOptions::monitor_health was false.
+  HealthReport health;
 };
 
 // Multi-step rollout with the per-rank models of a ParallelTrainReport,

@@ -1,5 +1,6 @@
 #include "domain/exchange.hpp"
 
+#include <cmath>
 #include <stdexcept>
 
 #include "minimpi/tags.hpp"
@@ -74,6 +75,41 @@ void zero_region(Tensor& t, std::int64_t y0, std::int64_t hh, std::int64_t x0,
       std::fill(dst, dst + ww, 0.0f);
     }
   }
+}
+
+// Interface-residual probes for the health monitor: mean absolute difference
+// between two lines of a [C, h, w] tensor — the innermost received halo line
+// against the adjacent interior line. Zero when neighbouring surrogates agree
+// at the seam; growth across steps is the paper's stitching-error failure
+// mode surfacing before frames visibly tear.
+
+// Rows ya vs yb over x in [x0, x0 + len).
+double row_residual(const Tensor& t, std::int64_t ya, std::int64_t yb,
+                    std::int64_t x0, std::int64_t len) {
+  const auto c = t.dim(0), h = t.dim(1), w = t.dim(2);
+  double sum = 0.0;
+  for (std::int64_t ic = 0; ic < c; ++ic) {
+    const float* a = t.data() + (ic * h + ya) * w + x0;
+    const float* b = t.data() + (ic * h + yb) * w + x0;
+    for (std::int64_t i = 0; i < len; ++i) {
+      sum += std::fabs(static_cast<double>(a[i]) - static_cast<double>(b[i]));
+    }
+  }
+  return sum / static_cast<double>(c * len);
+}
+
+// Columns xa vs xb over all rows.
+double col_residual(const Tensor& t, std::int64_t xa, std::int64_t xb) {
+  const auto c = t.dim(0), h = t.dim(1), w = t.dim(2);
+  double sum = 0.0;
+  for (std::int64_t ic = 0; ic < c; ++ic) {
+    const float* base = t.data() + ic * h * w;
+    for (std::int64_t y = 0; y < h; ++y) {
+      sum += std::fabs(static_cast<double>(base[y * w + xa]) -
+                       static_cast<double>(base[y * w + xb]));
+    }
+  }
+  return sum / static_cast<double>(c * h);
 }
 
 // Copies all of `src` ([C, sh, sw]) into `dst` ([C, h, w]) at (y0, x0).
@@ -170,6 +206,8 @@ bool HaloExchange::robust_recv(mpi::Direction side,
   static telemetry::Histogram& retry_latency =
       telemetry::histogram("comm.retry_seconds");
   mpi::Communicator& comm = cart_.comm();
+  const std::int64_t stall_start =
+      telemetry::enabled() ? telemetry::now_us() : 0;
   util::WallTimer timer;
   int timeouts = 0;
   bool got = false;
@@ -190,7 +228,16 @@ bool HaloExchange::robust_recv(mpi::Direction side,
     retries.add(1);
   }
   if (comm_time != nullptr) comm_time->add(timer.seconds());
-  if (timeouts > 0) retry_latency.observe(timer.seconds());
+  if (timeouts > 0) {
+    retry_latency.observe(timer.seconds());
+    // Retroactive span covering the whole degraded wait, so the critical-path
+    // analyzer can attribute this slice of halo.finish to border trouble
+    // rather than ordinary receive wait.
+    if (telemetry::enabled()) {
+      telemetry::emit_span("halo.stall", "comm", stall_start,
+                           telemetry::now_us() - stall_start);
+    }
+  }
   if (got) return true;
   degrade(side, corrupt ? "strip failed its CRC envelope"
                         : "no strip within the retry budget (" +
@@ -263,14 +310,26 @@ void HaloExchange::finish(const Tensor& interior, Tensor& padded,
   copy_window(ext_x_, 0, halo_, interior);
   zero_region(ext_x_, 0, bh, 0, halo_);
   zero_region(ext_x_, 0, bh, halo_ + bw, halo_);
+  // Health monitor: gauge the seam mismatch of each received strip (innermost
+  // halo line vs the adjacent interior line). Only with a BorderHealth to
+  // record into — callers without a degradation story skip the probes.
+  static telemetry::Gauge& seam_gauge =
+      telemetry::gauge("halo.interface_residual");
+  const bool probe = health_ != nullptr && options_.probe_residuals;
+  const auto observe_seam = [this](double r) {
+    health_->observe_residual(r);
+    seam_gauge.set(r);
+  };
   if (live(mpi::Direction::kEast) &&
       robust_recv(mpi::Direction::kEast, comm_time)) {
     // East neighbour's west strip travelled west into our east halo.
     unpack_region(ext_x_, 0, bh, halo_ + bw, halo_, recv_strip_);
+    if (probe) observe_seam(col_residual(ext_x_, halo_ + bw, halo_ + bw - 1));
   }
   if (live(mpi::Direction::kWest) &&
       robust_recv(mpi::Direction::kWest, comm_time)) {
     unpack_region(ext_x_, 0, bh, 0, halo_, recv_strip_);
+    if (probe) observe_seam(col_residual(ext_x_, halo_ - 1, halo_));
   }
 
   // Phase 2: exchange south/north strips of the x-extended tensor, so the
@@ -294,10 +353,14 @@ void HaloExchange::finish(const Tensor& interior, Tensor& padded,
   if (live(mpi::Direction::kNorth) &&
       robust_recv(mpi::Direction::kNorth, comm_time)) {
     unpack_region(padded, halo_ + bh, halo_, 0, bw + 2 * halo_, recv_strip_);
+    if (probe) {
+      observe_seam(row_residual(padded, halo_ + bh, halo_ + bh - 1, halo_, bw));
+    }
   }
   if (live(mpi::Direction::kSouth) &&
       robust_recv(mpi::Direction::kSouth, comm_time)) {
     unpack_region(padded, 0, halo_, 0, bw + 2 * halo_, recv_strip_);
+    if (probe) observe_seam(row_residual(padded, halo_ - 1, halo_, halo_, bw));
   }
   halo_bytes.add(cart_.comm().bytes_sent() - bytes_before_);
   latency.observe(begin_seconds_ + finish_timer.seconds());

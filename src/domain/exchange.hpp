@@ -32,6 +32,10 @@ namespace parpde::domain {
 struct HaloOptions {
   std::chrono::milliseconds recv_timeout{250};  // per receive attempt
   int max_retries = 40;                         // attempts beyond the first
+  // Health monitor: gauge the interface residual (seam mismatch) of every
+  // received strip into BorderHealth. O(border length) per strip — cheap
+  // next to the O(area) forward pass; off only for overhead benchmarking.
+  bool probe_residuals = true;
 };
 
 // Sticky per-border degradation state of one rank, carried across rollout
@@ -59,8 +63,18 @@ class BorderHealth {
   // Compact label of the degraded borders, e.g. "E,N" ("" when healthy).
   [[nodiscard]] std::string describe() const;
 
+  // Health-monitor hook: records the interface residual of one received
+  // strip (mean |received − adjacent interior line|). A residual that grows
+  // across steps means the neighbouring subdomain's surrogate is diverging
+  // from this one at the seam — the paper's stitching-error failure mode.
+  void observe_residual(double r) {
+    if (r > max_residual_) max_residual_ = r;
+  }
+  [[nodiscard]] double max_residual() const noexcept { return max_residual_; }
+
  private:
   std::array<bool, 4> degraded_{};  // indexed by mpi::Direction
+  double max_residual_ = 0.0;
 };
 
 // Split halo exchange with persistent staging buffers, the building block of

@@ -25,6 +25,17 @@ void count_phase_message(const char* phase) {
       .add(1);
 }
 
+// Flow events bind on id+cat+name, so both ends derive the name from the tag
+// registry owner — the sender and receiver agree without shipping a string.
+constexpr const char* kFlowCategory = "flow";
+
+void close_flow(const Message& m) {
+  if (m.flow_id != 0) {
+    telemetry::record_flow_finish(tags::owner(m.tag), kFlowCategory,
+                                  m.flow_id);
+  }
+}
+
 }  // namespace
 
 Communicator::Communicator(int rank, int size, std::shared_ptr<SharedState> state)
@@ -101,6 +112,14 @@ void Communicator::send_bytes(int dest, int tag,
   m.tag = tag;
   m.elem_size = elem_size;
   m.payload.assign(payload.begin(), payload.end());
+  if (telemetry::enabled()) {
+    // Trace context: stamp a process-unique flow id and open the flow here;
+    // the matching receive closes it, drawing a cross-rank arrow in the
+    // merged trace. Stamped before fault injection so a dropped message
+    // shows up as an unterminated flow — which is exactly what happened.
+    m.flow_id = telemetry::next_flow_id();
+    telemetry::record_flow_start(tags::owner(tag), kFlowCategory, m.flow_id);
+  }
   bytes_sent_ += payload.size();
   ++messages_sent_;
   static telemetry::Counter& bytes = telemetry::counter("comm.bytes_sent");
@@ -127,6 +146,7 @@ void Communicator::send_bytes(int dest, int tag,
     }
     if (verdict.duplicate) {
       Message copy = m;
+      copy.flow_id = 0;  // keep flows 1:1 — the injected twin is untraced
       state_->mailboxes[static_cast<std::size_t>(dest)].push(std::move(copy));
     }
     state_->mailboxes[static_cast<std::size_t>(dest)].push(std::move(m));
@@ -177,6 +197,7 @@ RecvStatus Communicator::recv_bytes_for(int source, int tag,
   bytes.add(m.payload.size());
   msgs.add(1);
   count_tag_bytes("bytes_received", tag, m.payload.size());
+  close_flow(m);
   *out = std::move(m.payload);
   return RecvStatus::kOk;
 }
@@ -251,6 +272,7 @@ std::vector<std::byte> Communicator::recv_bytes(int source, int tag,
   bytes.add(m.payload.size());
   msgs.add(1);
   count_tag_bytes("bytes_received", tag, m.payload.size());
+  close_flow(m);
   return std::move(m.payload);
 }
 

@@ -30,6 +30,11 @@ struct Message {
   // only while fault injection is active (0 = unstamped). Lets receivers
   // detect injected bit corruption instead of consuming garbage tensors.
   std::uint32_t crc = 0;
+  // Trace context: process-unique flow id stamped by the sender while span
+  // tracing is enabled (0 = untraced). The receive side closes the flow, so
+  // the merged Chrome trace links each send span to its receive/unpack span
+  // across ranks (telemetry::record_flow_start/finish).
+  std::uint64_t flow_id = 0;
   std::vector<std::byte> payload;
 };
 

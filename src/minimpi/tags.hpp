@@ -44,12 +44,15 @@ inline constexpr TagRange kFieldScatter{4201, 1, "domain.field_scatter"};
 // euler/parallel_solver.cpp: per-field halo blocks (4 fields x stride 10,
 // direction offset 0..3 within each).
 inline constexpr TagRange kEulerHalo{8200, 40, "euler.halo"};
+// minimpi/environment.cpp: startup clock-offset handshake (probe + reply)
+// used to align per-rank trace timestamps while telemetry is enabled.
+inline constexpr TagRange kClockSync{4300, 2, "mpi.clocksync"};
 // minimpi/collectives.hpp: reserved block so collective traffic can never
 // match user point-to-point traffic.
 inline constexpr TagRange kCollectives{1 << 20, 8, "mpi.collectives"};
 
-inline constexpr std::array<TagRange, 5> kAllRanges{
-    kHalo, kFieldGather, kFieldScatter, kEulerHalo, kCollectives};
+inline constexpr std::array<TagRange, 6> kAllRanges{
+    kHalo, kFieldGather, kFieldScatter, kEulerHalo, kClockSync, kCollectives};
 
 // --- compile-time overlap detection -----------------------------------------
 

@@ -28,6 +28,8 @@ struct TraceEvent {
   std::int64_t dur_us;
   int rank;
   int tid;
+  char ph;                   // 'X' complete, 's' flow start, 'f' flow finish
+  std::uint64_t flow_id;     // nonzero only for flow events
 };
 
 // Per-thread event sink. Appends lock the buffer's own mutex (uncontended on
@@ -44,9 +46,13 @@ struct ThreadBuffer {
 constexpr std::size_t kMaxEventsPerThread = 1u << 20;
 
 struct TraceCollector {
-  std::mutex mu;  // guards `buffers` registration
+  std::mutex mu;  // guards `buffers` registration and `clock_offsets`
   std::vector<std::unique_ptr<ThreadBuffer>> buffers;
   std::atomic<std::uint64_t> dropped{0};
+  std::atomic<std::uint64_t> reentrant_drops{0};
+  // (rank, offset_us) pairs from the Environment clock handshake; applied as
+  // per-rank timestamp shifts when the trace is written.
+  std::vector<std::pair<int, std::int64_t>> clock_offsets;
 
   static TraceCollector& instance() {
     static TraceCollector* c = new TraceCollector;  // never destroyed: thread
@@ -66,17 +72,33 @@ struct TraceCollector {
   }
 };
 
+// Re-entrancy guard: recording an event must never recurse into recording
+// another (e.g. the comm validator emitting a span from inside a span flush).
+// Reentrant attempts are dropped and counted rather than deadlocking on the
+// per-thread buffer mutex.
+thread_local bool t_in_record = false;
+
 void record_event(std::string name, const char* category, std::int64_t ts_us,
-                  std::int64_t dur_us) {
+                  std::int64_t dur_us, char ph = 'X',
+                  std::uint64_t flow_id = 0) {
   auto& collector = TraceCollector::instance();
-  ThreadBuffer& buffer = collector.local();
-  std::lock_guard<std::mutex> lock(buffer.mu);
-  if (buffer.events.size() >= kMaxEventsPerThread) {
-    collector.dropped.fetch_add(1, std::memory_order_relaxed);
+  if (t_in_record) {
+    collector.reentrant_drops.fetch_add(1, std::memory_order_relaxed);
     return;
   }
-  buffer.events.push_back(TraceEvent{std::move(name), category, ts_us, dur_us,
-                                     t_rank, buffer.tid});
+  t_in_record = true;
+  ThreadBuffer& buffer = collector.local();
+  {
+    std::lock_guard<std::mutex> lock(buffer.mu);
+    if (buffer.events.size() >= kMaxEventsPerThread) {
+      collector.dropped.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      buffer.events.push_back(TraceEvent{std::move(name), category, ts_us,
+                                         dur_us, t_rank, buffer.tid, ph,
+                                         flow_id});
+    }
+  }
+  t_in_record = false;
 }
 
 }  // namespace
@@ -279,6 +301,60 @@ void Span::finish() noexcept {
                std::max<std::int64_t>(0, end_us - start_us_));
 }
 
+void emit_span(const char* name, const char* category, std::int64_t start_us,
+               std::int64_t dur_us) {
+  if (!enabled()) return;
+  record_event(name, category, start_us, std::max<std::int64_t>(0, dur_us));
+}
+
+// --- flow events -----------------------------------------------------------
+
+std::uint64_t next_flow_id() noexcept {
+  static std::atomic<std::uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+void record_flow_start(const char* name, const char* category,
+                       std::uint64_t flow_id) {
+  if (!enabled() || flow_id == 0) return;
+  record_event(name, category, now_us(), 0, 's', flow_id);
+}
+
+void record_flow_finish(const char* name, const char* category,
+                        std::uint64_t flow_id) {
+  if (!enabled() || flow_id == 0) return;
+  record_event(name, category, now_us(), 0, 'f', flow_id);
+}
+
+// --- clock alignment -------------------------------------------------------
+
+void set_rank_clock_offset(int rank, std::int64_t offset_us) {
+  auto& collector = TraceCollector::instance();
+  std::lock_guard<std::mutex> lock(collector.mu);
+  for (auto& [r, off] : collector.clock_offsets) {
+    if (r == rank) {
+      off = offset_us;
+      return;
+    }
+  }
+  collector.clock_offsets.emplace_back(rank, offset_us);
+}
+
+std::int64_t rank_clock_offset(int rank) {
+  auto& collector = TraceCollector::instance();
+  std::lock_guard<std::mutex> lock(collector.mu);
+  for (const auto& [r, off] : collector.clock_offsets) {
+    if (r == rank) return off;
+  }
+  return 0;
+}
+
+void clear_rank_clock_offsets() {
+  auto& collector = TraceCollector::instance();
+  std::lock_guard<std::mutex> lock(collector.mu);
+  collector.clock_offsets.clear();
+}
+
 void clear_trace() {
   auto& collector = TraceCollector::instance();
   std::lock_guard<std::mutex> registry_lock(collector.mu);
@@ -287,6 +363,7 @@ void clear_trace() {
     buffer->events.clear();
   }
   collector.dropped.store(0, std::memory_order_relaxed);
+  collector.reentrant_drops.store(0, std::memory_order_relaxed);
 }
 
 std::size_t trace_event_count() {
@@ -302,6 +379,11 @@ std::size_t trace_event_count() {
 
 std::uint64_t trace_dropped_events() {
   return TraceCollector::instance().dropped.load(std::memory_order_relaxed);
+}
+
+std::uint64_t trace_reentrant_drops() {
+  return TraceCollector::instance().reentrant_drops.load(
+      std::memory_order_relaxed);
 }
 
 bool write_chrome_trace(const std::string& path) {
@@ -326,6 +408,12 @@ bool write_chrome_trace(const std::string& path) {
     }
   }
   std::sort(ranks_seen.begin(), ranks_seen.end());
+  const auto offset_of = [&collector](int rank) -> std::int64_t {
+    for (const auto& [r, off] : collector.clock_offsets) {
+      if (r == rank) return off;
+    }
+    return 0;
+  };
   for (const int rank : ranks_seen) {
     const std::string label =
         rank < 0 ? "shared threads" : "rank " + std::to_string(rank);
@@ -334,21 +422,41 @@ bool write_chrome_trace(const std::string& path) {
                  "\"tid\":0,\"args\":{\"name\":\"%s\"}}",
                  first ? "" : ",", rank, label.c_str());
     first = false;
+    // Record the clock offset applied to this lane so downstream tools
+    // (tools/parpde_trace.py) know the timestamps are already rank-aligned.
+    std::fprintf(f,
+                 ",{\"ph\":\"M\",\"name\":\"clock_sync\",\"pid\":%d,"
+                 "\"tid\":0,\"args\":{\"offset_us\":%lld,\"applied\":true}}",
+                 rank, static_cast<long long>(offset_of(rank)));
   }
   for (auto& buffer : collector.buffers) {
     std::lock_guard<std::mutex> lock(buffer->mu);
     for (const auto& e : buffer->events) {
-      std::fprintf(f,
-                   "%s{\"ph\":\"X\",\"name\":\"%s\",\"cat\":\"%s\","
-                   "\"ts\":%lld,\"dur\":%lld,\"pid\":%d,\"tid\":%d}",
-                   first ? "" : ",", json_escape(e.name).c_str(), e.category,
-                   static_cast<long long>(e.ts_us),
-                   static_cast<long long>(e.dur_us), e.rank, e.tid);
+      const std::int64_t ts = e.ts_us + offset_of(e.rank);
+      if (e.ph == 'X') {
+        std::fprintf(f,
+                     "%s{\"ph\":\"X\",\"name\":\"%s\",\"cat\":\"%s\","
+                     "\"ts\":%lld,\"dur\":%lld,\"pid\":%d,\"tid\":%d}",
+                     first ? "" : ",", json_escape(e.name).c_str(), e.category,
+                     static_cast<long long>(ts),
+                     static_cast<long long>(e.dur_us), e.rank, e.tid);
+      } else {
+        // Flow events: "s" opens a flow at the send, "f" with bp:"e" closes
+        // it at the receive; Chrome/Perfetto bind the two on id+cat+name.
+        std::fprintf(f,
+                     "%s{\"ph\":\"%c\",%s\"name\":\"%s\",\"cat\":\"%s\","
+                     "\"id\":%llu,\"ts\":%lld,\"pid\":%d,\"tid\":%d}",
+                     first ? "" : ",", e.ph,
+                     e.ph == 'f' ? "\"bp\":\"e\"," : "",
+                     json_escape(e.name).c_str(), e.category,
+                     static_cast<unsigned long long>(e.flow_id),
+                     static_cast<long long>(ts), e.rank, e.tid);
+      }
       first = false;
     }
   }
   std::fputs("]}\n", f);
-  const bool ok = std::fflush(f) == 0;
+  const bool ok = std::fflush(f) == 0 && std::ferror(f) == 0;
   std::fclose(f);
   return ok;
 }
@@ -445,17 +553,28 @@ JsonObject& JsonObject::raw(const std::string& k, const std::string& json) {
 }
 
 JsonlWriter::JsonlWriter(const std::string& path)
-    : file_(std::fopen(path.c_str(), "w")) {}
+    : file_(std::fopen(path.c_str(), "w")), opened_(file_ != nullptr) {}
 
 JsonlWriter::~JsonlWriter() {
   if (file_ != nullptr) std::fclose(file_);
 }
 
 void JsonlWriter::write_line(const std::string& json) {
-  if (file_ == nullptr) return;
   std::lock_guard<std::mutex> lock(mu_);
-  std::fputs(json.c_str(), file_);
-  std::fputc('\n', file_);
+  if (file_ == nullptr) return;
+  if (std::fputs(json.c_str(), file_) < 0 || std::fputc('\n', file_) == EOF) {
+    error_ = true;
+  }
+}
+
+bool JsonlWriter::close() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (file_ != nullptr) {
+    if (std::fflush(file_) != 0 || std::ferror(file_) != 0) error_ = true;
+    if (std::fclose(file_) != 0) error_ = true;
+    file_ = nullptr;
+  }
+  return opened_ && !error_;
 }
 
 }  // namespace parpde::telemetry

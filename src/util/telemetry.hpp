@@ -3,7 +3,8 @@
 // Process-wide observability substrate: a thread-safe metrics registry
 // (monotonic counters, gauges, fixed-bucket histograms), an RAII scoped-span
 // tracer that emits Chrome trace-event JSON (chrome://tracing / Perfetto),
-// and small JSON/JSONL writers for the unified run report.
+// cross-rank flow events linking each message's send to its receive, and
+// small JSON/JSONL writers for the unified run report.
 //
 // Cost model: everything is off by default. A disabled Span costs one relaxed
 // atomic load and a branch; counters are a single relaxed fetch_add and are
@@ -11,6 +12,18 @@
 // tracing is off). Span streams are tagged pid=rank (set per thread by the
 // minimpi Environment via set_thread_rank) and tid=thread, so a multi-rank
 // run opens in Perfetto as one process lane per rank.
+//
+// Clock / epoch semantics: every timestamp is now_us() — microseconds since
+// one process-wide steady_clock epoch latched on first use. Because minimpi
+// ranks are threads of this process they physically share that epoch, but the
+// trace layer does NOT rely on it: mpi::Environment runs an NTP-style min-RTT
+// offset handshake against rank 0 at startup (while tracing is enabled) and
+// registers each rank's estimated offset here via set_rank_clock_offset.
+// write_chrome_trace shifts every event onto rank 0's timeline using those
+// offsets, so the merged trace stays causally aligned even if the substrate
+// is later backed by per-process clocks. All timing in src/ outside util/
+// must flow through now_us()/WallTimer (lint rule `raw-clock`) so this
+// alignment covers every recorded duration.
 //
 // Metric names are dotted paths ("gemm.flops", "comm.bytes_sent",
 // "halo.exchange_seconds"); the full catalogue lives in docs/observability.md.
@@ -48,7 +61,10 @@ void set_enabled(bool on) noexcept;
 void set_thread_rank(int rank) noexcept;
 [[nodiscard]] int thread_rank() noexcept;
 
-// Microseconds since the process-wide trace epoch (steady clock).
+// Microseconds since the process-wide trace epoch. The epoch is a steady
+// clock latched on first use; per-rank offsets registered through
+// set_rank_clock_offset are applied at write_chrome_trace time, so callers
+// always record raw local timestamps (see the epoch notes above).
 [[nodiscard]] std::int64_t now_us() noexcept;
 
 // --- metrics ---------------------------------------------------------------
@@ -201,6 +217,41 @@ class Span {
   std::string name_;
 };
 
+// Records a span retroactively from explicit timestamps (both in now_us()
+// units). Used where the span boundaries are only known after the fact, e.g.
+// the halo-stall window of a receive that timed out at least once. No-op
+// while tracing is disabled.
+void emit_span(const char* name, const char* category, std::int64_t start_us,
+               std::int64_t dur_us);
+
+// --- cross-rank flow events ------------------------------------------------
+
+// Process-unique, monotonically increasing flow id (>= 1; 0 means "no flow").
+// minimpi stamps one on every message envelope while tracing is enabled so
+// the trace can bind each send to its receive.
+[[nodiscard]] std::uint64_t next_flow_id() noexcept;
+
+// Records a Chrome flow-start ("ph":"s") / flow-finish ("ph":"f","bp":"e")
+// event at now_us() on the calling thread. `name`+`category` must match
+// between the two ends of a flow (Chrome binds on id+cat+name); minimpi uses
+// the tag-registry owner string as the name. No-ops while tracing is off.
+void record_flow_start(const char* name, const char* category,
+                       std::uint64_t flow_id);
+void record_flow_finish(const char* name, const char* category,
+                        std::uint64_t flow_id);
+
+// --- cross-rank clock alignment --------------------------------------------
+
+// Registers rank `rank`'s estimated clock offset relative to rank 0
+// (offset_us = rank0_now − rank_now at the same instant). Applied as a
+// per-rank timestamp shift when the trace is written and emitted as
+// "clock_sync" metadata. Installed by mpi::Environment's startup handshake.
+void set_rank_clock_offset(int rank, std::int64_t offset_us);
+[[nodiscard]] std::int64_t rank_clock_offset(int rank);
+void clear_rank_clock_offsets();
+
+// --- trace buffer management -----------------------------------------------
+
 // Discards all collected trace events (keeps thread buffers registered).
 void clear_trace();
 
@@ -210,9 +261,14 @@ void clear_trace();
 // Events discarded because a thread buffer hit its cap.
 [[nodiscard]] std::uint64_t trace_dropped_events();
 
+// Events dropped because recording re-entered itself on one thread (e.g. an
+// instrumented subsystem called back into telemetry from inside a record).
+[[nodiscard]] std::uint64_t trace_reentrant_drops();
+
 // Writes the collected spans as one Chrome trace JSON object
-// ({"traceEvents":[...]}) with per-rank process lanes. Returns false if the
-// file cannot be opened.
+// ({"traceEvents":[...]}) with per-rank process lanes, per-rank clock offsets
+// applied, and flow events binding sends to receives. Returns false if the
+// file cannot be opened or a write fails.
 bool write_chrome_trace(const std::string& path);
 
 // --- JSON helpers ----------------------------------------------------------
@@ -249,11 +305,22 @@ class JsonlWriter {
   JsonlWriter(const JsonlWriter&) = delete;
   JsonlWriter& operator=(const JsonlWriter&) = delete;
 
-  [[nodiscard]] bool ok() const noexcept { return file_ != nullptr; }
+  // True while the file opened successfully and no write has failed since.
+  [[nodiscard]] bool ok() const noexcept {
+    return file_ != nullptr && !error_;
+  }
   void write_line(const std::string& json);
+
+  // Flushes and closes the file; returns false if the open, any write, or
+  // the final flush failed. Idempotent (repeat calls return the first
+  // verdict). The destructor closes without reporting — call close() when
+  // the caller must surface write failures (parpde_cli does).
+  bool close();
 
  private:
   std::FILE* file_ = nullptr;
+  bool error_ = false;
+  bool opened_ = false;
   std::mutex mu_;
 };
 

@@ -1,0 +1,243 @@
+#!/usr/bin/env python3
+"""parpde-bench-gate: regression gate over the checked-in bench baselines.
+
+Compares a freshly produced BENCH_rollout.json / BENCH_quant.json against the
+snapshots in bench/baselines/ and fails (exit 1) when a key figure regressed.
+
+Two kinds of fields are gated differently:
+
+  ratios     speedup, overlap_efficiency, quant speedup, health overhead,
+             error budgets, allocation counts. These are machine-portable
+             (both sides of each ratio ran on the same machine), so they are
+             gated everywhere, including CI.
+  absolute   p50/mean step milliseconds. Only meaningful against a baseline
+             recorded on the same machine — CI runners are too noisy — so
+             the throughput gate (>20% regression on mean step time) only
+             runs under --absolute.
+
+Ratios are still shape-dependent (a tiny grid hides less halo latency behind
+less compute), so the gate refuses to compare runs whose bench flags differ
+from the baseline's. The checked-in baselines are recorded at the CI
+perf-smoke shape (grid=64, steps=8, warmup=2, threads=1); regenerate with
+
+  bench_rollout_latency --grid=64 --steps=8 --warmup=2 --backend=fp32
+  tools/bench_gate.py --update
+
+Usage:
+  tools/bench_gate.py [--baseline-dir bench/baselines]
+                      [--rollout BENCH_rollout.json] [--quant BENCH_quant.json]
+                      [--absolute] [--tolerance 0.20]
+  tools/bench_gate.py --update   rewrite the baselines from the given files
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+
+def load(path: str) -> dict:
+    with open(path, "r", encoding="utf-8") as f:
+        return json.load(f)
+
+
+def partition(doc: dict, ranks: int) -> dict:
+    for p in doc.get("partitions", []):
+        if p.get("ranks") == ranks:
+            return p
+    raise KeyError(f"no {ranks}-rank partition in BENCH_rollout.json")
+
+
+class Gate:
+    def __init__(self, tolerance: float):
+        self.tolerance = tolerance
+        self.failures: list = []
+        self.checked = 0
+
+    def ratio_floor(self, label: str, current: float, baseline: float):
+        """A ratio (bigger is better) may not drop more than tolerance below
+        the baseline."""
+        self.checked += 1
+        floor = baseline * (1.0 - self.tolerance)
+        if current < floor:
+            self.failures.append(
+                f"{label}: {current:.4f} fell below {floor:.4f} "
+                f"(baseline {baseline:.4f} - {self.tolerance * 100:.0f}%)"
+            )
+
+    def ceiling(self, label: str, current: float, limit: float):
+        """An absolute cost (smaller is better) against a fixed limit."""
+        self.checked += 1
+        if current > limit:
+            self.failures.append(f"{label}: {current:.4f} exceeds {limit:.4f}")
+
+    def exact(self, label: str, current, expected):
+        self.checked += 1
+        if current != expected:
+            self.failures.append(f"{label}: {current!r}, expected {expected!r}")
+
+    def time_regression(self, label: str, current: float, baseline: float):
+        """Mean step time (smaller is better) may not grow more than
+        tolerance over the baseline. --absolute only."""
+        self.checked += 1
+        limit = baseline * (1.0 + self.tolerance)
+        if current > limit:
+            self.failures.append(
+                f"{label}: {current:.4f} ms exceeds {limit:.4f} ms "
+                f"(baseline {baseline:.4f} + {self.tolerance * 100:.0f}%)"
+            )
+
+
+def shape_matches(gate: Gate, label: str, current: dict, baseline: dict,
+                  keys: tuple) -> bool:
+    """Comparing ratios across different bench shapes is meaningless; demand
+    identical flags and point at --update when they drifted."""
+    mismatched = [
+        f"{k}: {current.get(k)!r} vs baseline {baseline.get(k)!r}"
+        for k in keys
+        if current.get(k) != baseline.get(k)
+    ]
+    if mismatched:
+        gate.failures.append(
+            f"{label}: bench shape differs from baseline "
+            f"({'; '.join(mismatched)}) — rerun with the baseline's flags or "
+            "refresh the snapshots with --update"
+        )
+        return False
+    return True
+
+
+def gate_rollout(gate: Gate, current: dict, baseline: dict, absolute: bool):
+    if not shape_matches(
+        gate,
+        "rollout",
+        current,
+        baseline,
+        ("grid", "steps", "warmup", "threads", "record_every", "backend"),
+    ):
+        return
+    for ranks in (4, 16):
+        try:
+            cur = partition(current, ranks)
+            base = partition(baseline, ranks)
+        except KeyError as e:
+            gate.failures.append(str(e))
+            continue
+        label = f"rollout[{ranks} ranks]"
+        gate.ratio_floor(
+            f"{label}.speedup", cur.get("speedup", 0.0), base.get("speedup", 0.0)
+        )
+        gate.ratio_floor(
+            f"{label}.overlap_efficiency",
+            cur.get("overlap_efficiency", 0.0),
+            base.get("overlap_efficiency", 0.0),
+        )
+        gate.exact(
+            f"{label}.overlapped.steady_state_allocs",
+            cur.get("overlapped", {}).get("steady_state_allocs"),
+            0,
+        )
+        if absolute:
+            gate.time_regression(
+                f"{label}.overlapped.mean_ms",
+                cur.get("overlapped", {}).get("mean_ms", 0.0),
+                base.get("overlapped", {}).get("mean_ms", 0.0),
+            )
+    # The always-on health monitor's acceptance bound is < 2% locally; CI
+    # gates a looser 25% because sub-ms step times on shared runners put a
+    # few percent of noise on every run.
+    limit = 2.0 if absolute else 25.0
+    gate.ceiling(
+        "rollout.health_overhead_pct",
+        current.get("health_overhead_pct", 0.0),
+        limit,
+    )
+
+
+def gate_quant(gate: Gate, current: dict, baseline: dict, absolute: bool):
+    if not shape_matches(
+        gate,
+        "quant",
+        current,
+        baseline,
+        ("grid", "steps", "warmup", "threads", "ranks", "engine"),
+    ):
+        return
+    gate.ratio_floor(
+        "quant.speedup", current.get("speedup", 0.0), baseline.get("speedup", 0.0)
+    )
+    gate.ceiling(
+        "quant.max_rel_l2",
+        current.get("max_rel_l2", 1.0),
+        current.get("error_budget", 5e-2),
+    )
+    gate.exact("quant.within_budget", current.get("within_budget"), True)
+    if absolute:
+        gate.time_regression(
+            "quant.int8.mean_ms",
+            current.get("int8", {}).get("mean_ms", 0.0),
+            baseline.get("int8", {}).get("mean_ms", 0.0),
+        )
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    parser.add_argument(
+        "--baseline-dir", default=os.path.join(root, "bench", "baselines")
+    )
+    parser.add_argument("--rollout", default="BENCH_rollout.json")
+    parser.add_argument("--quant", default="BENCH_quant.json")
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.20,
+        help="allowed relative regression (0.20 = 20%%)",
+    )
+    parser.add_argument(
+        "--absolute",
+        action="store_true",
+        help="also gate absolute step times (same-machine baselines only)",
+    )
+    parser.add_argument(
+        "--update",
+        action="store_true",
+        help="rewrite the baseline snapshots from the given bench files",
+    )
+    args = parser.parse_args()
+
+    pairs = [
+        (args.rollout, os.path.join(args.baseline_dir, "BENCH_rollout.json")),
+        (args.quant, os.path.join(args.baseline_dir, "BENCH_quant.json")),
+    ]
+
+    if args.update:
+        os.makedirs(args.baseline_dir, exist_ok=True)
+        for src, dst in pairs:
+            doc = load(src)
+            with open(dst, "w", encoding="utf-8") as f:
+                json.dump(doc, f, indent=2, sort_keys=True)
+                f.write("\n")
+            print(f"baseline updated: {dst}")
+        return 0
+
+    gate = Gate(args.tolerance)
+    gate_rollout(gate, load(args.rollout), load(pairs[0][1]), args.absolute)
+    gate_quant(gate, load(args.quant), load(pairs[1][1]), args.absolute)
+
+    if gate.failures:
+        print("bench_gate FAILED:", file=sys.stderr)
+        for failure in gate.failures:
+            print(f"  {failure}", file=sys.stderr)
+        return 1
+    print(
+        f"bench_gate passed: {gate.checked} figure(s) within "
+        f"{args.tolerance * 100:.0f}% of baseline"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -56,12 +56,20 @@ int usage() {
                "           [--backend=fp32|int8]   (execution provider; int8\n"
                "                             runs the quantized conv kernels,\n"
                "                             see docs/performance.md)\n"
+               "           [--health-report]   (print the rollout health\n"
+               "                             summary: NaN/Inf, seam residuals,\n"
+               "                             int8 saturation, degradations)\n"
                "  info     --model=FILE | --data=FILE\n"
                "observability flags (any command; see docs/observability.md):\n"
-               "  --trace=FILE      Chrome trace-event JSON of the run's spans\n"
+               "  --trace=FILE      Chrome trace-event JSON of the run's spans,\n"
+               "                    with cross-rank flow arrows on every halo\n"
+               "                    message (analyze with tools/parpde_trace.py)\n"
                "  --metrics=FILE    JSONL run report (per rank per epoch +\n"
                "                    summary with comm/compute split)\n"
                "  --log-level=debug|info|warn|error   (or PARPDE_LOG_LEVEL)\n"
+               "exit codes: 0 ok | 1 runtime error | 2 usage | 3 requested\n"
+               "  --trace/--metrics file could not be written | 4 rollout\n"
+               "  produced non-finite values\n"
                "robustness (see docs/robustness.md):\n"
                "  PARPDE_FAULT env  seeded fault plan (message drop/delay/dup/\n"
                "                    corrupt, rank kill); train checkpoints +\n"
@@ -155,13 +163,16 @@ TrainConfig config_from_options(const util::Options& opts,
 // Unified per-rank run report: one JSONL record per rank per epoch, a
 // per-rank comm summary, and a final record with the comm/compute split plus
 // the registry counters (gemm flops, pool activity, traffic totals).
-void write_train_metrics(const std::string& path,
+// Returns false when the report could not be opened or fully written — the
+// caller turns that into exit code 3 (a run report the user asked for but
+// never got is a failed run, not a warning).
+bool write_train_metrics(const std::string& path,
                          const ParallelTrainReport& report) {
   telemetry::JsonlWriter writer(path);
   if (!writer.ok()) {
-    std::fprintf(stderr, "warning: cannot open --metrics file %s\n",
+    std::fprintf(stderr, "error: cannot open --metrics file %s\n",
                  path.c_str());
-    return;
+    return false;
   }
   std::uint64_t sent_total = 0;
   std::uint64_t recv_total = 0;
@@ -201,7 +212,13 @@ void write_train_metrics(const std::string& path,
       .raw("retrained_ranks", json_int_array(report.retrained_ranks))
       .raw("metrics", registry.metrics_json());
   writer.write_line(summary.str());
+  if (!writer.close()) {
+    std::fprintf(stderr, "error: failed writing --metrics file %s\n",
+                 path.c_str());
+    return false;
+  }
   std::printf("wrote run report to %s\n", path.c_str());
+  return true;
 }
 
 int cmd_train(const util::Options& opts) {
@@ -251,12 +268,15 @@ int cmd_train(const util::Options& opts) {
     std::printf("retrained after rank failure: %s (see docs/robustness.md)\n",
                 list.c_str());
   }
+  bool metrics_ok = true;
   if (opts.has("metrics")) {
-    write_train_metrics(opts.get_string("metrics", ""), report);
+    metrics_ok = write_train_metrics(opts.get_string("metrics", ""), report);
   }
+  // The ensemble is saved even when the run report failed — the training is
+  // not lost — but the exit code still reports the observability failure.
   save_ensemble(out, make_checkpoint(config, report));
   std::printf("saved ensemble to %s\n", out.c_str());
-  return 0;
+  return metrics_ok ? 0 : 3;
 }
 
 // Rebuilds the minimal TrainConfig inference needs from a checkpoint.
@@ -357,6 +377,26 @@ int cmd_rollout(const util::Options& opts) {
       std::fprintf(stderr, "  %s\n", line.c_str());
     }
   }
+  const HealthReport& health = result.health;
+  if (opts.get_bool("health-report", false)) {
+    util::Table health_table({"health check", "value"});
+    health_table.add_row(
+        {"non-finite values", std::to_string(health.nonfinite_values)});
+    health_table.add_row(
+        {"first non-finite step",
+         health.first_nonfinite_step < 0
+             ? "-"
+             : std::to_string(health.first_nonfinite_step) + " (rank " +
+                   std::to_string(health.first_nonfinite_rank) + ")"});
+    health_table.add_row({"max interface residual",
+                          util::Table::fmt_sci(health.max_interface_residual)});
+    health_table.add_row(
+        {"int8 saturated values", std::to_string(health.quant_saturations)});
+    health_table.add_row(
+        {"degraded borders", std::to_string(health.degraded_borders)});
+    health_table.print("rollout health:");
+  }
+  int rc = 0;
   if (opts.has("metrics")) {
     telemetry::JsonlWriter writer(opts.get_string("metrics", ""));
     if (writer.ok()) {
@@ -390,12 +430,34 @@ int cmd_rollout(const util::Options& opts) {
           .field("bytes_received_total", result.bytes_received)
           .field("degraded_borders",
                  static_cast<std::int64_t>(result.degraded_borders))
-          .raw("degraded_detail", json_string_array(result.degraded_detail))
-          .raw("metrics", telemetry::Registry::global().metrics_json());
+          .raw("degraded_detail", json_string_array(result.degraded_detail));
+      telemetry::JsonObject health_json;
+      health_json
+          .field("nonfinite_values",
+                 static_cast<std::int64_t>(health.nonfinite_values))
+          .field("first_nonfinite_step",
+                 static_cast<std::int64_t>(health.first_nonfinite_step))
+          .field("first_nonfinite_rank",
+                 static_cast<std::int64_t>(health.first_nonfinite_rank))
+          .field("max_interface_residual", health.max_interface_residual)
+          .field("quant_saturations",
+                 static_cast<std::int64_t>(health.quant_saturations))
+          .field("degraded_borders",
+                 static_cast<std::int64_t>(health.degraded_borders));
+      summary.raw("health", health_json.str());
+      const std::string trace_path = opts.get_string("trace", "");
+      if (!trace_path.empty()) summary.field("trace_file", trace_path);
+      summary.raw("metrics", telemetry::Registry::global().metrics_json());
       writer.write_line(summary.str());
+      if (!writer.close()) {
+        std::fprintf(stderr, "error: failed writing --metrics file %s\n",
+                     opts.get_string("metrics", "").c_str());
+        rc = 3;
+      }
     } else {
-      std::fprintf(stderr, "warning: cannot open --metrics file %s\n",
+      std::fprintf(stderr, "error: cannot open --metrics file %s\n",
                    opts.get_string("metrics", "").c_str());
+      rc = 3;
     }
   }
   if (opts.get_bool("render", false) && !result.frames.empty()) {
@@ -405,7 +467,17 @@ int cmd_rollout(const util::Options& opts) {
                                 " steps")
                             .c_str());
   }
-  return 0;
+  // Non-finite values mean every frame after first_nonfinite_step is garbage;
+  // that must not look like a successful rollout to scripts.
+  if (health.nonfinite()) {
+    std::fprintf(stderr,
+                 "error: rollout produced %llu non-finite value(s), first at "
+                 "step %d on rank %d (run with --health-report for details)\n",
+                 static_cast<unsigned long long>(health.nonfinite_values),
+                 health.first_nonfinite_step, health.first_nonfinite_rank);
+    return 4;
+  }
+  return rc;
 }
 
 int cmd_info(const util::Options& opts) {
@@ -483,7 +555,18 @@ int main(int argc, char** argv) {
   }
 
   const std::string trace_path = opts.get_string("trace", "");
-  if (!trace_path.empty()) telemetry::set_enabled(true);
+  if (!trace_path.empty()) {
+    // Fail fast when the trace destination is unwritable: finding out after
+    // the run would silently throw the whole trace away.
+    std::FILE* probe = std::fopen(trace_path.c_str(), "w");
+    if (probe == nullptr) {
+      std::fprintf(stderr, "error: cannot open --trace file %s\n",
+                   trace_path.c_str());
+      return 3;
+    }
+    std::fclose(probe);
+    telemetry::set_enabled(true);
+  }
 
   int rc;
   try {
@@ -499,8 +582,9 @@ int main(int argc, char** argv) {
                   "https://ui.perfetto.dev)\n",
                   telemetry::trace_event_count(), trace_path.c_str());
     } else {
-      std::fprintf(stderr, "warning: cannot write --trace file %s\n",
+      std::fprintf(stderr, "error: cannot write --trace file %s\n",
                    trace_path.c_str());
+      if (rc == 0) rc = 3;
     }
   }
   return rc;

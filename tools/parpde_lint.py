@@ -33,6 +33,11 @@ rule):
                    border instead of hanging the rollout. Blocking receives
                    on the registry's rendezvous tags (field gather/scatter)
                    are allowlisted.
+  raw-clock        src/ outside util/ may not call std::chrono clocks
+                   directly: all timing must flow through
+                   telemetry::now_us()/util::WallTimer so cross-rank trace
+                   timestamps share one epoch and stay clock-offset
+                   correctable (docs/observability.md).
 
 Usage:
   tools/parpde_lint.py [--root DIR]   lint the tree (exit 1 on violations)
@@ -312,6 +317,34 @@ def rule_unbounded_halo_recv(rel: str, code: str, out: list):
         )
 
 
+# --- rule: raw-clock ---------------------------------------------------------
+
+# Timestamps must share the telemetry epoch (telemetry::now_us(), offset by
+# the clock-sync handshake at trace-write time). A raw steady_clock::now()
+# outside util/ produces spans/timers that cannot be aligned across ranks.
+RAW_CLOCK_EXEMPT_PREFIX = "src/util/"
+
+_RAW_CLOCK = re.compile(
+    r"\b(steady_clock|high_resolution_clock|system_clock)\s*::\s*now\s*\("
+)
+
+
+def rule_raw_clock(rel: str, code: str, out: list):
+    if not rel.startswith("src/") or rel.startswith(RAW_CLOCK_EXEMPT_PREFIX):
+        return
+    for m in _RAW_CLOCK.finditer(code):
+        out.append(
+            Violation(
+                "raw-clock",
+                rel,
+                line_of(code, m.start()),
+                f"direct {m.group(1)}::now() outside src/util/ — use "
+                "telemetry::now_us() or util::WallTimer so timestamps stay "
+                "on the rank-aligned trace epoch (docs/observability.md)",
+            )
+        )
+
+
 # --- rule: backend-bypass ----------------------------------------------------
 
 # Files allowed to name the raw kernels: the backend layer itself plus the
@@ -428,6 +461,7 @@ def lint_file(root: str, rel: str) -> list:
     rule_span_temporary(rel_posix, code, out)
     rule_zero_comm(rel_posix, code, code_includes, out)
     rule_unbounded_halo_recv(rel_posix, code, out)
+    rule_raw_clock(rel_posix, code, out)
     rule_backend_bypass(rel_posix, code, out)
     rule_include_hygiene(rel_posix, code_includes, raw, out)
     return out
@@ -515,6 +549,25 @@ SEEDED_FILES = {
         "  conv2d_backward_weights(x, gy, pad, gw, col);\n"
         "}\n"
     ),
+    # raw-clock: two raw chrono clocks outside util/ (each flagged) next to
+    # the sanctioned telemetry::now_us() call (not flagged).
+    "src/core/bad_clock.cpp": (
+        '#include "core/bad_clock.hpp"\n'
+        "#include <chrono>\n"
+        "long f() {\n"
+        "  auto t0 = std::chrono::steady_clock::now();\n"
+        "  auto t1 = std::chrono::system_clock::now();\n"
+        "  return telemetry::now_us();\n"
+        "}\n"
+    ),
+    # util/ owns the epoch, so it may touch the raw clock.
+    "src/util/ok_clock.cpp": (
+        '#include "util/ok_clock.hpp"\n'
+        "#include <chrono>\n"
+        "long g() {\n"
+        "  return std::chrono::steady_clock::now().time_since_epoch().count();\n"
+        "}\n"
+    ),
     # include-hygiene: missing pragma once, parent include, bits include.
     "src/util/bad_header.hpp": (
         "#include <vector>\n"
@@ -542,6 +595,7 @@ EXPECTED = {
     "unbounded-halo-recv": {"src/core/inference.cpp"},
     "include-hygiene": {"src/util/bad_header.hpp"},
     "backend-bypass": {"src/core/bad_bypass.cpp"},
+    "raw-clock": {"src/core/bad_clock.cpp"},
 }
 
 
@@ -582,6 +636,14 @@ def self_test() -> int:
             failures.append(
                 "unbounded-halo-recv: expected exactly 1 finding, got "
                 f"{len(unbounded)}"
+            )
+        # Exactly the two raw clocks: the telemetry::now_us() call on the
+        # same seed and the exempt util/ file must not be flagged.
+        raw_clock = [v for v in violations if v.rule == "raw-clock"]
+        if len(raw_clock) != 2:
+            failures.append(
+                f"raw-clock: expected exactly 2 findings, got "
+                f"{len(raw_clock)}"
             )
         # Exactly the two direct calls: the member-call dispatch on the same
         # seed and the exempt backend-layer file must not be flagged.
