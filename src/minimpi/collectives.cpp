@@ -4,6 +4,7 @@
 #include <string>
 
 #include "minimpi/validate.hpp"
+#include "verify/schedule.hpp"
 
 namespace parpde::mpi {
 
@@ -11,10 +12,18 @@ void barrier(Communicator& comm) {
   SharedState& state = comm.shared();
   std::unique_lock<std::mutex> lock(state.barrier_mutex);
   const std::uint64_t generation = state.barrier_generation;
+  if (verify::active()) {
+    verify::hook_barrier_arrive(comm.rank(), generation, state.barrier_arrived,
+                                comm.size());
+  }
   if (++state.barrier_arrived == comm.size()) {
     state.barrier_arrived = 0;
     ++state.barrier_generation;
     state.barrier_cv.notify_all();
+    if (verify::active()) {
+      lock.unlock();
+      verify::hook_barrier_exit(comm.rank(), generation);
+    }
     return;
   }
   if (validate::enabled()) {
@@ -34,10 +43,18 @@ void barrier(Communicator& comm) {
       validate::emit_report(report);
       throw validate::DeadlockError(report);
     }
+    if (verify::active()) {
+      lock.unlock();
+      verify::hook_barrier_exit(comm.rank(), generation);
+    }
     return;
   }
   state.barrier_cv.wait(
       lock, [&] { return state.barrier_generation != generation; });
+  if (verify::active()) {
+    lock.unlock();
+    verify::hook_barrier_exit(comm.rank(), generation);
+  }
 }
 
 }  // namespace parpde::mpi

@@ -277,11 +277,11 @@ std::vector<std::byte> Communicator::recv_bytes(int source, int tag,
 }
 
 bool Communicator::probe(int source, int tag) {
-  Message m;
+  // A peek, not a pop/re-push round trip: re-pushing would move the probed
+  // message behind later arrivals of its own channel, silently breaking the
+  // non-overtaking guarantee whenever more than one message is queued.
   Mailbox& box = state_->mailboxes[static_cast<std::size_t>(rank_)];
-  if (!box.try_pop_matching(source, tag, &m)) return false;
-  box.push(std::move(m));  // put it back; probe is non-destructive
-  return true;
+  return box.contains(source, tag);
 }
 
 }  // namespace parpde::mpi

@@ -55,7 +55,11 @@ struct PendingRecv {
 struct SharedState {
   explicit SharedState(int size)
       : mailboxes(static_cast<std::size_t>(size)),
-        pending_recvs(static_cast<std::size_t>(size)) {}
+        pending_recvs(static_cast<std::size_t>(size)) {
+    for (int r = 0; r < size; ++r) {
+      mailboxes[static_cast<std::size_t>(r)].set_owner(r);
+    }
+  }
 
   std::vector<Mailbox> mailboxes;
 

@@ -14,6 +14,7 @@
 #include "minimpi/tags.hpp"
 #include "minimpi/validate.hpp"
 #include "util/telemetry.hpp"
+#include "verify/schedule.hpp"
 
 namespace parpde::mpi {
 
@@ -114,6 +115,9 @@ Environment::Environment(int size) : size_(size) {
 RunOutcome Environment::run_impl(const std::function<void(Communicator&)>& fn,
                                  bool collect_failures) const {
   auto state = std::make_shared<SharedState>(size_);
+  // parpde-mc: size the vector clocks (and pick up PARPDE_SCHEDULE on the
+  // first run of the process) before any rank can touch a mailbox.
+  verify::hook_run_begin(size_);
   RunOutcome outcome;
   outcome.ranks.resize(static_cast<std::size_t>(size_));
   std::vector<std::exception_ptr> errors(static_cast<std::size_t>(size_));
@@ -124,6 +128,7 @@ RunOutcome Environment::run_impl(const std::function<void(Communicator&)>& fn,
       // Telemetry spans emitted from this thread land in the per-rank trace
       // lane (pid = rank in the Chrome trace).
       telemetry::set_thread_rank(r);
+      verify::hook_thread_rank(r);
       telemetry::Span span("mpi.rank", "mpi");
       try {
         Communicator comm(r, size_, state);

@@ -35,6 +35,10 @@ struct Message {
   // the merged Chrome trace links each send span to its receive/unpack span
   // across ranks (telemetry::record_flow_start/finish).
   std::uint64_t flow_id = 0;
+  // parpde-mc envelope: the sender's vector clock at send time, stamped only
+  // while a verification schedule is installed (src/verify/schedule.hpp).
+  // Empty (no allocation) otherwise.
+  std::vector<std::uint32_t> vclock;
   std::vector<std::byte> payload;
 };
 
@@ -65,6 +69,15 @@ class Mailbox {
   // Non-blocking variant; returns false if no matching message is queued.
   bool try_pop_matching(int source, int tag, Message* out);
 
+  // Non-destructive probe: whether a matching message is queued. Unlike a
+  // pop/re-push round trip this cannot reorder the queue.
+  [[nodiscard]] bool contains(int source, int tag) const;
+
+  // The rank whose inbox this is; lets the parpde-mc scheduler key delivery
+  // decisions and receive audits by destination. Set once by SharedState.
+  void set_owner(int rank) noexcept { owner_ = rank; }
+  [[nodiscard]] int owner() const noexcept { return owner_; }
+
   // Number of queued (undelivered) messages; used by shutdown sanity checks.
   [[nodiscard]] std::size_t pending() const;
 
@@ -75,9 +88,14 @@ class Mailbox {
   // Finds the first queued index matching the criteria, or npos.
   [[nodiscard]] std::size_t find_locked(int source, int tag) const;
 
+  // Collects the queued messages matching (source|kAnySource, tag) for the
+  // parpde-mc order-sensitivity audit. Must hold mutex_.
+  void audit_match_locked(int source, int tag, std::size_t chosen_idx) const;
+
   mutable std::mutex mutex_;
   std::condition_variable cv_;
   std::deque<Message> queue_;
+  int owner_ = -1;
 };
 
 }  // namespace parpde::mpi

@@ -1,6 +1,7 @@
 #include "util/thread_pool.hpp"
 
 #include "util/telemetry.hpp"
+#include "verify/schedule.hpp"
 
 #include <algorithm>
 #include <condition_variable>
@@ -29,6 +30,9 @@ struct ThreadPool::Impl {
     std::int64_t next = 0;    // first unclaimed index (guarded by mu)
     std::int64_t active = 0;  // chunks currently executing (guarded by mu)
     std::exception_ptr error;  // first failure, rethrown on the caller
+    // parpde-mc job id (0 = no schedule installed): chunk claims are hashed
+    // into the schedule trace and may be jittered (verify/schedule.hpp).
+    std::uint64_t verify_id = 0;
 
     [[nodiscard]] bool exhausted() const { return next >= n; }
     [[nodiscard]] bool finished() const { return exhausted() && active == 0; }
@@ -49,6 +53,7 @@ struct ThreadPool::Impl {
     job.next = end;
     ++job.active;
     lock.unlock();
+    if (job.verify_id != 0) verify::hook_pool_chunk(job.verify_id, begin);
     static telemetry::Counter& chunks = telemetry::counter("pool.chunks");
     chunks.add(1);
     telemetry::Span span("pool.chunk", "pool");
@@ -140,6 +145,7 @@ void ThreadPool::parallel_for(std::int64_t n, std::int64_t grain,
   job.body = &body;
   job.n = n;
   job.chunk = (n + max_chunks - 1) / max_chunks;
+  if (verify::active()) job.verify_id = verify::hook_pool_job_begin();
 
   static telemetry::Counter& loops = telemetry::counter("pool.parallel_for");
   static telemetry::Gauge& depth = telemetry::gauge("pool.queue_depth");

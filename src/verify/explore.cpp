@@ -1,0 +1,191 @@
+#include "verify/explore.hpp"
+
+#ifndef PARPDE_VERIFY_OFF
+
+#include <algorithm>
+#include <exception>
+#include <set>
+#include <utility>
+
+namespace parpde::verify {
+
+namespace {
+
+// RAII: whatever happens inside the oracle, the schedule comes back out.
+struct Installed {
+  explicit Installed(Schedule s) { install(std::move(s)); }
+  ~Installed() { uninstall(); }
+  Installed(const Installed&) = delete;
+  Installed& operator=(const Installed&) = delete;
+};
+
+// One shrink trial: does the oracle still diverge under `s`?
+bool diverges(const Oracle& oracle, std::uint64_t reference_hash,
+              const Schedule& s) {
+  Installed guard(s);
+  try {
+    return oracle() != reference_hash;
+  } catch (const std::exception&) {
+    return true;
+  }
+}
+
+}  // namespace
+
+ExploreResult explore(const Oracle& oracle, const ExploreOptions& options) {
+  ExploreResult res;
+  const int max_runs =
+      options.max_runs > 0 ? options.max_runs : 4 * options.target_distinct;
+
+  // Reference run: schedule installed but inert (p=0, no yields), so the
+  // trace signature machinery observes the baseline interleaving too.
+  Schedule ref;
+  ref.seed = options.base_seed;
+  ref.perturb_pct = 0;
+  ref.yields = false;
+  std::set<std::uint64_t> signatures;
+  {
+    Installed guard(ref);
+    try {
+      res.reference_hash = oracle();
+    } catch (const std::exception& e) {
+      res.failed = true;
+      res.failure = std::string("reference run failed: ") + e.what();
+      res.failing_schedule = ref;
+      return res;
+    }
+    const RunReport rep = report();
+    signatures.insert(rep.trace_hash);
+    res.order_sensitive += rep.order_sensitive;
+  }
+  res.runs = 1;
+  res.distinct = static_cast<int>(signatures.size());
+
+  for (int i = 1; res.runs < max_runs && res.distinct < options.target_distinct;
+       ++i) {
+    Schedule s;
+    s.seed = options.base_seed + static_cast<std::uint64_t>(i);
+    s.perturb_pct = options.perturb_pct;
+    s.yields = options.yields;
+    Installed guard(s);
+    std::uint64_t hash = 0;
+    try {
+      hash = oracle();
+    } catch (const std::exception& e) {
+      res.failed = true;
+      res.failure = e.what();
+      res.failing_schedule = s;
+      ++res.runs;
+      return res;
+    }
+    const RunReport rep = report();
+    ++res.runs;
+    signatures.insert(rep.trace_hash);
+    res.distinct = static_cast<int>(signatures.size());
+    res.order_sensitive += rep.order_sensitive;
+    res.perturbed += rep.perturbed;
+    if (hash != res.reference_hash) {
+      res.failed = true;
+      res.failure = "output diverged from reference (bit-identity violated)";
+      res.failing_schedule = s;
+      return res;
+    }
+  }
+  return res;
+}
+
+ShrinkResult shrink(const Oracle& oracle, std::uint64_t reference_hash,
+                    const Schedule& failing, int max_trials) {
+  ShrinkResult out;
+  out.schedule = failing;
+
+  // Re-run the failing schedule to (a) confirm it replays and (b) collect
+  // the delivery keys whose perturbation actually reordered something.
+  std::vector<std::uint64_t> keys;
+  {
+    Installed guard(failing);
+    bool reproduced = false;
+    try {
+      reproduced = oracle() != reference_hash;
+    } catch (const std::exception&) {
+      reproduced = true;
+    }
+    keys = report().fired_keys;
+    ++out.trials;
+    if (!reproduced) return out;  // flaky beyond our schedule control
+  }
+  out.reproduced = true;
+  std::sort(keys.begin(), keys.end());
+  keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
+
+  // Pin the fired keys as an explicit replay set; drop yield jitter if the
+  // divergence survives without it (it should: only deliveries mutate state).
+  Schedule base = failing;
+  base.yields = false;
+  base.only = keys;
+  ++out.trials;
+  if (!diverges(oracle, reference_hash, base)) {
+    base.yields = failing.yields;
+    ++out.trials;
+    if (!diverges(oracle, reference_hash, base)) {
+      return out;  // not expressible as a pure delivery replay; keep original
+    }
+  }
+  out.schedule = base;
+
+  auto trial = [&](const std::vector<std::uint64_t>& subset) {
+    Schedule t = base;
+    t.only = subset;
+    ++out.trials;
+    return diverges(oracle, reference_hash, t);
+  };
+
+  // Fast path: a single culprit key is the common case for an order bug.
+  std::vector<std::uint64_t> cur = base.only;
+  for (const std::uint64_t k : cur) {
+    if (out.trials >= max_trials) break;
+    if (trial({k})) {
+      out.schedule.only = {k};
+      return out;
+    }
+  }
+
+  // ddmin: split into n chunks, keep any failing chunk or failing complement.
+  std::size_t n = 2;
+  while (cur.size() >= 2 && n <= cur.size() && out.trials < max_trials) {
+    const std::size_t chunk = (cur.size() + n - 1) / n;
+    bool reduced = false;
+    for (std::size_t start = 0; start < cur.size() && out.trials < max_trials;
+         start += chunk) {
+      const std::size_t stop = std::min(cur.size(), start + chunk);
+      std::vector<std::uint64_t> subset(cur.begin() + start,
+                                        cur.begin() + stop);
+      if (trial(subset)) {
+        cur = std::move(subset);
+        n = 2;
+        reduced = true;
+        break;
+      }
+      std::vector<std::uint64_t> complement;
+      complement.reserve(cur.size() - subset.size());
+      complement.insert(complement.end(), cur.begin(), cur.begin() + start);
+      complement.insert(complement.end(), cur.begin() + stop, cur.end());
+      if (!complement.empty() && trial(complement)) {
+        cur = std::move(complement);
+        n = std::max<std::size_t>(2, n - 1);
+        reduced = true;
+        break;
+      }
+    }
+    if (!reduced) {
+      if (n >= cur.size()) break;
+      n = std::min(cur.size(), n * 2);
+    }
+  }
+  out.schedule.only = cur;
+  return out;
+}
+
+}  // namespace parpde::verify
+
+#endif  // PARPDE_VERIFY_OFF

@@ -1,0 +1,69 @@
+#pragma once
+
+// parpde-mc exploration driver: runs an invariant oracle under many seeded
+// schedules, prunes equivalent interleavings by their happens-before trace
+// signature (DPOR-lite), and on failure shrinks to a minimal replayable
+// PARPDE_SCHEDULE spec (ddmin over the fired delivery-perturbation keys).
+//
+// An Oracle runs one complete scenario (a rollout, a training epoch, a
+// checkpoint/kill/resume cycle) under whatever schedule is currently
+// installed and returns a hash of every output that must be bit-identical
+// across schedules. It throws on any protocol failure — deadlock (the
+// validator watchdog converts hangs into validate::DeadlockError), mailbox
+// leak, corrupt result. Oracles must be rerunnable: explore() and shrink()
+// call them dozens to hundreds of times.
+//
+// Not compiled under -DPARPDE_VERIFY=OFF (the whole verify subsystem is
+// absent from that build).
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "verify/schedule.hpp"
+
+namespace parpde::verify {
+
+using Oracle = std::function<std::uint64_t()>;
+
+struct ExploreOptions {
+  std::uint64_t base_seed = 1;
+  int target_distinct = 50;  // stop once this many distinct traces were seen
+  int max_runs = 0;          // hard run cap; 0 = 4 * target_distinct
+  int perturb_pct = 60;
+  bool yields = true;
+};
+
+struct ExploreResult {
+  int runs = 0;              // oracle executions (including the reference)
+  int distinct = 0;          // vector-clock-distinct schedules observed
+  std::uint64_t reference_hash = 0;
+  std::uint64_t order_sensitive = 0;  // summed across runs
+  std::uint64_t perturbed = 0;        // delivery reorderings applied, summed
+  bool failed = false;
+  std::string failure;       // what() / mismatch description
+  Schedule failing_schedule;  // meaningful iff failed
+};
+
+// Runs the oracle once unperturbed (seed=base_seed, p=0, no yields) to
+// establish the reference output hash, then under seeded perturbation
+// schedules until target_distinct distinct trace signatures were explored or
+// max_runs is exhausted. Stops at the first divergence: an oracle exception
+// or an output hash differing from the reference.
+ExploreResult explore(const Oracle& oracle, const ExploreOptions& options);
+
+struct ShrinkResult {
+  Schedule schedule;   // minimal reproducing spec (replay via `only=` keys)
+  int trials = 0;      // oracle executions spent shrinking
+  bool reproduced = false;  // false: the failure did not replay at all
+};
+
+// Minimizes a failing schedule: re-runs it to collect the delivery keys that
+// actually fired, pins them as an `only=` replay set, and ddmin-reduces that
+// set to a minimal subset that still makes the oracle diverge from
+// `reference_hash`. Yield jitter is dropped first — a reproduction that
+// survives on delivery reordering alone is the strongest possible replay.
+ShrinkResult shrink(const Oracle& oracle, std::uint64_t reference_hash,
+                    const Schedule& failing, int max_trials = 64);
+
+}  // namespace parpde::verify

@@ -1,0 +1,93 @@
+#pragma once
+
+// Vector clocks for the parpde-mc happens-before auditor (docs/
+// static-analysis.md, "schedule-space model checking"). One component per
+// rank; an event on rank r ticks component r, and receiving a message joins
+// the sender's clock at send time. Two events are concurrent iff neither
+// clock dominates the other — the condition under which their relative order
+// is a genuine scheduling degree of freedom rather than a consequence of the
+// program.
+//
+// Clocks grow on demand (ensure) so the scheduler can stamp events before it
+// knows the final rank count, and comparisons treat missing components as 0.
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace parpde::verify {
+
+// a[i] <= b[i] for every component (missing components read as 0).
+inline bool clock_leq(const std::vector<std::uint32_t>& a,
+                      const std::vector<std::uint32_t>& b) {
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const std::uint32_t bi = i < b.size() ? b[i] : 0;
+    if (a[i] > bi) return false;
+  }
+  return true;
+}
+
+// Neither clock dominates the other: the stamped events are concurrent.
+inline bool clocks_concurrent(const std::vector<std::uint32_t>& a,
+                              const std::vector<std::uint32_t>& b) {
+  return !clock_leq(a, b) && !clock_leq(b, a);
+}
+
+class VectorClock {
+ public:
+  VectorClock() = default;
+  explicit VectorClock(std::size_t ranks) : c_(ranks, 0) {}
+
+  void ensure(std::size_t ranks) {
+    if (c_.size() < ranks) c_.resize(ranks, 0);
+  }
+
+  // Local event on rank `r`.
+  void tick(std::size_t r) {
+    ensure(r + 1);
+    ++c_[r];
+  }
+
+  // Receive edge: component-wise max with the sender's clock.
+  void join(const std::vector<std::uint32_t>& other) {
+    ensure(other.size());
+    for (std::size_t i = 0; i < other.size(); ++i) {
+      c_[i] = std::max(c_[i], other[i]);
+    }
+  }
+  void join(const VectorClock& other) { join(other.c_); }
+
+  [[nodiscard]] std::uint32_t at(std::size_t r) const {
+    return r < c_.size() ? c_[r] : 0;
+  }
+  [[nodiscard]] const std::vector<std::uint32_t>& components() const {
+    return c_;
+  }
+
+  // this happened-before (or equals) other.
+  [[nodiscard]] bool leq(const VectorClock& other) const {
+    return clock_leq(c_, other.c_);
+  }
+  [[nodiscard]] bool concurrent_with(const VectorClock& other) const {
+    return clocks_concurrent(c_, other.c_);
+  }
+  [[nodiscard]] bool happens_before(const VectorClock& other) const {
+    return leq(other) && !other.leq(*this);
+  }
+
+  [[nodiscard]] std::string describe() const {
+    std::string s = "[";
+    for (std::size_t i = 0; i < c_.size(); ++i) {
+      if (i != 0) s += ",";
+      s += std::to_string(c_[i]);
+    }
+    return s + "]";
+  }
+
+ private:
+  std::vector<std::uint32_t> c_;
+};
+
+}  // namespace parpde::verify

@@ -7,8 +7,10 @@
 #   * tsan:  ThreadSanitizer over the mini-MPI runtime and the intra-rank
 #            thread pool — the tests that exercise cross-thread mailboxes,
 #            collectives, concurrent rank training, the blocked GEMM's
-#            parallel_for fan-out, and the overlapped rollout engine's
-#            begin/finish halo split (bit-identity under races).
+#            parallel_for fan-out, the overlapped rollout engine's
+#            begin/finish halo split (bit-identity under races), the
+#            cross-rank trace collector's concurrent event buffers, and the
+#            int8 quantized rollout path.
 #   * asan:  Address+UB sanitizers over the full ctest suite, with
 #            PARPDE_CHECKED_TENSOR=ON so every Tensor access is also
 #            bounds- and rank-checked, plus a second pass over the `chaos`
@@ -37,9 +39,9 @@ cmake -S "$root" -B "$build_root/tsan" \
 cmake --build "$build_root/tsan" -j "$jobs" --target \
   test_minimpi_p2p test_minimpi_collectives test_minimpi_collectives2 \
   test_minimpi_cart test_gemm_blocked test_core_parallel test_fault \
-  test_rollout_overlap >/dev/null
+  test_rollout_overlap test_trace test_quant_rollout >/dev/null
 (cd "$build_root/tsan" && ctest --output-on-failure -R \
-  'test_minimpi_p2p|test_minimpi_collectives|test_minimpi_collectives2|test_minimpi_cart|test_gemm_blocked|test_core_parallel|test_fault|test_rollout_overlap')
+  'test_minimpi_p2p|test_minimpi_collectives|test_minimpi_collectives2|test_minimpi_cart|test_gemm_blocked|test_core_parallel|test_fault|test_rollout_overlap|test_trace|test_quant_rollout')
 
 echo "== Address/UB sanitizer + checked tensor accessors: full test suite =="
 cmake -S "$root" -B "$build_root/asan" \

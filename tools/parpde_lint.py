@@ -38,6 +38,12 @@ rule):
                    telemetry::now_us()/util::WallTimer so cross-rank trace
                    timestamps share one epoch and stay clock-offset
                    correctable (docs/observability.md).
+  lock-held-comm   no blocking send/recv/recv_for/collective while a
+                   lock_guard/unique_lock/scoped_lock is live in an enclosing
+                   scope: a peer blocked on the same mutex can never complete
+                   the matching operation, so one adversarial schedule turns
+                   the call into a deadlock (parpde-mc explores exactly those
+                   schedules; this rule catches the pattern statically).
 
 Usage:
   tools/parpde_lint.py [--root DIR]   lint the tree (exit 1 on violations)
@@ -383,6 +389,73 @@ def rule_backend_bypass(rel: str, code: str, out: list):
         )
 
 
+# --- rule: lock-held-comm ----------------------------------------------------
+
+# The transport layer itself (mailbox/collectives implement the blocking
+# operations under their own mutexes) and util/ (no communicator access) own
+# their locking discipline; everywhere else, holding a lock across a blocking
+# communication is a deadlock waiting for the right schedule.
+LOCK_COMM_EXEMPT_PREFIXES = ("src/minimpi/", "src/util/", "src/verify/")
+
+_LOCK_DECL = re.compile(
+    r"\b(?:std::)?(?:lock_guard|unique_lock|scoped_lock)\s*"
+    r"(?:<[^<>;]*>)?\s+(\w+)\s*[({]"
+)
+_LOCK_RELEASE = re.compile(r"\b(\w+)\s*\.\s*unlock\s*\(")
+# Blocking operations only: member sends/receives (bounded recv_for included —
+# 200ms under a contended lock is still a stall the pool can observe) and the
+# free-function collectives, every one a rendezvous.
+_LOCKED_COMM_CALL = re.compile(
+    r"\.\s*(send_value|send_bytes|send|recv_value|recv_bytes_for|recv_bytes"
+    r"|recv_for|recv)\s*(?:<[^<>()]*>)?\s*\("
+    r"|\b(allreduce|allgather|bcast|reduce|sendrecv|barrier)\s*"
+    r"(?:<[^<>()]*>)?\s*\("
+)
+
+
+def rule_lock_held_comm(rel: str, code: str, out: list):
+    if not rel.startswith("src/") or rel.startswith(LOCK_COMM_EXEMPT_PREFIXES):
+        return
+    events = []
+    for i, ch in enumerate(code):
+        if ch == "{":
+            events.append((i, "open", None))
+        elif ch == "}":
+            events.append((i, "close", None))
+    for m in _LOCK_DECL.finditer(code):
+        events.append((m.start(), "lock", m.group(1)))
+    for m in _LOCK_RELEASE.finditer(code):
+        events.append((m.start(), "release", m.group(1)))
+    for m in _LOCKED_COMM_CALL.finditer(code):
+        events.append((m.start(), "comm", m.group(1) or m.group(2)))
+    events.sort(key=lambda e: e[0])
+
+    depth = 0
+    live = []  # (brace depth at declaration, variable name)
+    for off, kind, name in events:
+        if kind == "open":
+            depth += 1
+        elif kind == "close":
+            depth -= 1
+            live = [(d, n) for d, n in live if d <= depth]
+        elif kind == "lock":
+            live.append((depth, name))
+        elif kind == "release":
+            live = [(d, n) for d, n in live if n != name]
+        elif kind == "comm" and live:
+            out.append(
+                Violation(
+                    "lock-held-comm",
+                    rel,
+                    line_of(code, off),
+                    f"blocking {name}() while '{live[-1][1]}' is held — a "
+                    "schedule where the peer needs the same lock to reach "
+                    "its matching call deadlocks; release the lock before "
+                    "communicating (parpde-mc hunts exactly these schedules)",
+                )
+            )
+
+
 # --- rule: include-hygiene ---------------------------------------------------
 
 _INCLUDE = re.compile(r'#\s*include\s+(["<][^">]+[">])')
@@ -463,6 +536,7 @@ def lint_file(root: str, rel: str) -> list:
     rule_unbounded_halo_recv(rel_posix, code, out)
     rule_raw_clock(rel_posix, code, out)
     rule_backend_bypass(rel_posix, code, out)
+    rule_lock_held_comm(rel_posix, code, out)
     rule_include_hygiene(rel_posix, code_includes, raw, out)
     return out
 
@@ -568,6 +642,32 @@ SEEDED_FILES = {
         "  return std::chrono::steady_clock::now().time_since_epoch().count();\n"
         "}\n"
     ),
+    # lock-held-comm: a send under lock_guard and a collective under
+    # unique_lock (both flagged) next to an unlock-before-recv and a
+    # scope-closed lock (both fine).
+    "src/domain/bad_lock_comm.cpp": (
+        '#include "domain/bad_lock_comm.hpp"\n'
+        "void f(parpde::mpi::Communicator& comm) {\n"
+        "  std::lock_guard<std::mutex> lock(mu);\n"
+        "  comm.send<float>(1, parpde::mpi::tags::kHalo.base, data);\n"
+        "}\n"
+        "void g(parpde::mpi::Communicator& comm) {\n"
+        "  std::unique_lock<std::mutex> lock(mu);\n"
+        "  lock.unlock();\n"
+        "  auto v = comm.recv<float>(0, parpde::mpi::tags::kHalo.base);\n"
+        "}\n"
+        "void h(parpde::mpi::Communicator& comm) {\n"
+        "  {\n"
+        "    std::scoped_lock guard(mu);\n"
+        "    counter += 1;\n"
+        "  }\n"
+        "  mpi::barrier(comm);\n"
+        "}\n"
+        "void k(parpde::mpi::Communicator& comm) {\n"
+        "  std::unique_lock<std::mutex> lock(mu);\n"
+        "  mpi::barrier(comm);\n"
+        "}\n"
+    ),
     # include-hygiene: missing pragma once, parent include, bits include.
     "src/util/bad_header.hpp": (
         "#include <vector>\n"
@@ -596,6 +696,7 @@ EXPECTED = {
     "include-hygiene": {"src/util/bad_header.hpp"},
     "backend-bypass": {"src/core/bad_bypass.cpp"},
     "raw-clock": {"src/core/bad_clock.cpp"},
+    "lock-held-comm": {"src/domain/bad_lock_comm.cpp"},
 }
 
 
@@ -652,6 +753,14 @@ def self_test() -> int:
             failures.append(
                 f"backend-bypass: expected exactly 2 findings, got "
                 f"{len(bypass)}"
+            )
+        # Exactly the held-lock send and the held-lock barrier: the
+        # unlock-first and closed-scope functions in the same seed are legal.
+        locked = [v for v in violations if v.rule == "lock-held-comm"]
+        if len(locked) != 2:
+            failures.append(
+                f"lock-held-comm: expected exactly 2 findings, got "
+                f"{len(locked)}"
             )
         if failures:
             print("parpde_lint self-test FAILED:", file=sys.stderr)
