@@ -1,0 +1,180 @@
+// Elastic recovery microbenchmark (docs/robustness.md, "Recovery protocol"):
+// kills rank 1 at a step boundary of a 4-rank elastic rollout and measures
+// how fast the survivors notice (heartbeat-lease detection latency) and how
+// fast they heal (rebalance + adoption + state rollback). Also re-checks the
+// two acceptance properties around the numbers: the healed run's frames are
+// bit-identical to an undisturbed rollout of the same ensemble, and no
+// border stays degraded once adoption finishes. Emits one JSON object on
+// stdout and writes it to BENCH_recovery.json (progress on stderr); the
+// lease configuration is embedded so tools/bench_gate.py can gate the
+// detection latency against the budget the run actually used.
+//
+//   bench_recovery [--grid G] [--steps N] [--kill-step S] [--lease-ms N]
+//                  [--missed-leases N] [--threads N] [--out FILE]
+
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <string>
+
+#include "core/config.hpp"
+#include "core/inference.hpp"
+#include "core/model.hpp"
+#include "core/trainer.hpp"
+#include "domain/partition.hpp"
+#include "minimpi/cart.hpp"
+#include "minimpi/fault.hpp"
+#include "util/options.hpp"
+#include "util/random.hpp"
+#include "util/thread_pool.hpp"
+
+namespace {
+
+using parpde::Tensor;
+namespace core = parpde::core;
+
+bool frames_bit_identical(const core::RolloutResult& a,
+                          const core::RolloutResult& b) {
+  if (a.frames.size() != b.frames.size()) return false;
+  for (std::size_t k = 0; k < a.frames.size(); ++k) {
+    const Tensor& fa = a.frames[k];
+    const Tensor& fb = b.frames[k];
+    if (fa.size() != fb.size()) return false;
+    if (std::memcmp(fa.data(), fb.data(),
+                    static_cast<std::size_t>(fa.size()) * sizeof(float)) != 0) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const parpde::util::Options opts(argc, argv);
+  const auto grid = static_cast<std::int64_t>(opts.get_int("grid", 64));
+  const int steps = opts.get_int("steps", 8);
+  const int kill_step = opts.get_int("kill-step", steps / 2);
+  const int lease_ms = opts.get_int("lease-ms", 25);
+  const int missed_leases = opts.get_int("missed-leases", 8);
+  const int threads = opts.get_int("threads", 1);
+  const std::string out_path = opts.get_string("out", "BENCH_recovery.json");
+  parpde::util::ThreadPool::configure_global(threads);
+
+  // Untrained Table-I weights: recovery timing does not depend on where the
+  // parameters came from, and skipping training keeps the bench seconds-fast.
+  core::TrainConfig cfg;
+  cfg.border = core::BorderMode::kHaloPad;
+  core::NetworkTrainer reference(cfg, 0);
+  const auto params = core::export_parameters(reference.model());
+  core::ParallelTrainReport report;
+  report.ranks = 4;
+  report.dims = parpde::mpi::dims_create(4);
+  const parpde::domain::Partition part(grid, grid, report.dims.px,
+                                       report.dims.py);
+  report.rank_outcomes.resize(4);
+  for (int r = 0; r < 4; ++r) {
+    auto& outcome = report.rank_outcomes[static_cast<std::size_t>(r)];
+    outcome.rank = r;
+    outcome.block = part.block_of_rank(r);
+    outcome.parameters = params;
+  }
+  Tensor initial({4, grid, grid});
+  parpde::util::Rng rng(42);
+  rng.fill_uniform(initial.values(), 0.5f, 1.5f);
+
+  core::RolloutOptions options;
+  options.elastic.enabled = true;
+  options.elastic.lease = std::chrono::milliseconds(lease_ms);
+  options.elastic.missed_leases = missed_leases;
+  const auto state_dir = std::filesystem::temp_directory_path() /
+                         "parpde_bench_recovery_ppes";
+  std::filesystem::remove_all(state_dir);
+  options.elastic.state_dir = state_dir.string();
+  options.elastic.state_every = 1;
+
+  std::fprintf(stderr, "healthy elastic rollout (%lldx%lld, %d steps)...\n",
+               static_cast<long long>(grid), static_cast<long long>(grid),
+               steps);
+  const auto healthy =
+      core::parallel_rollout(cfg, report, initial, steps, options);
+
+  std::fprintf(stderr, "chaos run: killing rank 1 at step %d...\n", kill_step);
+  parpde::mpi::fault::KillSpec kill;
+  kill.rank = 1;
+  kill.at_step = kill_step;
+  parpde::mpi::fault::install(parpde::mpi::fault::FaultPlan(7).set_kill(kill));
+  core::RolloutResult healed;
+  try {
+    healed = core::parallel_rollout(cfg, report, initial, steps, options);
+  } catch (...) {
+    parpde::mpi::fault::uninstall();
+    std::filesystem::remove_all(state_dir);
+    throw;
+  }
+  parpde::mpi::fault::uninstall();
+  std::filesystem::remove_all(state_dir);
+
+  const bool identical = frames_bit_identical(healthy, healed);
+  const double lease_budget_ms =
+      static_cast<double>(lease_ms) * static_cast<double>(missed_leases);
+  const auto& h = healed.health;
+
+  auto emit = [&](std::FILE* f) {
+    std::fprintf(
+        f,
+        "{\n"
+        "  \"grid\": %lld,\n"
+        "  \"steps\": %d,\n"
+        "  \"threads\": %d,\n"
+        "  \"ranks\": 4,\n"
+        "  \"kill_step\": %d,\n"
+        "  \"lease_ms\": %d,\n"
+        "  \"missed_leases\": %d,\n"
+        "  \"lease_budget_ms\": %.1f,\n"
+        "  \"recoveries\": %d,\n"
+        "  \"failed_ranks\": %d,\n"
+        "  \"adopted_tasks\": %d,\n"
+        "  \"detection_step\": %d,\n"
+        "  \"detection_seconds\": %.6f,\n"
+        "  \"rebalance_seconds\": %.6f,\n"
+        "  \"assignment_epoch\": %d,\n"
+        "  \"degraded_during_recovery\": %d,\n"
+        "  \"degraded_after\": %d,\n"
+        "  \"healthy_steady_state_allocs\": %llu,\n"
+        "  \"bit_identical\": %s\n"
+        "}\n",
+        static_cast<long long>(grid), steps, threads, kill_step, lease_ms,
+        missed_leases, lease_budget_ms, h.recoveries, h.failed_ranks,
+        h.adopted_tasks, h.detection_step, h.detection_seconds,
+        h.rebalance_seconds, h.assignment_epoch, h.degraded_during_recovery,
+        healed.degraded_borders,
+        static_cast<unsigned long long>(healthy.steady_state_allocs),
+        identical ? "true" : "false");
+  };
+  emit(stdout);
+  if (std::FILE* f = std::fopen(out_path.c_str(), "w")) {
+    emit(f);
+    std::fclose(f);
+    std::fprintf(stderr, "wrote %s\n", out_path.c_str());
+  } else {
+    std::fprintf(stderr, "could not open %s for writing\n", out_path.c_str());
+    return 1;
+  }
+
+  if (h.recoveries != 1 || !identical || healed.degraded_borders != 0) {
+    std::fprintf(stderr,
+                 "RECOVERY ACCEPTANCE FAILED: recoveries=%d identical=%d "
+                 "degraded_after=%d\n",
+                 h.recoveries, identical ? 1 : 0, healed.degraded_borders);
+    return 1;
+  }
+  std::fprintf(stderr,
+               "recovery ok: detected in %.3fs (budget %.3fs), healed %d "
+               "task(s) in %.3fs\n",
+               h.detection_seconds, lease_budget_ms / 1e3, h.adopted_tasks,
+               h.rebalance_seconds);
+  return 0;
+}

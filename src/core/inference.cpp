@@ -9,6 +9,7 @@
 #include "backend/kernel_backend.hpp"
 #include "domain/exchange.hpp"
 #include "domain/halo.hpp"
+#include "elastic/rollout.hpp"
 #include "minimpi/collectives.hpp"
 #include "minimpi/environment.hpp"
 #include "nn/forward_plan.hpp"
@@ -109,6 +110,12 @@ RolloutResult parallel_rollout(const TrainConfig& config,
                                const ParallelTrainReport& trained,
                                const Tensor& initial, int steps,
                                const RolloutOptions& options) {
+  if (options.elastic.enabled) {
+    // Elastic runtime: tasks decoupled from ranks, lease-based failure
+    // detection, live adoption of orphaned subdomains. The default engines
+    // below are untouched when the flag is off.
+    return elastic::elastic_rollout(config, trained, initial, steps, options);
+  }
   if (config.border == BorderMode::kValidInner) {
     throw std::invalid_argument(
         "parallel_rollout: valid-inner mode cannot roll out (output loses the "

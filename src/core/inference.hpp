@@ -38,8 +38,40 @@ enum class RolloutEngine {
   kSerialized,
 };
 
+// Elastic runtime knobs (src/elastic/): over-decompose the grid into
+// M = trained.ranks subdomain tasks hosted on P = M / tasks_per_rank ranks,
+// detect rank death through missed heartbeat leases, and have survivors
+// adopt the orphaned tasks (deterministic rebalance + rollback to the newest
+// common PPES state snapshot), so a mid-rollout kill ends as a bounded blip
+// instead of a permanently degraded border. Disabled by default — the
+// default engines take the exact same path as before. See
+// docs/robustness.md ("Recovery protocol").
+struct ElasticOptions {
+  bool enabled = false;
+  // The trained report must hold tasks_per_rank * P rank outcomes; the
+  // rollout runs P physical ranks, each initially owning tasks_per_rank
+  // tasks (task t starts on rank t % P).
+  int tasks_per_rank = 1;
+  // false = detect but do not adopt: the dead rank's tasks stay orphaned and
+  // their borders degrade permanently (the pre-elastic behaviour).
+  bool recover = true;
+  // One heartbeat lease interval; a peer is declared dead after
+  // `missed_leases` consecutive intervals without any sign of life while
+  // someone is waiting on it. The budget must exceed the worst per-step
+  // compute skew between ranks or a slow rank gets falsely evicted.
+  std::chrono::milliseconds lease{250};
+  int missed_leases = 20;
+  // PPES per-task state snapshots every `state_every` steps into
+  // `state_dir` (elastic/state_checkpoint.hpp). Empty dir or state_every
+  // <= 0 disables snapshots; recovery then rolls every task back to the
+  // initial frame and recomputes — still bit-identical, just slower.
+  std::string state_dir;
+  int state_every = 0;
+};
+
 struct RolloutOptions {
   domain::HaloOptions halo;
+  ElasticOptions elastic;
   RolloutEngine engine = RolloutEngine::kOverlapped;
   // Gather the full frame on rank 0 every `record_every`-th step (the final
   // step is always recorded so callers get the end state); <= 0 disables
@@ -79,6 +111,24 @@ struct HealthReport {
   std::uint64_t quant_saturations = 0;
   // Mirror of RolloutResult::degraded_borders for one-stop health checks.
   int degraded_borders = 0;
+
+  // Elastic recovery summary (all zero unless the elastic engine ran and a
+  // rank died): how many recovery rounds completed, how many orphaned tasks
+  // the survivors adopted, where/how fast the death was detected, and how
+  // long the deterministic rebalance + state rollback took (max over ranks).
+  int recoveries = 0;
+  int adopted_tasks = 0;
+  int failed_ranks = 0;
+  int detection_step = -1;
+  double detection_seconds = 0.0;
+  double rebalance_seconds = 0.0;
+  // Version of the task->rank Assignment at the end of the run (0 = the
+  // initial map, +1 per rebalance); also the `recover.assignment_epoch`
+  // telemetry gauge.
+  int assignment_epoch = 0;
+  // Borders that transiently degraded during detection and were healthy
+  // again after adoption (the degrade -> detect -> adopt -> healthy blip).
+  int degraded_during_recovery = 0;
 
   [[nodiscard]] bool nonfinite() const { return first_nonfinite_step >= 0; }
 };

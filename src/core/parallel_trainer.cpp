@@ -33,9 +33,16 @@ double ParallelTrainReport::mean_final_loss() const {
   return s / static_cast<double>(rank_outcomes.size());
 }
 
-ParallelTrainer::ParallelTrainer(TrainConfig config, int ranks)
-    : config_(std::move(config)), ranks_(ranks), dims_(mpi::dims_create(ranks)) {
+ParallelTrainer::ParallelTrainer(TrainConfig config, int ranks,
+                                 int tasks_per_rank)
+    : config_(std::move(config)),
+      ranks_(ranks),
+      tasks_per_rank_(tasks_per_rank),
+      dims_(mpi::dims_create(ranks * tasks_per_rank)) {
   if (ranks <= 0) throw std::invalid_argument("ParallelTrainer: ranks must be > 0");
+  if (tasks_per_rank <= 0) {
+    throw std::invalid_argument("ParallelTrainer: tasks_per_rank must be > 0");
+  }
 }
 
 ParallelTrainReport ParallelTrainer::train(
@@ -43,20 +50,24 @@ ParallelTrainReport ParallelTrainer::train(
     const ParallelTrainReport* resume_from,
     const FaultToleranceOptions* fault_tolerance) const {
   const auto split = dataset.chronological_split(config_.train_fraction);
+  // Everything below is task-indexed: `tasks` subdomains tile the grid, and
+  // physical rank r hosts tasks {t : t % ranks_ == r}. The classic layout is
+  // the tasks_per_rank == 1 special case where task id == rank id.
+  const int tasks = ranks_ * tasks_per_rank_;
   const domain::Partition partition(dataset.height(), dataset.width(), dims_.px,
                                     dims_.py);
   if (resume_from != nullptr &&
-      (resume_from->ranks != ranks_ ||
-       static_cast<int>(resume_from->rank_outcomes.size()) != ranks_)) {
+      (resume_from->ranks != tasks ||
+       static_cast<int>(resume_from->rank_outcomes.size()) != tasks)) {
     throw std::invalid_argument(
         "ParallelTrainer: resume checkpoint has a different rank count");
   }
 
   ParallelTrainReport report;
-  report.ranks = ranks_;
+  report.ranks = tasks;
   report.dims = dims_;
   report.mode = mode;
-  report.rank_outcomes.resize(static_cast<std::size_t>(ranks_));
+  report.rank_outcomes.resize(static_cast<std::size_t>(tasks));
 
   const bool checkpoints_on = fault_tolerance != nullptr &&
                               !fault_tolerance->checkpoint_dir.empty();
@@ -138,15 +149,17 @@ ParallelTrainReport ParallelTrainer::train(
 
   util::WallTimer wall;
   if (mode == ExecutionMode::kIsolated) {
-    for (int r = 0; r < ranks_; ++r) {
-      // Attribute this rank's spans to its own trace lane even though the
-      // ranks run serially on the calling thread.
-      telemetry::set_thread_rank(r);
+    for (int t = 0; t < tasks; ++t) {
+      // Attribute this task's spans to its own trace lane even though the
+      // tasks run serially on the calling thread.
+      telemetry::set_thread_rank(t);
       try {
-        report.rank_outcomes[static_cast<std::size_t>(r)] =
-            train_rank(r, resume_all);
+        report.rank_outcomes[static_cast<std::size_t>(t)] =
+            train_rank(t, resume_all);
       } catch (const mpi::fault::RankFailure& failure) {
-        retrain_rank(r, failure.what());
+        report.failures.push_back(
+            {t, failure.epoch(), failure.step(), failure.what()});
+        retrain_rank(t, failure.what());
       }
     }
     telemetry::set_thread_rank(-1);
@@ -159,22 +172,34 @@ ParallelTrainReport ParallelTrainer::train(
       // kForbidden), and the byte counters are re-checked after the fact.
       mpi::PhaseScope phase(comm, "train.zero_comm",
                             mpi::CommPolicy::kForbidden);
-      auto outcome = train_rank(comm.rank(), resume_all);
-      outcome.train_bytes_sent = comm.bytes_sent();
-      outcome.train_bytes_received = comm.bytes_received();
-      if (outcome.train_bytes_sent != 0) {
-        throw std::logic_error(
-            "ParallelTrainer: training phase sent data (scheme violated)");
+      // This rank's share of the task grid, trained back to back — still
+      // zero-comm, so over-decomposition never adds traffic.
+      for (int t = comm.rank(); t < tasks; t += ranks_) {
+        const std::uint64_t sent_before = comm.bytes_sent();
+        const std::uint64_t recv_before = comm.bytes_received();
+        auto outcome = train_rank(t, resume_all);
+        outcome.train_bytes_sent = comm.bytes_sent() - sent_before;
+        outcome.train_bytes_received = comm.bytes_received() - recv_before;
+        if (outcome.train_bytes_sent != 0) {
+          throw std::logic_error(
+              "ParallelTrainer: training phase sent data (scheme violated)");
+        }
+        report.rank_outcomes[static_cast<std::size_t>(t)] = std::move(outcome);
       }
-      report.rank_outcomes[static_cast<std::size_t>(comm.rank())] =
-          std::move(outcome);
     };
     if (fault_tolerance != nullptr) {
       // Fault-tolerant path: a rank the injector kills is reported rather
-      // than rethrown; the survivors finish, then the casualty retrains.
+      // than rethrown; the survivors finish, then every task the dead rank
+      // carried retrains (tasks it completed before dying retrain too — the
+      // runs are deterministic, so the repeated work is identical, and the
+      // accounting stays simple).
       const mpi::RunOutcome run = env.run_collect(rank_body);
       for (const int r : run.failed_ranks()) {
-        retrain_rank(r, run.ranks[static_cast<std::size_t>(r)].error);
+        const auto& status = run.ranks[static_cast<std::size_t>(r)];
+        report.failures.push_back({r, status.epoch, status.step, status.error});
+        for (int t = r; t < tasks; t += ranks_) {
+          retrain_rank(t, status.error);
+        }
       }
     } else {
       env.run(rank_body);

@@ -32,14 +32,29 @@ struct RankOutcome {
   std::uint64_t train_bytes_received = 0;  // symmetric recv-side accounting
 };
 
+// One injected-fault death observed during training: which rank died, where
+// (training epoch; step is -1 outside rollouts) and the RankFailure message.
+// Surfaced verbatim in the JSONL run report's `rank_failures` array.
+struct RankFailureRecord {
+  int rank = -1;
+  int epoch = -1;
+  int step = -1;
+  std::string error;
+};
+
 struct ParallelTrainReport {
   int ranks = 1;
   mpi::Dims dims;
   ExecutionMode mode = ExecutionMode::kConcurrent;
   std::vector<RankOutcome> rank_outcomes;
   double wall_seconds = 0.0;  // wall time of the whole call (serialized here)
-  // Ranks that died mid-training (fault injection) and were retrained alone
-  // from their latest valid checkpoint. Empty on a healthy run.
+  // Deaths observed during this call (fault injection), in rank order.
+  // Transient diagnostics: not serialized into ensemble checkpoints.
+  std::vector<RankFailureRecord> failures;
+  // Tasks that died mid-training (fault injection) and were retrained alone
+  // from their latest valid checkpoint; with tasks_per_rank > 1 a host-rank
+  // death retrains every task it carried. Task id == rank id in the classic
+  // one-task-per-rank layout. Empty on a healthy run.
   std::vector<int> retrained_ranks;
 
   // max_r T_r: the modeled parallel training time on dedicated cores.
@@ -67,8 +82,15 @@ struct FaultToleranceOptions {
 
 class ParallelTrainer {
  public:
-  // `ranks` is factorized into a 2-d grid via dims_create.
-  ParallelTrainer(TrainConfig config, int ranks);
+  // `ranks` physical ranks training `ranks * tasks_per_rank` subdomain tasks;
+  // the *task* count is factorized into the 2-d grid via dims_create, so the
+  // report's `ranks`/`dims`/`rank_outcomes` all describe tasks. With
+  // tasks_per_rank == 1 (the default) this is the classic one-subdomain-per-
+  // rank layout. Over-decomposition (> 1) exists for the elastic runtime
+  // (src/elastic/): a task's seed stream is its task id, so the trained
+  // weights are independent of which rank hosted the training — survivors can
+  // adopt a dead rank's tasks and resume bit-identically.
+  ParallelTrainer(TrainConfig config, int ranks, int tasks_per_rank = 1);
 
   // Trains all ranks. When `resume_from` is supplied (e.g. a loaded
   // checkpoint of a compatible topology/architecture), every rank starts from
@@ -83,10 +105,12 @@ class ParallelTrainer {
 
   [[nodiscard]] const TrainConfig& config() const { return config_; }
   [[nodiscard]] mpi::Dims dims() const { return dims_; }
+  [[nodiscard]] int tasks_per_rank() const { return tasks_per_rank_; }
 
  private:
   TrainConfig config_;
   int ranks_;
+  int tasks_per_rank_;
   mpi::Dims dims_;
 };
 

@@ -1,5 +1,6 @@
 #include "domain/exchange.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
 
@@ -195,11 +196,15 @@ void HaloExchange::timed_send(mpi::Direction side,
   if (comm_time != nullptr) comm_time->add(timer.seconds());
 }
 
-// Bounded receive across `side` with retry: timeouts retry until the budget
-// is exhausted; a CRC-corrupt strip is a definitive loss (the payload was
-// consumed — waiting longer would only steal the next step's strip and
-// desynchronize the border forever). Returns false when the border just
-// degraded; the caller leaves its halo zero.
+// Bounded receive across `side` with exponentially backed-off retry: each
+// timeout doubles the next attempt's wait (capped at `max_recv_timeout`)
+// until either `max_retries` attempts or the cumulative `recv_budget` is
+// spent — a dead neighbour costs a handful of wakeups, not 40. A CRC-corrupt
+// strip is a definitive loss (the payload was consumed — waiting longer
+// would only steal the next step's strip and desynchronize the border
+// forever). Returns false when the border just degraded; the caller leaves
+// its halo zero. Timeout choices never touch the send-side fault engine, so
+// per-channel fault-draw sequences are unchanged by any backoff schedule.
 bool HaloExchange::robust_recv(mpi::Direction side,
                                util::AccumulatingTimer* comm_time) {
   static telemetry::Counter& retries = telemetry::counter("comm.retries");
@@ -212,10 +217,15 @@ bool HaloExchange::robust_recv(mpi::Direction side,
   int timeouts = 0;
   bool got = false;
   bool corrupt = false;
+  std::chrono::milliseconds wait = options_.recv_timeout;
+  std::chrono::milliseconds spent{0};
   for (int attempt = 0; attempt <= options_.max_retries; ++attempt) {
-    const mpi::RecvStatus status =
-        comm.recv_for<float>(cart_.neighbor(side), arrival_tag(side),
-                             options_.recv_timeout, &recv_strip_);
+    if (attempt > 0 && spent >= options_.recv_budget) break;
+    const std::chrono::milliseconds slice =
+        std::min(wait, std::max(options_.recv_budget - spent,
+                                std::chrono::milliseconds(1)));
+    const mpi::RecvStatus status = comm.recv_for<float>(
+        cart_.neighbor(side), arrival_tag(side), slice, &recv_strip_);
     if (status == mpi::RecvStatus::kOk) {
       got = true;
       break;
@@ -224,6 +234,8 @@ bool HaloExchange::robust_recv(mpi::Direction side,
       corrupt = true;
       break;
     }
+    spent += slice;
+    wait = std::min(wait * 2, options_.max_recv_timeout);
     ++timeouts;
     retries.add(1);
   }

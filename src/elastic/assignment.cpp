@@ -1,0 +1,61 @@
+#include "elastic/assignment.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace parpde::elastic {
+
+Assignment::Assignment(int tasks, int ranks) : ranks_(ranks) {
+  if (tasks < ranks || ranks < 1) {
+    throw std::invalid_argument("Assignment: need tasks >= ranks >= 1");
+  }
+  owner_.resize(static_cast<std::size_t>(tasks));
+  for (int t = 0; t < tasks; ++t) owner_[t] = t % ranks;
+  alive_.assign(static_cast<std::size_t>(ranks), 1);
+}
+
+int Assignment::live_ranks() const {
+  return static_cast<int>(std::count(alive_.begin(), alive_.end(), 1));
+}
+
+std::vector<int> Assignment::tasks_of(int rank) const {
+  std::vector<int> out;
+  for (int t = 0; t < tasks(); ++t) {
+    if (owner_[t] == rank) out.push_back(t);
+  }
+  return out;
+}
+
+std::vector<int> Assignment::rebalance(const std::vector<int>& failed) {
+  for (int r : failed) {
+    if (r < 0 || r >= ranks_) {
+      throw std::invalid_argument("Assignment::rebalance: rank out of range");
+    }
+    alive_[r] = 0;
+  }
+  if (live_ranks() == 0) {
+    throw std::runtime_error("Assignment::rebalance: no live ranks left");
+  }
+  std::vector<int> load(static_cast<std::size_t>(ranks_), 0);
+  std::vector<int> orphans;
+  for (int t = 0; t < tasks(); ++t) {
+    if (alive_[owner_[t]]) {
+      ++load[owner_[t]];
+    } else {
+      orphans.push_back(t);
+    }
+  }
+  for (int t : orphans) {
+    int best = -1;
+    for (int r = 0; r < ranks_; ++r) {
+      if (!alive_[r]) continue;
+      if (best < 0 || load[r] < load[best]) best = r;
+    }
+    owner_[t] = best;
+    ++load[best];
+  }
+  ++epoch_;
+  return orphans;
+}
+
+}  // namespace parpde::elastic

@@ -140,7 +140,8 @@ RunOutcome Environment::run_impl(const std::function<void(Communicator&)>& fn,
         fn(comm);
       } catch (const fault::RankFailure& failure) {
         if (collect_failures) {
-          outcome.ranks[static_cast<std::size_t>(r)] = {true, failure.what()};
+          outcome.ranks[static_cast<std::size_t>(r)] = {
+              true, failure.what(), failure.epoch(), failure.step()};
           static telemetry::Counter& failures =
               telemetry::counter("mpi.rank_failures");
           failures.add(1);

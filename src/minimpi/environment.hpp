@@ -20,10 +20,14 @@
 
 namespace parpde::mpi {
 
-// Per-rank completion status of one run_collect invocation.
+// Per-rank completion status of one run_collect invocation. For a failed
+// rank, `epoch`/`step` carry where it died when the RankFailure knew (-1
+// otherwise) so recovery latency is attributable in run reports and traces.
 struct RankStatus {
   bool failed = false;  // the rank died with fault::RankFailure
   std::string error;    // the failure message (empty when ok)
+  int epoch = -1;       // training epoch at death, if applicable
+  int step = -1;        // rollout step at death, if applicable
 };
 
 struct RunOutcome {

@@ -142,12 +142,13 @@ FaultPlan FaultPlan::parse(const std::string& spec) {
       for (const auto& [k, v] : kv) {
         if (k == "rank") kill.rank = static_cast<int>(parse_long(segment, v));
         else if (k == "epoch") kill.at_epoch = static_cast<int>(parse_long(segment, v));
+        else if (k == "step") kill.at_step = static_cast<int>(parse_long(segment, v));
         else if (k == "sends") kill.after_sends = static_cast<std::uint64_t>(parse_long(segment, v));
         else parse_error(segment, "unknown kill key '" + k + "'");
       }
       if (kill.rank < 0) parse_error(segment, "kill needs rank=N");
-      if (kill.at_epoch < 0 && kill.after_sends == 0) {
-        parse_error(segment, "kill needs epoch=N or sends=N");
+      if (kill.at_epoch < 0 && kill.at_step < 0 && kill.after_sends == 0) {
+        parse_error(segment, "kill needs epoch=N, step=N or sends=N");
       }
       plan.kill_ = kill;
       continue;
@@ -282,7 +283,26 @@ void check_kill_epoch(int rank, int epoch) {
   }
   if (fire) {
     throw RankFailure("fault injection: rank " + std::to_string(rank) +
-                      " killed at epoch " + std::to_string(epoch));
+                          " killed at epoch " + std::to_string(epoch),
+                      epoch);
+  }
+}
+
+void check_kill_step(int rank, int step) {
+  if (!enabled()) return;
+  bool fire = false;
+  {
+    std::lock_guard<std::mutex> lock(g_mutex);
+    if (!g_engine || g_engine->killed) return;
+    const KillSpec& kill = g_engine->plan.kill();
+    if (kill.rank != rank || kill.at_step < 0 || step < kill.at_step) return;
+    g_engine->killed = true;
+    fire = true;
+  }
+  if (fire) {
+    throw RankFailure("fault injection: rank " + std::to_string(rank) +
+                          " killed at step " + std::to_string(step),
+                      -1, step);
   }
 }
 

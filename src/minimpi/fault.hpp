@@ -25,6 +25,7 @@
 //   dup:tag=4200
 //   corrupt:tag=4096,prob=0.25
 //   kill:rank=2,epoch=1             cooperative kill at an epoch boundary
+//   kill:rank=2,step=5              cooperative kill at a rollout step boundary
 //   kill:rank=2,sends=10            kill after the rank's 10th send
 // Omitted selectors match anything; `tag` accepts "A" or "A-B" (inclusive).
 //
@@ -41,10 +42,20 @@ namespace parpde::mpi::fault {
 
 // Simulated rank death. Environment::run_collect reports it as a failed rank
 // instead of rethrowing; the fault-tolerant trainer then restarts that rank
-// from its last valid checkpoint.
+// from its last valid checkpoint. Carries the training epoch or rollout step
+// the rank died at (-1 = not applicable) so failure latency is attributable
+// in run reports and traces.
 class RankFailure : public std::runtime_error {
  public:
-  using std::runtime_error::runtime_error;
+  explicit RankFailure(const std::string& what, int epoch = -1, int step = -1)
+      : std::runtime_error(what), epoch_(epoch), step_(step) {}
+
+  [[nodiscard]] int epoch() const noexcept { return epoch_; }
+  [[nodiscard]] int step() const noexcept { return step_; }
+
+ private:
+  int epoch_ = -1;
+  int step_ = -1;
 };
 
 enum class Action { kDrop, kDelay, kDuplicate, kCorrupt };
@@ -76,6 +87,7 @@ struct Rule {
 struct KillSpec {
   int rank = -1;                  // -1 = no kill
   int at_epoch = -1;              // check_kill_epoch(rank, epoch) trigger
+  int at_step = -1;               // check_kill_step(rank, step) trigger
   std::uint64_t after_sends = 0;  // on_send_complete trigger (0 = disabled)
 };
 
@@ -146,6 +158,12 @@ void on_send_complete(int rank);
 // Epoch-boundary kill point; throws RankFailure when the plan says this rank
 // dies at this epoch (at most once per installed plan).
 void check_kill_epoch(int rank, int epoch);
+
+// Rollout step-boundary kill point (the elastic runtime polls it before any
+// of the step's sends, so a death never leaves a step partially published);
+// throws RankFailure when the plan says this rank dies at this step (at most
+// once per installed plan).
+void check_kill_step(int rank, int step);
 
 // Deterministically flips one byte of `payload` (position and XOR mask are
 // hashed from the plan seed and `salt`). No-op on empty payloads.

@@ -50,9 +50,13 @@ inline constexpr TagRange kClockSync{4300, 2, "mpi.clocksync"};
 // minimpi/collectives.hpp: reserved block so collective traffic can never
 // match user point-to-point traffic.
 inline constexpr TagRange kCollectives{1 << 20, 8, "mpi.collectives"};
+// elastic/rollout.cpp: heartbeat + per-task halo/gather traffic for the
+// elastic runtime (sub-layout below).
+inline constexpr TagRange kElastic{16384, 2048, "elastic"};
 
-inline constexpr std::array<TagRange, 6> kAllRanges{
-    kHalo, kFieldGather, kFieldScatter, kEulerHalo, kClockSync, kCollectives};
+inline constexpr std::array<TagRange, 7> kAllRanges{
+    kHalo,      kFieldGather, kFieldScatter, kEulerHalo,
+    kClockSync, kCollectives, kElastic};
 
 // --- compile-time overlap detection -----------------------------------------
 
@@ -83,6 +87,29 @@ inline constexpr int kTagAlltoall = kCollectives.base + 6;
 inline constexpr int kTagSendrecv = kCollectives.base + 7;
 static_assert(kTagSendrecv == kCollectives.last(),
               "collective tags must exactly fill the kCollectives range");
+
+// --- elastic runtime sub-layout ---------------------------------------------
+
+// The elastic runtime (src/elastic/) multiplexes M subdomain *tasks* over P
+// ranks, so tags must name the destination task, not just the direction.
+// Layout inside kElastic:
+//   base + 0                                  heartbeat (lease renewal)
+//   base + 1 + task * 4 + direction           halo strip addressed to `task`
+//   base + 1 + 4 * kMaxElasticTasks + task    interior gather from `task`
+inline constexpr int kMaxElasticTasks = 256;
+
+[[nodiscard]] constexpr int elastic_heartbeat_tag() { return kElastic.base; }
+
+[[nodiscard]] constexpr int elastic_halo_tag(int task, int direction) {
+  return kElastic.base + 1 + task * 4 + direction;
+}
+
+[[nodiscard]] constexpr int elastic_gather_tag(int task) {
+  return kElastic.base + 1 + 4 * kMaxElasticTasks + task;
+}
+
+static_assert(elastic_gather_tag(kMaxElasticTasks - 1) <= kElastic.last(),
+              "elastic sub-layout must fit inside kElastic");
 
 // --- euler solver field blocks ----------------------------------------------
 

@@ -191,6 +191,145 @@ TEST(Chaos, RolloutDegradesUnderMessageLossInsteadOfHanging) {
   }
 }
 
+TEST(Chaos, ElasticRolloutAdoptsKilledRankAndStaysBitIdentical) {
+  // The headline self-healing scenario: rank 1 dies at a step boundary
+  // mid-rollout; the survivors detect it via the heartbeat lease, rebalance
+  // the task map, adopt the orphaned task from its PPES snapshot, and the
+  // final frames are bit-identical to a rollout that never saw a death.
+  const auto ds = tiny_dataset();
+  TrainConfig cfg = tiny_config();
+  cfg.epochs = 2;
+  const ParallelTrainer trainer(cfg, 4);
+  const auto report = trainer.train(ds, ExecutionMode::kConcurrent);
+
+  const auto oracle = parallel_rollout(cfg, report, ds.frame(0), 4);
+  ASSERT_EQ(oracle.frames.size(), 4u);
+
+  RolloutOptions opts;
+  opts.elastic.enabled = true;
+  opts.elastic.lease = 25ms;
+  opts.elastic.missed_leases = 8;
+  opts.elastic.state_dir = fresh_dir("chaos_elastic_ppes");
+  opts.elastic.state_every = 1;
+  RolloutResult healed;
+  {
+    mpi::fault::KillSpec kill;
+    kill.rank = 1;
+    kill.at_step = 2;
+    PlanGuard guard(mpi::fault::FaultPlan(7).set_kill(kill));
+    healed = parallel_rollout(cfg, report, ds.frame(0), 4, opts);
+  }
+
+  ASSERT_EQ(healed.frames.size(), oracle.frames.size());
+  for (std::size_t k = 0; k < oracle.frames.size(); ++k) {
+    parpde::testing::expect_tensors_equal(oracle.frames[k], healed.frames[k]);
+  }
+  // Degrade -> detect -> adopt -> healthy: the blip is visible in the
+  // recovery counters, but no border stays degraded.
+  EXPECT_EQ(healed.health.recoveries, 1);
+  EXPECT_EQ(healed.health.failed_ranks, 1);
+  EXPECT_GE(healed.health.adopted_tasks, 1);
+  EXPECT_EQ(healed.health.detection_step, 2);
+  EXPECT_EQ(healed.health.assignment_epoch, 1);
+  EXPECT_GT(healed.health.degraded_during_recovery, 0);
+  EXPECT_EQ(healed.degraded_borders, 0);
+  EXPECT_EQ(healed.health.degraded_borders, 0);
+}
+
+TEST(Chaos, ElasticRecoveryWithoutSnapshotsRecomputesFromInitial) {
+  // No PPES snapshots configured: recovery rolls every task back to the
+  // initial frame and recomputes — slower, still bit-identical.
+  const auto ds = tiny_dataset();
+  TrainConfig cfg = tiny_config();
+  cfg.epochs = 2;
+  const ParallelTrainer trainer(cfg, 4);
+  const auto report = trainer.train(ds, ExecutionMode::kConcurrent);
+  const auto oracle = parallel_rollout(cfg, report, ds.frame(0), 3);
+
+  RolloutOptions opts;
+  opts.elastic.enabled = true;
+  opts.elastic.lease = 25ms;
+  opts.elastic.missed_leases = 8;
+  RolloutResult healed;
+  {
+    mpi::fault::KillSpec kill;
+    kill.rank = 2;
+    kill.at_step = 1;
+    PlanGuard guard(mpi::fault::FaultPlan(11).set_kill(kill));
+    healed = parallel_rollout(cfg, report, ds.frame(0), 3, opts);
+  }
+  ASSERT_EQ(healed.frames.size(), oracle.frames.size());
+  for (std::size_t k = 0; k < oracle.frames.size(); ++k) {
+    parpde::testing::expect_tensors_equal(oracle.frames[k], healed.frames[k]);
+  }
+  EXPECT_EQ(healed.health.recoveries, 1);
+  EXPECT_EQ(healed.degraded_borders, 0);
+}
+
+TEST(Chaos, ElasticNoRecoverDegradesPermanently) {
+  // --no-recover keeps the pre-elastic behaviour: the death is detected but
+  // the orphaned task stays dark, its borders degrade for good, and the
+  // frames still come out finite (dead regions zero-filled).
+  const auto ds = tiny_dataset();
+  TrainConfig cfg = tiny_config();
+  cfg.epochs = 2;
+  const ParallelTrainer trainer(cfg, 4);
+  const auto report = trainer.train(ds, ExecutionMode::kConcurrent);
+
+  RolloutOptions opts;
+  opts.elastic.enabled = true;
+  opts.elastic.recover = false;
+  opts.elastic.lease = 25ms;
+  opts.elastic.missed_leases = 8;
+  RolloutResult result;
+  {
+    mpi::fault::KillSpec kill;
+    kill.rank = 1;
+    kill.at_step = 1;
+    PlanGuard guard(mpi::fault::FaultPlan(5).set_kill(kill));
+    result = parallel_rollout(cfg, report, ds.frame(0), 3, opts);
+  }
+  ASSERT_EQ(result.frames.size(), 3u);
+  EXPECT_EQ(result.health.recoveries, 0);
+  EXPECT_EQ(result.health.failed_ranks, 1);
+  EXPECT_EQ(result.health.assignment_epoch, 0);
+  EXPECT_GT(result.degraded_borders, 0);
+  for (const auto& frame : result.frames) {
+    for (std::int64_t i = 0; i < frame.size(); ++i) {
+      ASSERT_TRUE(std::isfinite(frame[i])) << "non-finite output at " << i;
+    }
+  }
+}
+
+TEST(Chaos, ElasticTrainingKillRetrainsEveryTaskOfTheDeadRank) {
+  // Over-decomposed training: physical rank 1 hosts tasks {1, 3}; killing it
+  // mid-training retrains both tasks and the weights still come out
+  // bit-identical to the uninterrupted 4-task run.
+  const auto ds = tiny_dataset();
+  TrainConfig cfg = tiny_config();
+  cfg.epochs = 3;
+  const ParallelTrainer trainer(cfg, 2, /*tasks_per_rank=*/2);
+  const auto baseline = trainer.train(ds, ExecutionMode::kConcurrent);
+  ASSERT_EQ(baseline.ranks, 4);
+
+  FaultToleranceOptions ft;
+  ft.checkpoint_dir = fresh_dir("chaos_elastic_train");
+  ft.checkpoint_every = 1;
+  ParallelTrainReport chaotic;
+  {
+    mpi::fault::KillSpec kill;
+    kill.rank = 1;  // the kill hook keys on the task id (seed stream)
+    kill.at_epoch = 2;
+    PlanGuard guard(mpi::fault::FaultPlan(7).set_kill(kill));
+    chaotic = trainer.train(ds, ExecutionMode::kConcurrent, nullptr, &ft);
+  }
+  ASSERT_EQ(chaotic.retrained_ranks, (std::vector<int>{1, 3}));
+  ASSERT_EQ(chaotic.failures.size(), 1u);
+  EXPECT_EQ(chaotic.failures[0].rank, 1);
+  EXPECT_EQ(chaotic.failures[0].epoch, 2);
+  expect_reports_bit_identical(baseline, chaotic);
+}
+
 TEST(Chaos, FaultMachineryOffIsByteIdenticalToPlainTraining) {
   // Zero-cost-when-off: training with the fault-tolerance options threaded
   // through (but no plan installed and checkpointing disabled) must take the

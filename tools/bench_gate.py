@@ -23,9 +23,15 @@ perf-smoke shape (grid=64, steps=8, warmup=2, threads=1); regenerate with
   bench_rollout_latency --grid=64 --steps=8 --warmup=2 --backend=fp32
   tools/bench_gate.py --update
 
+When a BENCH_recovery.json (bench_recovery) sits next to the other files it
+is gated too — self-referentially against the lease budget embedded in the
+run itself plus exact structural outcomes (one recovery, bit-identical
+frames, nothing left degraded), so it needs no checked-in baseline.
+
 Usage:
   tools/bench_gate.py [--baseline-dir bench/baselines]
                       [--rollout BENCH_rollout.json] [--quant BENCH_quant.json]
+                      [--recovery BENCH_recovery.json]
                       [--absolute] [--tolerance 0.20]
   tools/bench_gate.py --update   rewrite the baselines from the given files
 """
@@ -182,6 +188,41 @@ def gate_quant(gate: Gate, current: dict, baseline: dict, absolute: bool):
         )
 
 
+def gate_recovery(gate: Gate, current: dict):
+    """BENCH_recovery.json is self-gating: the structural outcomes are exact
+    (one recovery, at least one adopted task, nothing left degraded, frames
+    bit-identical), and the detection latency is bounded by the lease budget
+    the run itself embedded — no baseline snapshot needed, so the gate stays
+    machine-portable."""
+    gate.exact("recovery.recoveries", current.get("recoveries"), 1)
+    gate.exact("recovery.failed_ranks", current.get("failed_ranks"), 1)
+    gate.exact("recovery.degraded_after", current.get("degraded_after"), 0)
+    gate.exact("recovery.bit_identical", current.get("bit_identical"), True)
+    if current.get("adopted_tasks", 0) < 1:
+        gate.checked += 1
+        gate.failures.append(
+            f"recovery.adopted_tasks: {current.get('adopted_tasks')!r}, "
+            "expected >= 1"
+        )
+    else:
+        gate.checked += 1
+    # Survivors burn the full lease budget before declaring the death; allow
+    # 3x for scheduler noise on shared runners, never less than a second.
+    budget_s = current.get("lease_budget_ms", 0.0) / 1e3
+    gate.ceiling(
+        "recovery.detection_seconds",
+        current.get("detection_seconds", 0.0),
+        max(1.0, 3.0 * budget_s),
+    )
+    # Rebalance + adoption + rollback is pure local work; it must stay well
+    # under one lease budget or recovery starts racing the failure detector.
+    gate.ceiling(
+        "recovery.rebalance_seconds",
+        current.get("rebalance_seconds", 0.0),
+        max(1.0, budget_s),
+    )
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
@@ -190,6 +231,12 @@ def main() -> int:
     )
     parser.add_argument("--rollout", default="BENCH_rollout.json")
     parser.add_argument("--quant", default="BENCH_quant.json")
+    parser.add_argument(
+        "--recovery",
+        default="BENCH_recovery.json",
+        help="elastic recovery bench output; gated (self-referentially, no "
+        "baseline) only when the file exists",
+    )
     parser.add_argument(
         "--tolerance",
         type=float,
@@ -226,6 +273,8 @@ def main() -> int:
     gate = Gate(args.tolerance)
     gate_rollout(gate, load(args.rollout), load(pairs[0][1]), args.absolute)
     gate_quant(gate, load(args.quant), load(pairs[1][1]), args.absolute)
+    if os.path.exists(args.recovery):
+        gate_recovery(gate, load(args.recovery))
 
     if gate.failures:
         print("bench_gate FAILED:", file=sys.stderr)

@@ -46,6 +46,9 @@ int usage() {
                " [--lr=X]\n"
                "           [--checkpoint-dir=DIR] [--checkpoint-every=N] "
                "[--resume]\n"
+               "           [--tasks-per-rank=N]   (over-decompose: each rank\n"
+               "                             trains N subdomain tasks; enables\n"
+               "                             the elastic rollout runtime)\n"
                "  eval     --data=FILE --model=FILE [--train-fraction=X]\n"
                "  rollout  --data=FILE --model=FILE [--steps=N] [--start=N] "
                "[--render]\n"
@@ -59,6 +62,13 @@ int usage() {
                "           [--health-report]   (print the rollout health\n"
                "                             summary: NaN/Inf, seam residuals,\n"
                "                             int8 saturation, degradations)\n"
+               "           [--elastic]   (self-healing elastic runtime:\n"
+               "                             over-decomposed tasks, heartbeat\n"
+               "                             failure detection, live adoption;\n"
+               "                             see docs/robustness.md)\n"
+               "           [--tasks-per-rank=N] [--lease-ms=N] [--no-recover]\n"
+               "           [--state-dir=DIR] [--state-every=N]   (PPES rollout\n"
+               "                             state snapshots for adoption)\n"
                "  info     --model=FILE | --data=FILE\n"
                "observability flags (any command; see docs/observability.md):\n"
                "  --trace=FILE      Chrome trace-event JSON of the run's spans,\n"
@@ -96,6 +106,23 @@ std::string json_string_array(const std::vector<std::string>& values) {
       out += c;
     }
     out += '"';
+  }
+  return out + "]";
+}
+
+// Injected-fault deaths as JSON objects: which rank, the epoch/step boundary
+// where it died (-1 when not applicable), and the RankFailure message.
+std::string json_rank_failures(
+    const std::vector<RankFailureRecord>& failures) {
+  std::string out = "[";
+  for (std::size_t i = 0; i < failures.size(); ++i) {
+    if (i != 0) out += ",";
+    telemetry::JsonObject obj;
+    obj.field("rank", failures[i].rank)
+        .field("epoch", static_cast<std::int64_t>(failures[i].epoch))
+        .field("step", static_cast<std::int64_t>(failures[i].step))
+        .field("error", failures[i].error);
+    out += obj.str();
   }
   return out + "]";
 }
@@ -210,6 +237,7 @@ bool write_train_metrics(const std::string& path,
       .field("bytes_sent_total", sent_total)
       .field("bytes_received_total", recv_total)
       .raw("retrained_ranks", json_int_array(report.retrained_ranks))
+      .raw("rank_failures", json_rank_failures(report.failures))
       .raw("metrics", registry.metrics_json());
   writer.write_line(summary.str());
   if (!writer.close()) {
@@ -225,13 +253,19 @@ int cmd_train(const util::Options& opts) {
   const std::string data_path = require(opts, "data");
   const std::string out = require(opts, "out");
   const int ranks = opts.get_int("ranks", 4);
+  const int tasks_per_rank = opts.get_int("tasks-per-rank", 1);
+  if (tasks_per_rank < 1) {
+    std::fprintf(stderr, "--tasks-per-rank must be >= 1\n");
+    return 2;
+  }
   const data::FrameDataset dataset(data::load_frames(data_path));
   const TrainConfig config = config_from_options(opts, dataset.channels());
 
   std::printf("training %d subdomain networks on %lld pairs (%s, %s)...\n",
-              ranks, static_cast<long long>(dataset.num_pairs()),
-              config.loss.c_str(), border_mode_name(config.border).c_str());
-  const ParallelTrainer trainer(config, ranks);
+              ranks * tasks_per_rank,
+              static_cast<long long>(dataset.num_pairs()), config.loss.c_str(),
+              border_mode_name(config.border).c_str());
+  const ParallelTrainer trainer(config, ranks, tasks_per_rank);
 
   FaultToleranceOptions fault_tolerance;
   fault_tolerance.checkpoint_dir = opts.get_string("checkpoint-dir", "");
@@ -341,6 +375,20 @@ int cmd_rollout(const util::Options& opts) {
                                ? RolloutEngine::kSerialized
                                : RolloutEngine::kOverlapped;
   rollout_options.record_every = opts.get_int("record-every", 1);
+  rollout_options.elastic.enabled = opts.get_bool("elastic", false);
+  rollout_options.elastic.tasks_per_rank = opts.get_int("tasks-per-rank", 1);
+  rollout_options.elastic.recover = !opts.get_bool("no-recover", false);
+  rollout_options.elastic.lease =
+      std::chrono::milliseconds(opts.get_int("lease-ms", 250));
+  rollout_options.elastic.missed_leases = opts.get_int("missed-leases", 20);
+  rollout_options.elastic.state_dir = opts.get_string("state-dir", "");
+  rollout_options.elastic.state_every = opts.get_int(
+      "state-every", rollout_options.elastic.state_dir.empty() ? 0 : 1);
+  if (!rollout_options.elastic.enabled &&
+      rollout_options.elastic.tasks_per_rank != 1) {
+    std::fprintf(stderr, "--tasks-per-rank requires --elastic\n");
+    return 2;
+  }
   const std::string backend_name = opts.get_string("backend", "fp32");
   rollout_options.backend = backend::by_name(backend_name);
   if (rollout_options.backend == nullptr) {
@@ -378,6 +426,16 @@ int cmd_rollout(const util::Options& opts) {
     }
   }
   const HealthReport& health = result.health;
+  if (health.failed_ranks > 0) {
+    std::fprintf(stderr,
+                 "elastic recovery: %d rank failure(s) detected at step %d "
+                 "(%.3fs); %d recovery round(s) adopted %d task(s) in %.3fs, "
+                 "assignment epoch %d\n",
+                 health.failed_ranks, health.detection_step,
+                 health.detection_seconds, health.recoveries,
+                 health.adopted_tasks, health.rebalance_seconds,
+                 health.assignment_epoch);
+  }
   if (opts.get_bool("health-report", false)) {
     util::Table health_table({"health check", "value"});
     health_table.add_row(
@@ -394,6 +452,27 @@ int cmd_rollout(const util::Options& opts) {
         {"int8 saturated values", std::to_string(health.quant_saturations)});
     health_table.add_row(
         {"degraded borders", std::to_string(health.degraded_borders)});
+    if (rollout_options.elastic.enabled) {
+      health_table.add_row(
+          {"rank failures", std::to_string(health.failed_ranks)});
+      health_table.add_row(
+          {"recovery rounds", std::to_string(health.recoveries)});
+      health_table.add_row(
+          {"adopted tasks", std::to_string(health.adopted_tasks)});
+      health_table.add_row(
+          {"failure detected at step",
+           health.detection_step < 0 ? "-"
+                                     : std::to_string(health.detection_step)});
+      health_table.add_row({"detection seconds",
+                            util::Table::fmt(health.detection_seconds, 3)});
+      health_table.add_row({"rebalance seconds",
+                            util::Table::fmt(health.rebalance_seconds, 3)});
+      health_table.add_row(
+          {"assignment epoch", std::to_string(health.assignment_epoch)});
+      health_table.add_row(
+          {"degraded during recovery",
+           std::to_string(health.degraded_during_recovery)});
+    }
     health_table.print("rollout health:");
   }
   int rc = 0;
@@ -411,9 +490,12 @@ int cmd_rollout(const util::Options& opts) {
       telemetry::JsonObject summary;
       summary.field("record", "rollout_summary")
           .field("steps", steps)
-          .field("engine", rollout_options.engine == RolloutEngine::kSerialized
-                               ? "serialized"
-                               : "overlapped")
+          .field("engine",
+                 rollout_options.elastic.enabled
+                     ? "elastic"
+                     : (rollout_options.engine == RolloutEngine::kSerialized
+                            ? "serialized"
+                            : "overlapped"))
           .field("backend", result.backend)
           .field("record_every",
                  static_cast<std::int64_t>(rollout_options.record_every))
@@ -445,6 +527,19 @@ int cmd_rollout(const util::Options& opts) {
           .field("degraded_borders",
                  static_cast<std::int64_t>(health.degraded_borders));
       summary.raw("health", health_json.str());
+      if (rollout_options.elastic.enabled) {
+        telemetry::JsonObject recovery_json;
+        recovery_json.field("recoveries", health.recoveries)
+            .field("adopted_tasks", health.adopted_tasks)
+            .field("failed_ranks", health.failed_ranks)
+            .field("detection_step", health.detection_step)
+            .field("detection_seconds", health.detection_seconds)
+            .field("rebalance_seconds", health.rebalance_seconds)
+            .field("assignment_epoch", health.assignment_epoch)
+            .field("degraded_during_recovery",
+                   health.degraded_during_recovery);
+        summary.raw("recovery", recovery_json.str());
+      }
       const std::string trace_path = opts.get_string("trace", "");
       if (!trace_path.empty()) summary.field("trace_file", trace_path);
       summary.raw("metrics", telemetry::Registry::global().metrics_json());

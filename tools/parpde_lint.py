@@ -38,6 +38,12 @@ rule):
                    telemetry::now_us()/util::WallTimer so cross-rank trace
                    timestamps share one epoch and stay clock-offset
                    correctable (docs/observability.md).
+  raw-rank-block   elastic-runtime files (src/elastic/) may not index
+                   partition blocks by the hosting rank: ownership is
+                   versioned and migrates on rebalance, so geometry must be
+                   derived from the *task* id via the Assignment map —
+                   block_of_rank(comm.rank()) silently re-freezes the
+                   pre-elastic task==rank identity and breaks adoption.
   lock-held-comm   no blocking send/recv/recv_for/collective while a
                    lock_guard/unique_lock/scoped_lock is live in an enclosing
                    scope: a peer blocked on the same mutex can never complete
@@ -389,6 +395,40 @@ def rule_backend_bypass(rel: str, code: str, out: list):
         )
 
 
+# --- rule: raw-rank-block ----------------------------------------------------
+
+# The elastic runtime decouples subdomain tasks from ranks (the tentpole of
+# the self-healing design): every partition lookup must be keyed by a task id
+# or task coordinates from the Assignment map. A `block_of_rank(rank)` /
+# `block_of_rank(comm.rank())` in src/elastic/ quietly reintroduces the
+# implicit (cx, cy) == rank identity and produces wrong geometry the moment
+# one task migrates.
+ELASTIC_PHASE_PREFIX = "src/elastic/"
+
+_BLOCK_OF_RANK = re.compile(r"\bblock_of_rank\s*\(")
+_RANK_VALUE = re.compile(r"\.\s*rank\s*\(|\brank\b")
+
+
+def rule_raw_rank_block(rel: str, code: str, out: list):
+    if not rel.startswith(ELASTIC_PHASE_PREFIX):
+        return
+    for m in _BLOCK_OF_RANK.finditer(code):
+        args = split_args(code, m.end() - 1)
+        if not args or not _RANK_VALUE.search(args[0][0]):
+            continue
+        out.append(
+            Violation(
+                "raw-rank-block",
+                rel,
+                line_of(code, m.start()),
+                "partition block indexed by the hosting rank in elastic "
+                "code — ownership migrates on rebalance; derive geometry "
+                "from the task id via the Assignment map "
+                "(elastic/assignment.hpp)",
+            )
+        )
+
+
 # --- rule: lock-held-comm ----------------------------------------------------
 
 # The transport layer itself (mailbox/collectives implement the blocking
@@ -536,6 +576,7 @@ def lint_file(root: str, rel: str) -> list:
     rule_unbounded_halo_recv(rel_posix, code, out)
     rule_raw_clock(rel_posix, code, out)
     rule_backend_bypass(rel_posix, code, out)
+    rule_raw_rank_block(rel_posix, code, out)
     rule_lock_held_comm(rel_posix, code, out)
     rule_include_hygiene(rel_posix, code_includes, raw, out)
     return out
@@ -668,6 +709,26 @@ SEEDED_FILES = {
         "  mpi::barrier(comm);\n"
         "}\n"
     ),
+    # raw-rank-block: two rank-keyed block lookups in elastic code (flagged)
+    # next to a task-coordinate lookup and a task-id lookup (both fine).
+    "src/elastic/bad_rank_block.cpp": (
+        '#include "elastic/bad_rank_block.hpp"\n'
+        "void f(parpde::mpi::Communicator& comm,\n"
+        "       const parpde::domain::Partition& partition, int rank) {\n"
+        "  auto bad1 = partition.block_of_rank(comm.rank());\n"
+        "  auto bad2 = partition.block_of_rank(rank);\n"
+        "  auto ok1 = partition.block(ts.cx, ts.cy);\n"
+        "  auto ok2 = partition.block_of_rank(task);\n"
+        "}\n"
+    ),
+    # the classic engines keep the task == rank identity on purpose.
+    "src/core/ok_rank_block.cpp": (
+        '#include "core/ok_rank_block.hpp"\n'
+        "void g(parpde::mpi::Communicator& comm,\n"
+        "       const parpde::domain::Partition& partition) {\n"
+        "  auto block = partition.block_of_rank(comm.rank());\n"
+        "}\n"
+    ),
     # include-hygiene: missing pragma once, parent include, bits include.
     "src/util/bad_header.hpp": (
         "#include <vector>\n"
@@ -696,6 +757,7 @@ EXPECTED = {
     "include-hygiene": {"src/util/bad_header.hpp"},
     "backend-bypass": {"src/core/bad_bypass.cpp"},
     "raw-clock": {"src/core/bad_clock.cpp"},
+    "raw-rank-block": {"src/elastic/bad_rank_block.cpp"},
     "lock-held-comm": {"src/domain/bad_lock_comm.cpp"},
 }
 
@@ -753,6 +815,15 @@ def self_test() -> int:
             failures.append(
                 f"backend-bypass: expected exactly 2 findings, got "
                 f"{len(bypass)}"
+            )
+        # Exactly the two rank-keyed lookups: the task-coordinate and
+        # task-id lookups in the same seed and the classic engine file
+        # (outside src/elastic/) must not be flagged.
+        rank_block = [v for v in violations if v.rule == "raw-rank-block"]
+        if len(rank_block) != 2:
+            failures.append(
+                f"raw-rank-block: expected exactly 2 findings, got "
+                f"{len(rank_block)}"
             )
         # Exactly the held-lock send and the held-lock barrier: the
         # unlock-first and closed-scope functions in the same seed are legal.

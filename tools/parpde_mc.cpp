@@ -9,7 +9,7 @@
 // On divergence the failing schedule is shrunk to a minimal PARPDE_SCHEDULE
 // replay spec, printed, and optionally written to --fail-spec-out.
 //
-//   parpde_mc --oracle=rollout|trainer|checkpoint|all [--distinct=N]
+//   parpde_mc --oracle=rollout|trainer|checkpoint|recovery|all [--distinct=N]
 //             [--runs=N] [--seed=S] [--fail-spec-out=PATH]
 //   parpde_mc --self-test          seed a known order bug; require catch+shrink
 //   parpde_mc --oracle=X --replay=SPEC   re-run one schedule spec
@@ -204,6 +204,68 @@ verify::Oracle make_checkpoint_oracle() {
   };
 }
 
+// Elastic kill -> adopt -> resume cycle: rank 1 dies at a step boundary
+// mid-rollout, the survivors detect it via the heartbeat lease, rebalance and
+// recompute the orphaned task from the initial frame (no PPES snapshots, so
+// the oracle touches no filesystem state). Detection order, adoption and the
+// recomputed frames must all be schedule-independent: every interleaving has
+// to converge on the same assignment epoch and bit-identical outputs.
+verify::Oracle make_recovery_oracle() {
+  const TrainConfig cfg = tiny_config();
+  constexpr std::int64_t kGrid = 16;
+  core::NetworkTrainer reference(cfg, 0);
+  const auto params = core::export_parameters(reference.model());
+  ParallelTrainReport report;
+  report.ranks = 4;
+  report.dims = mpi::dims_create(4);
+  const domain::Partition part(kGrid, kGrid, report.dims.px, report.dims.py);
+  report.rank_outcomes.resize(4);
+  for (int r = 0; r < 4; ++r) {
+    auto& outcome = report.rank_outcomes[static_cast<std::size_t>(r)];
+    outcome.rank = r;
+    outcome.block = part.block_of_rank(r);
+    outcome.parameters = params;
+  }
+  Tensor initial({4, kGrid, kGrid});
+  util::Rng rng(42);
+  rng.fill_uniform(initial.values(), 0.5f, 1.5f);
+
+  return [cfg, report = std::move(report), initial = std::move(initial)] {
+    mpi::fault::KillSpec kill;
+    kill.rank = 1;
+    kill.at_step = 1;
+    mpi::fault::install(mpi::fault::FaultPlan(7).set_kill(kill));
+    core::RolloutResult result;
+    try {
+      core::RolloutOptions options;
+      options.elastic.enabled = true;
+      options.elastic.lease = std::chrono::milliseconds(25);
+      options.elastic.missed_leases = 6;
+      result = core::parallel_rollout(cfg, report, initial, /*steps=*/3,
+                                      options);
+    } catch (...) {
+      mpi::fault::uninstall();
+      throw;
+    }
+    mpi::fault::uninstall();
+    if (result.health.recoveries != 1 || result.health.adopted_tasks < 1) {
+      throw std::runtime_error("recovery oracle: the killed rank was not "
+                               "adopted");
+    }
+    if (result.degraded_borders != 0) {
+      throw std::runtime_error("recovery oracle: a border stayed degraded "
+                               "after adoption");
+    }
+    std::uint64_t h = kFnvSeed;
+    for (const Tensor& frame : result.frames) h = hash_tensor(frame, h);
+    h = fnv1a(&result.health.assignment_epoch,
+              sizeof(result.health.assignment_epoch), h);
+    h = fnv1a(&result.health.adopted_tasks, sizeof(result.health.adopted_tasks),
+              h);
+    return h;
+  };
+}
+
 // --- seeded order bug (self-test) -------------------------------------------
 // Two neighbour ranks send rim bands that OVERLAP on four cells, and the
 // receiver applies them in ARRIVAL order with a non-associative blend — the
@@ -266,6 +328,7 @@ const OracleDef kOracles[] = {
     {"rollout", 160, make_rollout_oracle},
     {"trainer", 50, make_trainer_oracle},
     {"checkpoint", 60, make_checkpoint_oracle},
+    {"recovery", 40, make_recovery_oracle},
 };
 
 void write_fail_spec(const std::string& path, const std::string& oracle,
@@ -402,7 +465,8 @@ int run_self_test(const std::string& fail_spec_out) {
 
 int usage() {
   std::fprintf(stderr,
-               "usage: parpde_mc --oracle=rollout|trainer|checkpoint|all "
+               "usage: parpde_mc --oracle=rollout|trainer|checkpoint|recovery"
+               "|all "
                "[--distinct=N] [--min-distinct=N] [--runs=N] [--seed=S] "
                "[--replay=SPEC] [--fail-spec-out=PATH] | --self-test\n");
   return 2;
