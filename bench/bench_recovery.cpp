@@ -24,6 +24,7 @@
 #include "core/model.hpp"
 #include "core/trainer.hpp"
 #include "domain/partition.hpp"
+#include "latency_stats.hpp"
 #include "minimpi/cart.hpp"
 #include "minimpi/fault.hpp"
 #include "util/options.hpp"
@@ -121,6 +122,10 @@ int main(int argc, char** argv) {
   const double lease_budget_ms =
       static_cast<double>(lease_ms) * static_cast<double>(missed_leases);
   const auto& h = healed.health;
+  // Healthy-run step latency through the shared helper (bench/latency_stats
+  // .hpp) — the same percentile formula every other BENCH_*.json uses.
+  const parpde::bench::LatencySummary step_lat =
+      parpde::bench::summarize_latencies(healthy.step_seconds);
 
   auto emit = [&](std::FILE* f) {
     std::fprintf(
@@ -144,6 +149,8 @@ int main(int argc, char** argv) {
         "  \"degraded_during_recovery\": %d,\n"
         "  \"degraded_after\": %d,\n"
         "  \"healthy_steady_state_allocs\": %llu,\n"
+        "  \"healthy_step_p50_ms\": %.4f,\n"
+        "  \"healthy_step_p99_ms\": %.4f,\n"
         "  \"bit_identical\": %s\n"
         "}\n",
         static_cast<long long>(grid), steps, threads, kill_step, lease_ms,
@@ -152,7 +159,7 @@ int main(int argc, char** argv) {
         h.rebalance_seconds, h.assignment_epoch, h.degraded_during_recovery,
         healed.degraded_borders,
         static_cast<unsigned long long>(healthy.steady_state_allocs),
-        identical ? "true" : "false");
+        step_lat.p50 * 1e3, step_lat.p99 * 1e3, identical ? "true" : "false");
   };
   emit(stdout);
   if (std::FILE* f = std::fopen(out_path.c_str(), "w")) {

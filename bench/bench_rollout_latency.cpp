@@ -29,6 +29,7 @@
 #include "core/config.hpp"
 #include "core/inference.hpp"
 #include "core/model.hpp"
+#include "latency_stats.hpp"
 #include "util/options.hpp"
 #include "util/random.hpp"
 #include "util/thread_pool.hpp"
@@ -36,16 +37,8 @@
 namespace {
 
 using parpde::Tensor;
+using parpde::bench::percentile;
 namespace core = parpde::core;
-
-double percentile(std::vector<double> xs, double q) {
-  if (xs.empty()) return 0.0;
-  std::sort(xs.begin(), xs.end());
-  const auto n = static_cast<double>(xs.size());
-  const auto idx = static_cast<std::size_t>(
-      std::min(n - 1.0, std::max(0.0, q * n - 0.5)));
-  return xs[idx];
-}
 
 struct EngineStats {
   double p50_ms = 0.0;

@@ -1,0 +1,463 @@
+// Serving-layer benchmark (docs/serving.md): drives a SurrogateServer with a
+// synthetic multi-session load — per-session Poisson arrival schedules over a
+// seeded exponential stream — and compares the coalescing scheduler against
+// the serial dispatch baseline across a concurrency sweep. Per-request
+// latency is measured from the *scheduled* arrival time, not the issue time,
+// so queueing delay is charged to the server (no coordinated omission).
+//
+// Besides the sweep, the run records two machine-capability figures the gate
+// conditions on (tools/bench_gate.py, gate_serving):
+//
+//   batch_amortization   plan-level per-sample speedup of one
+//                        run_batched(max_batch) over max_batch solo run()
+//                        calls. This is the ceiling coalescing can reach on
+//                        this machine: where GEMMs at serving width already
+//                        saturate the core (large tiles, few cores) it sits
+//                        near 1.0 and the gate only demands coalescing never
+//                        materially loses; where wide GEMMs genuinely
+//                        amortize, the gate scales its floor up to the 1.5x
+//                        acceptance target.
+//   bit_identical        every session's trajectory under coalesced dispatch
+//                        matches a solo ForwardPlan::run replay byte for
+//                        byte (the determinism contract, both backends).
+//
+// Emits one JSON object on stdout and writes it to BENCH_serving.json
+// (progress on stderr).
+//
+//   bench_serving [--grid G] [--steps N] [--warmup N] [--max-batch B]
+//                 [--window-ms X] [--queue-depth N] [--gap-ms X]
+//                 [--threads N] [--out FILE]
+//
+// --gap-ms 0 (default) auto-calibrates the per-session mean arrival gap to
+// the measured solo step time, so the offered load at concurrency C is about
+// C times one core's service rate — saturating, which is the regime
+// coalescing exists for.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <random>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "backend/kernel_backend.hpp"
+#include "core/inference.hpp"
+#include "core/model.hpp"
+#include "latency_stats.hpp"
+#include "nn/forward_plan.hpp"
+#include "serve/surrogate_server.hpp"
+#include "util/options.hpp"
+#include "util/random.hpp"
+#include "util/thread_pool.hpp"
+
+namespace {
+
+using parpde::Tensor;
+namespace core = parpde::core;
+namespace serve = parpde::serve;
+namespace nn = parpde::nn;
+
+using Clock = std::chrono::steady_clock;
+
+struct RunStats {
+  double throughput_rps = 0.0;
+  parpde::bench::LatencySummary latency;
+  std::uint64_t requests = 0;
+  std::uint64_t rejected = 0;
+  double mean_batch = 0.0;
+  std::vector<std::uint64_t> occupancy;
+  std::uint64_t growth_events = 0;
+};
+
+// Table-I weights damped toward a contractive map (the test_quant_rollout
+// idiom) keep the autoregressive sessions bounded; loading through
+// core::rebuild_model is the same path the CLI `serve` command uses.
+std::unique_ptr<nn::Sequential> damped_model(const core::TrainConfig& cfg) {
+  parpde::util::Rng rng(cfg.seed);
+  const auto raw = core::build_model(cfg.network, cfg.border, rng);
+  auto params = core::export_parameters(*raw);
+  parpde::util::Rng weight_rng(1234);
+  for (auto& t : params) {
+    if (t.ndim() == 1) {
+      weight_rng.fill_uniform(t.values(), -0.3f, 0.3f);
+    } else {
+      for (std::int64_t i = 0; i < t.size(); ++i) t[i] *= 0.5f;
+    }
+  }
+  return core::rebuild_model(cfg, params);
+}
+
+std::vector<Tensor> session_initials(int sessions, std::int64_t channels,
+                                     std::int64_t grid) {
+  std::vector<Tensor> out;
+  out.reserve(static_cast<std::size_t>(sessions));
+  for (int s = 0; s < sessions; ++s) {
+    Tensor ic({channels, grid, grid});
+    parpde::util::Rng rng(100 + static_cast<std::uint64_t>(s));
+    rng.fill_uniform(ic.values(), 0.5f, 1.5f);
+    out.push_back(std::move(ic));
+  }
+  return out;
+}
+
+// One server run: `sessions` client threads, each following its own seeded
+// Poisson arrival schedule (mean gap `gap_ms`; 0 = closed loop). Latency per
+// request = completion wall time minus the scheduled arrival time.
+RunStats run_server(nn::Sequential& model, const parpde::backend::KernelBackend*
+                        bk,
+                    const std::vector<float>& calibration,
+                    const std::vector<Tensor>& initials, int sessions,
+                    int steps, int warmup, bool coalesce, int max_batch,
+                    double window_ms, int queue_depth, double gap_ms) {
+  const std::int64_t channels = initials[0].shape()[0];
+  const std::int64_t grid = initials[0].shape()[1];
+  serve::ServerOptions opt;
+  opt.backend = bk;
+  opt.max_batch = max_batch;
+  opt.queue_depth = queue_depth;
+  opt.max_sessions = sessions;
+  opt.coalesce = coalesce;
+  opt.coalesce_window_ms = window_ms;
+  serve::SurrogateServer server(model, channels, grid, grid, opt);
+  if (server.needs_calibration()) {
+    server.set_calibration(calibration);
+  }
+  std::vector<std::int64_t> ids(static_cast<std::size_t>(sessions));
+  for (int s = 0; s < sessions; ++s) {
+    ids[static_cast<std::size_t>(s)] =
+        server.open_session(initials[static_cast<std::size_t>(s)].data());
+  }
+
+  // Warmup outside the measured window (first-touch, branch warm).
+  {
+    std::vector<std::thread> clients;
+    for (int s = 0; s < sessions; ++s) {
+      clients.emplace_back([&, s] {
+        for (int t = 0; t < warmup; ++t) {
+          (void)server.step(ids[static_cast<std::size_t>(s)]);
+        }
+      });
+    }
+    for (auto& c : clients) c.join();
+  }
+
+  std::vector<std::vector<double>> lat(static_cast<std::size_t>(sessions));
+  const Clock::time_point t0 = Clock::now();
+  std::vector<std::thread> clients;
+  for (int s = 0; s < sessions; ++s) {
+    clients.emplace_back([&, s] {
+      auto& mine = lat[static_cast<std::size_t>(s)];
+      mine.reserve(static_cast<std::size_t>(steps));
+      std::mt19937_64 rng(9000 + static_cast<std::uint64_t>(s));
+      std::exponential_distribution<double> gap(1.0);
+      double scheduled_s = 0.0;  // arrival schedule, relative to t0
+      for (int t = 0; t < steps; ++t) {
+        if (gap_ms > 0.0) {
+          scheduled_s += gap(rng) * gap_ms * 1e-3;
+          std::this_thread::sleep_until(
+              t0 + std::chrono::duration_cast<Clock::duration>(
+                       std::chrono::duration<double>(scheduled_s)));
+        }
+        const serve::StepResult r =
+            server.step(ids[static_cast<std::size_t>(s)]);
+        const double done_s =
+            std::chrono::duration<double>(Clock::now() - t0).count();
+        if (r.ok()) {
+          mine.push_back(gap_ms > 0.0 ? done_s - scheduled_s
+                                      : r.latency_seconds);
+        }
+      }
+    });
+  }
+  for (auto& c : clients) c.join();
+  const double wall = std::chrono::duration<double>(Clock::now() - t0).count();
+
+  RunStats out;
+  std::vector<double> all;
+  for (const auto& mine : lat) all.insert(all.end(), mine.begin(), mine.end());
+  out.latency = parpde::bench::summarize_latencies(all);
+  out.throughput_rps = static_cast<double>(all.size()) / wall;
+  const serve::ServerStats stats = server.stats();
+  // Subtract the warmup phase so the JSON counts only measured requests.
+  out.requests = stats.requests -
+                 static_cast<std::uint64_t>(sessions) *
+                     static_cast<std::uint64_t>(warmup);
+  out.rejected = stats.rejected;
+  out.occupancy = stats.occupancy;
+  out.mean_batch = stats.batches > 0
+                       ? static_cast<double>(stats.requests) /
+                             static_cast<double>(stats.batches)
+                       : 0.0;
+  out.growth_events = server.growth_events();
+  return out;
+}
+
+// Plan-level amortization ceiling: per-sample time of max_batch solo run()
+// calls over one run_batched(max_batch) call, medians over `reps` rounds.
+double batch_amortization(nn::Sequential& model, const parpde::backend::
+                              KernelBackend* bk,
+                          const std::vector<float>& calibration,
+                          const std::vector<Tensor>& initials, int max_batch,
+                          std::int64_t channels, std::int64_t grid, int reps) {
+  nn::ForwardPlan plan(model, channels, grid, grid, bk, max_batch);
+  if (plan.needs_calibration()) plan.set_calibration(calibration);
+  const std::int64_t frame = channels * grid * grid;
+  parpde::util::AlignedVector<float> stacked(
+      static_cast<std::size_t>(max_batch * frame));
+  for (int s = 0; s < max_batch; ++s) {
+    std::memcpy(stacked.data() + s * frame,
+                initials[static_cast<std::size_t>(s % initials.size())].data(),
+                static_cast<std::size_t>(frame) * sizeof(float));
+  }
+  std::vector<double> solo_s, batch_s;
+  for (int r = 0; r < reps; ++r) {
+    Clock::time_point t0 = Clock::now();
+    for (int s = 0; s < max_batch; ++s) {
+      (void)plan.run(stacked.data() + s * frame, grid, grid);
+    }
+    Clock::time_point t1 = Clock::now();
+    (void)plan.run_batched(stacked.data(), max_batch, grid, grid);
+    Clock::time_point t2 = Clock::now();
+    solo_s.push_back(std::chrono::duration<double>(t1 - t0).count());
+    batch_s.push_back(std::chrono::duration<double>(t2 - t1).count());
+  }
+  return parpde::bench::percentile(solo_s, 0.5) /
+         parpde::bench::percentile(batch_s, 0.5);
+}
+
+// Determinism spot check at bench scale: every session's coalesced trajectory
+// must replay byte-identically through the solo plan (the full randomized
+// matrix lives in tests/test_serve.cpp).
+bool coalesced_bit_identical(nn::Sequential& model, const parpde::backend::
+                                 KernelBackend* bk,
+                             const std::vector<float>& calibration,
+                             const std::vector<Tensor>& initials, int sessions,
+                             int steps, std::int64_t channels,
+                             std::int64_t grid) {
+  const std::int64_t frame = channels * grid * grid;
+  nn::ForwardPlan solo(model, channels, grid, grid, bk, 1);
+  if (solo.needs_calibration()) solo.set_calibration(calibration);
+
+  serve::ServerOptions opt;
+  opt.backend = bk;
+  opt.max_batch = sessions;
+  opt.coalesce = true;
+  opt.coalesce_window_ms = 0.2;
+  serve::SurrogateServer server(model, channels, grid, grid, opt);
+  if (server.needs_calibration()) server.set_calibration(calibration);
+  std::vector<std::int64_t> ids(static_cast<std::size_t>(sessions));
+  for (int s = 0; s < sessions; ++s) {
+    ids[static_cast<std::size_t>(s)] =
+        server.open_session(initials[static_cast<std::size_t>(s)].data());
+  }
+  std::vector<std::thread> clients;
+  for (int s = 0; s < sessions; ++s) {
+    clients.emplace_back([&, s] {
+      for (int t = 0; t < steps; ++t) {
+        (void)server.step(ids[static_cast<std::size_t>(s)]);
+      }
+    });
+  }
+  for (auto& c : clients) c.join();
+
+  bool identical = true;
+  std::vector<float> ref(static_cast<std::size_t>(frame));
+  for (int s = 0; s < sessions; ++s) {
+    std::memcpy(ref.data(), initials[static_cast<std::size_t>(s)].data(),
+                static_cast<std::size_t>(frame) * sizeof(float));
+    for (int t = 0; t < steps; ++t) {
+      const nn::ForwardPlan::Output o = solo.run(ref.data(), grid, grid);
+      std::memcpy(ref.data(), o.data,
+                  static_cast<std::size_t>(frame) * sizeof(float));
+    }
+    if (std::memcmp(ref.data(), server.frame(ids[static_cast<std::size_t>(s)]),
+                    static_cast<std::size_t>(frame) * sizeof(float)) != 0) {
+      identical = false;
+    }
+  }
+  return identical;
+}
+
+std::string occupancy_json(const std::vector<std::uint64_t>& occ) {
+  std::string out = "[";
+  for (std::size_t i = 0; i < occ.size(); ++i) {
+    if (i != 0) out += ",";
+    out += std::to_string(occ[i]);
+  }
+  return out + "]";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const parpde::util::Options opts(argc, argv);
+  const auto grid = static_cast<std::int64_t>(opts.get_int("grid", 64));
+  const int steps = opts.get_int("steps", 24);
+  const int warmup = opts.get_int("warmup", 3);
+  const int max_batch = opts.get_int("max-batch", 8);
+  const double window_ms = opts.get_double("window-ms", 0.0);
+  const int queue_depth = opts.get_int("queue-depth", 64);
+  const double gap_flag_ms = opts.get_double("gap-ms", 0.0);
+  const int threads = opts.get_int("threads", 1);
+  const std::string out_path = opts.get_string("out", "BENCH_serving.json");
+  parpde::util::ThreadPool::configure_global(threads);
+
+  core::TrainConfig cfg;
+  cfg.border = core::BorderMode::kZeroPad;  // same-geometry net: serving mode
+  const auto model = damped_model(cfg);
+  const std::int64_t channels = cfg.network.channels.front();
+  const std::vector<int> sweep = {1, 2, 4, 8};
+  const int max_sessions = sweep.back();
+  const auto initials = session_initials(max_sessions, channels, grid);
+
+  // One backend-independent calibration shared by every plan and server in
+  // the run (fp32 ignores it; int8 must see identical scales everywhere).
+  std::vector<float> calibration;
+  {
+    nn::ForwardPlan probe(*model, channels, grid, grid,
+                          &parpde::backend::quantized_int8(), 1);
+    probe.calibrate(initials[0].data(), grid, grid);
+    calibration = probe.calibration();
+  }
+
+  struct BackendReport {
+    std::string name;
+    double solo_step_ms = 0.0;
+    double amortization = 0.0;
+    bool bit_identical = false;
+    std::uint64_t growth_events = 0;
+    std::vector<int> conc;
+    std::vector<RunStats> serial, coalesced;
+  };
+  std::vector<BackendReport> reports;
+
+  for (const char* name : {"fp32", "int8"}) {
+    const parpde::backend::KernelBackend* bk = parpde::backend::by_name(name);
+    BackendReport rep;
+    rep.name = name;
+
+    std::fprintf(stderr, "[%s] plan amortization probe...\n", name);
+    rep.amortization = batch_amortization(*model, bk, calibration, initials,
+                                          max_batch, channels, grid, 12);
+    std::fprintf(stderr, "[%s] determinism spot check...\n", name);
+    rep.bit_identical = coalesced_bit_identical(
+        *model, bk, calibration, initials, 4, 6, channels, grid);
+
+    // Solo step time calibrates the Poisson arrival gap: mean gap == service
+    // time, so concurrency C offers ~C times one core's service rate.
+    {
+      nn::ForwardPlan plan(*model, channels, grid, grid, bk, 1);
+      if (plan.needs_calibration()) plan.set_calibration(calibration);
+      std::vector<double> xs;
+      for (int r = 0; r < 12; ++r) {
+        const Clock::time_point t0 = Clock::now();
+        (void)plan.run(initials[0].data(), grid, grid);
+        xs.push_back(
+            std::chrono::duration<double>(Clock::now() - t0).count());
+      }
+      rep.solo_step_ms = parpde::bench::percentile(xs, 0.5) * 1e3;
+    }
+    const double gap_ms =
+        gap_flag_ms > 0.0 ? gap_flag_ms : rep.solo_step_ms;
+
+    for (const int conc : sweep) {
+      std::fprintf(stderr, "[%s] concurrency %d (gap %.2f ms)...\n", name,
+                   conc, gap_ms);
+      RunStats serial =
+          run_server(*model, bk, calibration, initials, conc, steps, warmup,
+                     /*coalesce=*/false, max_batch, window_ms, queue_depth,
+                     gap_ms);
+      RunStats coal =
+          run_server(*model, bk, calibration, initials, conc, steps, warmup,
+                     /*coalesce=*/true, max_batch, window_ms, queue_depth,
+                     gap_ms);
+      rep.growth_events += serial.growth_events + coal.growth_events;
+      rep.conc.push_back(conc);
+      rep.serial.push_back(std::move(serial));
+      rep.coalesced.push_back(std::move(coal));
+    }
+    reports.push_back(std::move(rep));
+  }
+
+  auto emit = [&](std::FILE* f) {
+    std::fprintf(f,
+                 "{\n"
+                 "  \"grid\": %lld,\n"
+                 "  \"steps\": %d,\n"
+                 "  \"warmup\": %d,\n"
+                 "  \"threads\": %d,\n"
+                 "  \"max_batch\": %d,\n"
+                 "  \"window_ms\": %.3f,\n"
+                 "  \"queue_depth\": %d,\n"
+                 "  \"backends\": [\n",
+                 static_cast<long long>(grid), steps, warmup, threads,
+                 max_batch, window_ms, queue_depth);
+    for (std::size_t b = 0; b < reports.size(); ++b) {
+      const BackendReport& rep = reports[b];
+      std::fprintf(f,
+                   "    {\n"
+                   "      \"backend\": \"%s\",\n"
+                   "      \"solo_step_ms\": %.4f,\n"
+                   "      \"batch_amortization\": %.4f,\n"
+                   "      \"bit_identical\": %s,\n"
+                   "      \"growth_events\": %llu,\n"
+                   "      \"sweep\": [\n",
+                   rep.name.c_str(), rep.solo_step_ms, rep.amortization,
+                   rep.bit_identical ? "true" : "false",
+                   static_cast<unsigned long long>(rep.growth_events));
+      for (std::size_t i = 0; i < rep.conc.size(); ++i) {
+        const RunStats& s = rep.serial[i];
+        const RunStats& c = rep.coalesced[i];
+        std::fprintf(
+            f,
+            "        {\"concurrency\": %d,\n"
+            "         \"serial\": {\"throughput_rps\": %.2f, \"p50_ms\": "
+            "%.4f, \"p99_ms\": %.4f, \"requests\": %llu, \"rejected\": "
+            "%llu},\n"
+            "         \"coalesced\": {\"throughput_rps\": %.2f, \"p50_ms\": "
+            "%.4f, \"p99_ms\": %.4f, \"requests\": %llu, \"rejected\": "
+            "%llu,\n"
+            "                       \"mean_batch\": %.3f, \"occupancy\": "
+            "%s},\n"
+            "         \"speedup\": %.4f}%s\n",
+            rep.conc[i], s.throughput_rps, s.latency.p50 * 1e3,
+            s.latency.p99 * 1e3, static_cast<unsigned long long>(s.requests),
+            static_cast<unsigned long long>(s.rejected), c.throughput_rps,
+            c.latency.p50 * 1e3, c.latency.p99 * 1e3,
+            static_cast<unsigned long long>(c.requests),
+            static_cast<unsigned long long>(c.rejected), c.mean_batch,
+            occupancy_json(c.occupancy).c_str(),
+            c.throughput_rps / s.throughput_rps,
+            i + 1 < rep.conc.size() ? "," : "");
+      }
+      std::fprintf(f, "      ]\n    }%s\n",
+                   b + 1 < reports.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+  };
+  emit(stdout);
+  if (std::FILE* f = std::fopen(out_path.c_str(), "w")) {
+    emit(f);
+    std::fclose(f);
+    std::fprintf(stderr, "wrote %s\n", out_path.c_str());
+  } else {
+    std::fprintf(stderr, "could not open %s for writing\n", out_path.c_str());
+    return 1;
+  }
+
+  for (const BackendReport& rep : reports) {
+    const RunStats& c8 = rep.coalesced.back();
+    const RunStats& s8 = rep.serial.back();
+    std::fprintf(stderr,
+                 "[%s] amortization %.2fx | conc=8 coalesced %.1f req/s vs "
+                 "serial %.1f req/s (%.2fx) | mean batch %.2f | identical %s\n",
+                 rep.name.c_str(), rep.amortization, c8.throughput_rps,
+                 s8.throughput_rps, c8.throughput_rps / s8.throughput_rps,
+                 c8.mean_batch, rep.bit_identical ? "yes" : "NO");
+    if (!rep.bit_identical) return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,64 @@
+#pragma once
+
+// Shared latency statistics for the bench harnesses. bench_rollout_latency
+// and bench_recovery each grew their own percentile code; this header is the
+// single copy (ISSUE 10 satellite), and bench_serving builds its request
+// latency / batch-occupancy reporting on the same helpers so every
+// BENCH_*.json quotes percentiles computed the same way.
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+namespace parpde::bench {
+
+// Nearest-rank percentile (q in [0, 1]) over a by-value copy of the samples:
+// idx = clamp(q*n - 0.5) after sorting — the exact formula the rollout bench
+// has always used, so extracted numbers match the checked-in baselines.
+inline double percentile(std::vector<double> xs, double q) {
+  if (xs.empty()) return 0.0;
+  std::sort(xs.begin(), xs.end());
+  const auto n = static_cast<double>(xs.size());
+  const auto idx = static_cast<std::size_t>(
+      std::min(n - 1.0, std::max(0.0, q * n - 0.5)));
+  return xs[idx];
+}
+
+struct LatencySummary {
+  std::uint64_t count = 0;
+  double p50 = 0.0;
+  double p99 = 0.0;
+  double mean = 0.0;
+  double max = 0.0;
+};
+
+inline LatencySummary summarize_latencies(const std::vector<double>& xs) {
+  LatencySummary s;
+  s.count = static_cast<std::uint64_t>(xs.size());
+  if (xs.empty()) return s;
+  double sum = 0.0;
+  for (const double v : xs) {
+    sum += v;
+    s.max = std::max(s.max, v);
+  }
+  s.mean = sum / static_cast<double>(xs.size());
+  s.p50 = percentile(xs, 0.50);
+  s.p99 = percentile(xs, 0.99);
+  return s;
+}
+
+// Fixed-bound histogram: counts[i] tallies samples <= bounds[i]; the extra
+// trailing bucket is the overflow (same shape as telemetry::Histogram, so
+// bench output and the metrics registry agree bucket for bucket).
+inline std::vector<std::uint64_t> bucket_counts(
+    const std::vector<double>& xs, const std::vector<double>& bounds) {
+  std::vector<std::uint64_t> counts(bounds.size() + 1, 0);
+  for (const double v : xs) {
+    std::size_t i = 0;
+    while (i < bounds.size() && v > bounds[i]) ++i;
+    ++counts[i];
+  }
+  return counts;
+}
+
+}  // namespace parpde::bench

@@ -114,16 +114,30 @@ class KernelBackend {
   virtual void tanh(const float* x, float* y, std::int64_t n) const = 0;
 
   // --- fused inference path (ForwardPlan) ----------------------------------
-  // Pre-sizes all per-plan state for inputs up to [_, max_h, max_w].
+  // Pre-sizes all per-plan state for inputs up to [_, max_h, max_w], with
+  // workspaces wide enough for conv_forward_batched calls up to `max_batch`
+  // samples (1 = the classic single-sample plan).
   [[nodiscard]] virtual std::unique_ptr<PlanContext> make_plan_context(
       const std::vector<ConvLayerDesc>& layers, std::int64_t max_h,
-      std::int64_t max_w) const = 0;
+      std::int64_t max_w, std::int64_t max_batch = 1) const = 0;
 
   // y [Cout x OH*OW] = fused_act(W * im2col(x) + b) for layer `layer` of the
   // context on one [Cin, h, w] sample. Never allocates for in-range
   // geometries (growths are counted by the context).
   virtual void conv_forward(PlanContext& ctx, int layer, const float* x,
                             std::int64_t h, std::int64_t w, float* y) const = 0;
+
+  // Batched variant over `batch` stacked samples: x is [B, Cin, h, w], y is
+  // [B, Cout, OH, OW], both contiguous. The whole batch is lowered into one
+  // wide im2col matrix and one GEMM of width B*OH*OW — bit-identical per
+  // sample to `batch` solo conv_forward calls, because the blocked GEMM's
+  // per-element k-reduction order does not depend on the matrix width and the
+  // epilogue is elementwise. This is the contract SurrogateServer's
+  // cross-session coalescing relies on; test_serve proves it end-to-end.
+  virtual void conv_forward_batched(PlanContext& ctx, int layer,
+                                    const float* x, std::int64_t batch,
+                                    std::int64_t h, std::int64_t w,
+                                    float* y) const = 0;
 
   // Activation-scale calibration protocol. The fp32 backend needs none; the
   // int8 backend must see per-conv-layer input ranges (max-abs over a
@@ -187,9 +201,12 @@ class BlockedF32Backend : public KernelBackend {
 
   [[nodiscard]] std::unique_ptr<PlanContext> make_plan_context(
       const std::vector<ConvLayerDesc>& layers, std::int64_t max_h,
-      std::int64_t max_w) const override;
+      std::int64_t max_w, std::int64_t max_batch = 1) const override;
   void conv_forward(PlanContext& ctx, int layer, const float* x,
                     std::int64_t h, std::int64_t w, float* y) const override;
+  void conv_forward_batched(PlanContext& ctx, int layer, const float* x,
+                            std::int64_t batch, std::int64_t h, std::int64_t w,
+                            float* y) const override;
 };
 
 }  // namespace parpde::backend

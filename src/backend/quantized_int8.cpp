@@ -83,7 +83,7 @@ struct QLayer {
 class Int8PlanContext final : public PlanContext {
  public:
   Int8PlanContext(const std::vector<ConvLayerDesc>& layers, std::int64_t max_h,
-                  std::int64_t max_w) {
+                  std::int64_t max_w, std::int64_t max_batch) {
     std::int64_t h = max_h, w = max_w;
     std::int64_t qin_peak = 0, qcol_peak = 0, off_peak = 0;
     layers_.reserve(layers.size());
@@ -103,12 +103,14 @@ class Int8PlanContext final : public PlanContext {
       quantize_weights(q, l.weight);
       const ConvGeometry g{q.cin, h, w, q.kernel, q.pad};
       // +16 slack: the direct-from-qin panel pack vector-loads up to 14
-      // bytes past the tile (the lanes are discarded by the epilogue).
-      qin_peak = std::max(qin_peak, q.cin * h * w + 16);
+      // bytes past the tile (the lanes are discarded by the epilogue). In a
+      // batch the interior samples' overshoot reads the next sample's bytes
+      // instead — still defined memory, still discarded lanes.
+      qin_peak = std::max(qin_peak, max_batch * q.cin * h * w + 16);
       // +64 slack: same story for the right-edge pack out of the explicit
       // column matrix (padded convs only).
       if (q.pad > 0) {
-        qcol_peak = std::max(qcol_peak, q.kpad * g.col_cols() + 64);
+        qcol_peak = std::max(qcol_peak, max_batch * q.kpad * g.col_cols() + 64);
       }
       off_peak = std::max(off_peak, q.kpad);
       panel_bytes_ = std::max(panel_bytes_, q.kgroups * 64);
@@ -616,8 +618,8 @@ class QuantizedInt8Backend final : public BlockedF32Backend {
 
   [[nodiscard]] std::unique_ptr<PlanContext> make_plan_context(
       const std::vector<ConvLayerDesc>& layers, std::int64_t max_h,
-      std::int64_t max_w) const override {
-    return std::make_unique<Int8PlanContext>(layers, max_h, max_w);
+      std::int64_t max_w, std::int64_t max_batch = 1) const override {
+    return std::make_unique<Int8PlanContext>(layers, max_h, max_w, max_batch);
   }
 
   [[nodiscard]] bool needs_calibration(const PlanContext& ctx) const override {
@@ -629,8 +631,17 @@ class QuantizedInt8Backend final : public BlockedF32Backend {
     static_cast<Int8PlanContext&>(ctx).set_ranges(max_abs);
   }
 
+  // The solo path is the batched path at B = 1: the quantize chunking, the
+  // offset table, the block decomposition and every kernel call are byte-for
+  // byte the same, so delegating keeps one code path with no identity risk.
   void conv_forward(PlanContext& ctx, int layer, const float* x,
                     std::int64_t h, std::int64_t w, float* y) const override {
+    conv_forward_batched(ctx, layer, x, 1, h, w, y);
+  }
+
+  void conv_forward_batched(PlanContext& ctx, int layer, const float* x,
+                            std::int64_t batch, std::int64_t h, std::int64_t w,
+                            float* y) const override {
     auto& c = static_cast<Int8PlanContext&>(ctx);
     if (!c.calibrated()) {
       throw std::logic_error(
@@ -652,29 +663,82 @@ class QuantizedInt8Backend final : public BlockedF32Backend {
         telemetry::gauge("backend.int8.quantize_seconds");
     static telemetry::Gauge& dequant_s =
         telemetry::gauge("backend.int8.dequantize_seconds");
-    flops.add(static_cast<std::uint64_t>(2 * l.cout * l.krows * plane));
-    telemetry::Span span("conv.int8", "backend");
+    flops.add(
+        static_cast<std::uint64_t>(2 * l.cout * l.krows * batch * plane));
+    telemetry::Span span(batch == 1 ? "conv.int8" : "conv.int8.batched",
+                         "backend");
 
-    // 1. Quantize the fp32 input tile at the layer's fixed calibrated scale.
-    //    The 16 slack bytes are set to the quantized zero so the edge panel
-    //    pack's overshoot lanes read defined memory.
-    std::uint8_t* qin = c.qin(l.cin * h * w + 16);
+    // 1. Quantize the fp32 input at the layer's fixed calibrated scale —
+    //    whole batch in one elementwise pass. quantize_u8 is chunk-boundary
+    //    independent per element, so sample s's bytes match what a solo call
+    //    on that sample alone would produce. The 16 trailing slack bytes are
+    //    set to the quantized zero so the last sample's edge panel pack reads
+    //    defined memory (interior samples overshoot into their neighbor).
+    const std::int64_t sample = l.cin * h * w;
+    std::uint8_t* qin = c.qin(batch * sample + 16);
     {
       util::WallTimer timer;
-      quantize_u8(x, l.cin * h * w, l.inv_sx, qin);
+      quantize_u8(x, batch * sample, l.inv_sx, qin);
       quant_s.add(timer.seconds());
     }
-    std::memset(qin + l.cin * h * w, 128, 16);
+    std::memset(qin + batch * sample, 128, 16);
 
-    // 2. Column-row offset table. Unpadded convs (the rollout's halo-pad
-    //    path) pack panels straight out of qin: relative to an output pixel,
-    //    row r = (ci,ky,kx) of the implicit column matrix lives at offset
-    //    (ci*h + ky)*w + kx. Padded convs materialize the uint8 column
-    //    matrix (pad byte 128 = quantized zero) and the table degenerates to
-    //    off[r] = r*plane. K-pad rows repeat the last real row — their
-    //    weights are zero, so any in-range bytes contribute exactly zero.
+    // 2. Column-row offset table — geometry-only, shared by every sample.
+    //    Unpadded convs (the rollout's halo-pad path) pack panels straight
+    //    out of qin: relative to an output pixel, row r = (ci,ky,kx) of the
+    //    implicit column matrix lives at offset (ci*h + ky)*w + kx. Padded
+    //    convs materialize the uint8 column matrix (pad byte 128 = quantized
+    //    zero) per sample and the table degenerates to off[r] = r*plane.
+    //    K-pad rows repeat the last real row — their weights are zero, so
+    //    any in-range bytes contribute exactly zero.
     std::int32_t* off = c.off(l.kpad);
-    const std::uint8_t* colbase;
+
+    // 3. Blocked int8 GEMM + fused dequant epilogue, parallel over disjoint
+    //    16-column blocks across the covered samples (bit-identical at any
+    //    worker count and any batch composition — each block's
+    //    pack/kernel/epilogue sees only its own sample's bytes). Blocks never
+    //    span output rows — the direct-from-qin base pointer is only linear
+    //    within one — so the right edge of every row is a short block.
+    //    Epilogue timing is trace-mode only: per-block stopwatches are too
+    //    hot for the always-on path (see docs/observability.md).
+    const std::int64_t nxb = (ow + kBlockCols - 1) / kBlockCols;
+    const std::int64_t nblocks = oh * nxb;
+    const bool trace = telemetry::enabled();
+    const auto run_blocks = [&](std::int64_t s_base, std::int64_t scount,
+                                const std::uint8_t* colbase,
+                                std::int64_t sample_cols) {
+      util::ThreadPool::global().parallel_for(
+          scount * nblocks, 8, [&](std::int64_t b0, std::int64_t b1) {
+            t_qpanel.resize(static_cast<std::size_t>(c.panel_bytes()));
+            t_qacc.resize(static_cast<std::size_t>(c.acc_ints()));
+            std::uint8_t* panel = t_qpanel.data();
+            std::int32_t* acc = t_qacc.data();
+            double dq = 0.0;
+            for (std::int64_t t = b0; t < b1; ++t) {
+              const std::int64_t s = t / nblocks;
+              const std::int64_t blk = t % nblocks;
+              const std::int64_t oy = blk / nxb;
+              const std::int64_t x0 = (blk % nxb) * kBlockCols;
+              const std::int64_t j0 = oy * ow + x0;
+              const std::int64_t jn = std::min(kBlockCols, ow - x0);
+              const std::uint8_t* scol = colbase + s * sample_cols;
+              const std::uint8_t* base =
+                  l.pad == 0 ? scol + oy * w + x0 : scol + j0;
+              float* sy = y + (s_base + s) * l.cout * plane;
+              pack_panel(base, off, l.kgroups, panel);
+              g_kernel(panel, l.wq.data(), l.kgroups, l.cpad / 4, acc);
+              if (trace) {
+                util::WallTimer timer;
+                dequant_epilogue(acc, l, j0, jn, plane, sy);
+                dq += timer.seconds();
+              } else {
+                dequant_epilogue(acc, l, j0, jn, plane, sy);
+              }
+            }
+            if (trace && dq > 0.0) dequant_s.add(dq);
+          });
+    };
+
     if (l.pad == 0) {
       std::int64_t r = 0;
       for (std::int64_t ci = 0; ci < l.cin; ++ci) {
@@ -685,51 +749,37 @@ class QuantizedInt8Backend final : public BlockedF32Backend {
         }
       }
       for (; r < l.kpad; ++r) off[r] = off[r - 1];
-      colbase = qin;
+      // No column matrix is materialized — panels pack straight out of qin —
+      // so the working set per block is one sample's input plane and the
+      // whole batch can run as one block sweep.
+      run_blocks(0, batch, qin, sample);
     } else {
-      std::uint8_t* qcol = c.qcol(l.kpad * plane + 64);
-      im2col_u8(qin, g, qcol);
       std::int64_t r = 0;
       for (; r < l.krows; ++r) off[r] = static_cast<std::int32_t>(r * plane);
       for (; r < l.kpad; ++r) off[r] = off[r - 1];
-      colbase = qcol;
+      // Column-budget chunking, same rationale as the fp32 batched path: the
+      // materialized uint8 column matrix must stay cache-resident between
+      // im2col_u8 and the block sweep that consumes it, so large tiles are
+      // lowered in sample groups. The budget is tighter than fp32's: the u8
+      // column bytes are re-read by every pack_panel sweep, so they need to
+      // sit in L2, not just L3. Per-sample bits are unchanged — every block
+      // still packs from its own sample's columns only.
+      constexpr std::int64_t kColBudgetBytes = std::int64_t{1} << 20;
+      const std::int64_t col_bytes = l.kpad * plane;
+      const std::int64_t chunk = std::min(
+          batch, std::max<std::int64_t>(1, kColBudgetBytes / col_bytes));
+      std::uint8_t* qcol = c.qcol(chunk * col_bytes + 64);
+      for (std::int64_t s0 = 0; s0 < batch; s0 += chunk) {
+        const std::int64_t cb = std::min(chunk, batch - s0);
+        util::ThreadPool::global().parallel_for(
+            cb, 1, [&](std::int64_t c0, std::int64_t c1) {
+              for (std::int64_t s = c0; s < c1; ++s) {
+                im2col_u8(qin + (s0 + s) * sample, g, qcol + s * col_bytes);
+              }
+            });
+        run_blocks(s0, cb, qcol, col_bytes);
+      }
     }
-
-    // 3. Blocked int8 GEMM + fused dequant epilogue, parallel over disjoint
-    //    16-column blocks (bit-identical at any worker count). Blocks never
-    //    span output rows — the direct-from-qin base pointer is only linear
-    //    within one — so the right edge of every row is a short block.
-    //    Epilogue timing is trace-mode only: per-block stopwatches are too
-    //    hot for the always-on path (see docs/observability.md).
-    const std::int64_t nxb = (ow + kBlockCols - 1) / kBlockCols;
-    const std::int64_t nblocks = oh * nxb;
-    const bool trace = telemetry::enabled();
-    util::ThreadPool::global().parallel_for(
-        nblocks, 8, [&](std::int64_t b0, std::int64_t b1) {
-          t_qpanel.resize(static_cast<std::size_t>(c.panel_bytes()));
-          t_qacc.resize(static_cast<std::size_t>(c.acc_ints()));
-          std::uint8_t* panel = t_qpanel.data();
-          std::int32_t* acc = t_qacc.data();
-          double dq = 0.0;
-          for (std::int64_t blk = b0; blk < b1; ++blk) {
-            const std::int64_t oy = blk / nxb;
-            const std::int64_t x0 = (blk % nxb) * kBlockCols;
-            const std::int64_t j0 = oy * ow + x0;
-            const std::int64_t jn = std::min(kBlockCols, ow - x0);
-            const std::uint8_t* base =
-                l.pad == 0 ? colbase + oy * w + x0 : colbase + j0;
-            pack_panel(base, off, l.kgroups, panel);
-            g_kernel(panel, l.wq.data(), l.kgroups, l.cpad / 4, acc);
-            if (trace) {
-              util::WallTimer timer;
-              dequant_epilogue(acc, l, j0, jn, plane, y);
-              dq += timer.seconds();
-            } else {
-              dequant_epilogue(acc, l, j0, jn, plane, y);
-            }
-          }
-          if (trace && dq > 0.0) dequant_s.add(dq);
-        });
   }
 };
 

@@ -565,4 +565,14 @@ std::vector<Tensor> sequential_rollout(NetworkTrainer& trainer,
   return frames;
 }
 
+std::unique_ptr<nn::Sequential> rebuild_model(
+    const TrainConfig& config, const std::vector<Tensor>& parameters) {
+  // The rng only shapes the throwaway init; import_parameters overwrites
+  // every value, so the seed does not influence the rebuilt network.
+  util::Rng rng(config.seed);
+  auto model = build_model(config.network, config.border, rng);
+  import_parameters(*model, parameters);
+  return model;
+}
+
 }  // namespace parpde::core

@@ -13,6 +13,7 @@
 
 namespace parpde::nn {
 class ForwardPlan;
+class Sequential;
 }  // namespace parpde::nn
 
 namespace parpde::backend {
@@ -195,6 +196,13 @@ RolloutResult parallel_rollout(const TrainConfig& config,
 // Monolithic rollout with a single full-domain network.
 std::vector<Tensor> sequential_rollout(NetworkTrainer& trainer,
                                        const Tensor& initial, int steps);
+
+// Rebuilds one standalone network from a config plus exported parameter
+// values (the build_model + import_parameters idiom every inference consumer
+// kept re-rolling). The serving layer (serve::SurrogateServer), the CLI
+// `serve` command and bench_serving all load session models through this.
+[[nodiscard]] std::unique_ptr<nn::Sequential> rebuild_model(
+    const TrainConfig& config, const std::vector<Tensor>& parameters);
 
 // Serial convenience wrapper around the per-rank models of a trained report:
 // rebuilds every subdomain network once and evaluates full-domain one-step

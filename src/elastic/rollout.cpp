@@ -355,7 +355,10 @@ core::RolloutResult elastic_rollout(const core::TrainConfig& config,
     // and waits until every live peer's heartbeat reaches (epoch, step).
     // A peer that stays silent for the whole lease budget while we wait is
     // declared dead via DeathNotice. Never uses a collective: those would
-    // hang on the dead rank.
+    // hang on the dead rank. Threading (src/minimpi/README.md): this loop
+    // and strip_recv below both run on the rank's own thread, and the
+    // heartbeat and strip tag ranges are disjoint, so each channel keeps a
+    // single consumer.
     auto heartbeat_barrier = [&](int step, bool resend) {
       const auto epoch = static_cast<std::uint32_t>(assign.epoch());
       if (resend) {

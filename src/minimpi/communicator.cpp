@@ -280,6 +280,9 @@ bool Communicator::probe(int source, int tag) {
   // A peek, not a pop/re-push round trip: re-pushing would move the probed
   // message behind later arrivals of its own channel, silently breaking the
   // non-overtaking guarantee whenever more than one message is queued.
+  // Threading (src/minimpi/README.md): contains() is individually
+  // thread-safe, but probe-then-recv is only race-free when the calling
+  // thread is the channel's sole consumer.
   Mailbox& box = state_->mailboxes[static_cast<std::size_t>(rank_)];
   return box.contains(source, tag);
 }

@@ -34,6 +34,11 @@ namespace {
 // Fault robustness: every receive is bounded (recv_for) and both sides drain
 // their channel before returning, so an injected drop degrades the estimate
 // instead of hanging the run or tripping the finalize leak check.
+//
+// Threading (src/minimpi/README.md): all four recv_for sites here run on the
+// rank's own thread inside Environment::run, and the kClockSync channels have
+// no other consumer — the single-consumer-per-channel contract holds, and the
+// CV barrier sequences the handshake phase before the stale-drain phase.
 void align_rank_clock(Communicator& comm) {
   constexpr int kRounds = 8;
   constexpr std::chrono::milliseconds kReplyTimeout(200);

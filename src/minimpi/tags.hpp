@@ -53,10 +53,15 @@ inline constexpr TagRange kCollectives{1 << 20, 8, "mpi.collectives"};
 // elastic/rollout.cpp: heartbeat + per-task halo/gather traffic for the
 // elastic runtime (sub-layout below).
 inline constexpr TagRange kElastic{16384, 2048, "elastic"};
+// serve/surrogate_server.cpp: the coalescing scheduler routes each batch
+// dispatch through fault::on_send under this tag, so PARPDE_FAULT delay
+// rules (and fault::install in tests) can slow the server deterministically
+// — there is no actual message traffic on this range.
+inline constexpr TagRange kServe{4400, 1, "serve.dispatch"};
 
-inline constexpr std::array<TagRange, 7> kAllRanges{
+inline constexpr std::array<TagRange, 8> kAllRanges{
     kHalo,      kFieldGather, kFieldScatter, kEulerHalo,
-    kClockSync, kCollectives, kElastic};
+    kClockSync, kCollectives, kElastic,      kServe};
 
 // --- compile-time overlap detection -----------------------------------------
 

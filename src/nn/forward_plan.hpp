@@ -41,10 +41,13 @@ class ForwardPlan {
   // cannot replay (anything but Conv2d / LeakyReLU / ReLU / Tanh), the plan
   // is marked unsupported and run() must not be called — callers fall back
   // to Module::forward. `backend` selects the execution provider
-  // (nullptr = the reference fp32 backend).
+  // (nullptr = the reference fp32 backend). `max_batch` additionally
+  // pre-sizes the plan for run_batched() calls of up to that many stacked
+  // samples (1 = the classic single-sample plan).
   ForwardPlan(Sequential& model, std::int64_t in_channels, std::int64_t max_h,
               std::int64_t max_w,
-              const backend::KernelBackend* backend = nullptr);
+              const backend::KernelBackend* backend = nullptr,
+              std::int64_t max_batch = 1);
 
   [[nodiscard]] bool supported() const noexcept { return supported_; }
 
@@ -66,6 +69,17 @@ class ForwardPlan {
   // h <= max_h and w <= max_w. Never allocates for in-range geometries;
   // out-of-range ones grow the buffers and bump growth_events().
   Output run(const float* x, std::int64_t h, std::int64_t w);
+
+  // Evaluates the model on `batch` stacked samples [B, in_channels, h, w] in
+  // one pass per layer: every conv lowers the whole batch into a single wide
+  // GEMM (backend conv_forward_batched). Output::data points at the stacked
+  // [B, out_channels, oh, ow] result; the per-sample shape is in the Output
+  // fields. Each sample's bytes are identical to a solo run() on that sample
+  // — the cross-session coalescing contract SurrogateServer builds on (see
+  // docs/serving.md). Never allocates for batch <= max_batch and in-range
+  // geometries.
+  Output run_batched(const float* x, std::int64_t batch, std::int64_t h,
+                     std::int64_t w);
 
   // --- activation-scale calibration (int8 backend) --------------------------
   // True when the backend quantizes activations and no input ranges have been
@@ -92,6 +106,8 @@ class ForwardPlan {
   // Total spatial shrink of the stack: output is [out_channels, h - s, w - s]
   // for input height/width h, w (0 for "same"-padded nets).
   [[nodiscard]] std::int64_t shrink() const noexcept { return shrink_; }
+  // Largest batch the plan pre-sized run_batched() for.
+  [[nodiscard]] std::int64_t max_batch() const noexcept { return max_batch_; }
 
   // Buffer regrowths since construction (plan activation buffers plus the
   // backend context's workspaces); 0 in a pre-sized steady state.
@@ -114,6 +130,14 @@ class ForwardPlan {
 
   float* ensure(util::AlignedVector<float>& buf, std::int64_t floats);
 
+  // One wide pass over `batch` stacked samples through every step. When
+  // `final_dst` is non-null the last step writes its [batch, out_channels,
+  // oh, ow] result there instead of into a ping-pong buffer, which is what
+  // lets run_batched() evaluate a large batch in cache-sized sample groups
+  // while still returning one contiguous stacked output.
+  Output run_group(const float* x, std::int64_t batch, std::int64_t h,
+                   std::int64_t w, float* final_dst);
+
   const backend::KernelBackend* backend_ = nullptr;
   std::vector<Step> steps_;
   std::vector<backend::ConvLayerDesc> descs_;
@@ -123,12 +147,17 @@ class ForwardPlan {
   std::int64_t out_channels_ = 0;
   std::int64_t max_h_ = 0;
   std::int64_t max_w_ = 0;
+  std::int64_t max_batch_ = 1;
   std::int64_t shrink_ = 0;
   bool supported_ = true;
   std::uint64_t growth_events_ = 0;
 
   util::AlignedVector<float> ping_;  // activation ping-pong buffers
   util::AlignedVector<float> pong_;
+  // Stacked final output for the grouped run_batched() path (only sized when
+  // max_batch > 1): sample groups write their last-layer result here at their
+  // batch offset so the returned Output spans the whole batch contiguously.
+  util::AlignedVector<float> stack_;
 };
 
 }  // namespace parpde::nn

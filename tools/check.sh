@@ -9,8 +9,10 @@
 #            collectives, concurrent rank training, the blocked GEMM's
 #            parallel_for fan-out, the overlapped rollout engine's
 #            begin/finish halo split (bit-identity under races), the
-#            cross-rank trace collector's concurrent event buffers, and the
-#            int8 quantized rollout path.
+#            cross-rank trace collector's concurrent event buffers, the
+#            int8 quantized rollout path, and the SurrogateServer's
+#            scheduler/client handoff (coalesced batching under many
+#            concurrent session threads).
 #   * asan:  Address+UB sanitizers over the full ctest suite, with
 #            PARPDE_CHECKED_TENSOR=ON so every Tensor access is also
 #            bounds- and rank-checked, plus a second pass over the `chaos`
@@ -39,9 +41,9 @@ cmake -S "$root" -B "$build_root/tsan" \
 cmake --build "$build_root/tsan" -j "$jobs" --target \
   test_minimpi_p2p test_minimpi_collectives test_minimpi_collectives2 \
   test_minimpi_cart test_gemm_blocked test_core_parallel test_fault \
-  test_rollout_overlap test_trace test_quant_rollout >/dev/null
+  test_rollout_overlap test_trace test_quant_rollout test_serve >/dev/null
 (cd "$build_root/tsan" && ctest --output-on-failure -R \
-  'test_minimpi_p2p|test_minimpi_collectives|test_minimpi_collectives2|test_minimpi_cart|test_gemm_blocked|test_core_parallel|test_fault|test_rollout_overlap|test_trace|test_quant_rollout')
+  'test_minimpi_p2p|test_minimpi_collectives|test_minimpi_collectives2|test_minimpi_cart|test_gemm_blocked|test_core_parallel|test_fault|test_rollout_overlap|test_trace|test_quant_rollout|test_serve')
 
 echo "== Address/UB sanitizer + checked tensor accessors: full test suite =="
 cmake -S "$root" -B "$build_root/asan" \

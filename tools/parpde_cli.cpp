@@ -10,11 +10,14 @@
 //   parpde_cli info     --model=model.ppde
 //   parpde_cli info     --data=frames.ppfr
 
+#include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <stdexcept>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "backend/kernel_backend.hpp"
 #include "core/checkpoint.hpp"
@@ -25,11 +28,17 @@
 #include "euler/simulate.hpp"
 #include "minimpi/fault.hpp"
 #include "pde/advection.hpp"
+#include "serve/surrogate_server.hpp"
 #include "util/ascii_plot.hpp"
 #include "util/log.hpp"
 #include "util/options.hpp"
+#include "util/random.hpp"
 #include "util/table.hpp"
 #include "util/telemetry.hpp"
+
+// Shared percentile helpers (the same p50/p99 formula every BENCH_*.json
+// uses); header-only, so the tools target needs no bench library.
+#include "../bench/latency_stats.hpp"
 
 using namespace parpde;
 using namespace parpde::core;
@@ -38,7 +47,8 @@ namespace {
 
 int usage() {
   std::fprintf(stderr,
-               "usage: parpde_cli <simulate|train|eval|rollout|info> [--flags]\n"
+               "usage: parpde_cli <simulate|train|eval|rollout|serve|info> "
+               "[--flags]\n"
                "  simulate --pde=euler|advection --grid=N --frames=N "
                "[--steps-per-frame=N] --out=FILE\n"
                "  train    --data=FILE --out=FILE [--ranks=N] [--epochs=N] "
@@ -69,6 +79,19 @@ int usage() {
                "           [--tasks-per-rank=N] [--lease-ms=N] [--no-recover]\n"
                "           [--state-dir=DIR] [--state-every=N]   (PPES rollout\n"
                "                             state snapshots for adoption)\n"
+               "  serve    --model=FILE [--sessions=N] [--steps=N] "
+               "[--backend=fp32|int8]\n"
+               "           [--grid=N]   (synthetic seeded sessions; default)\n"
+               "           [--data=FILE --start=N]   (replay-client mode:\n"
+               "                             sessions start from successive\n"
+               "                             recorded frames)\n"
+               "           [--serial]   (disable cross-session coalescing;\n"
+               "                             one request per dispatch)\n"
+               "           [--max-batch=N] [--window-ms=X] [--queue-depth=N]\n"
+               "           [--deadline-ms=X]   (per-request deadline; late\n"
+               "                             queued requests are rejected)\n"
+               "           requires a zero-padded model (--border=zero);\n"
+               "           see docs/serving.md\n"
                "  info     --model=FILE | --data=FILE\n"
                "observability flags (any command; see docs/observability.md):\n"
                "  --trace=FILE      Chrome trace-event JSON of the run's spans,\n"
@@ -575,6 +598,160 @@ int cmd_rollout(const util::Options& opts) {
   return rc;
 }
 
+// Multi-session inference service over one trained network (docs/serving.md).
+// Sessions run autoregressively inside the process: client threads step their
+// sessions in a closed loop while the coalescing scheduler batches
+// same-geometry requests into wide GEMMs. With --data the sessions replay
+// recorded states — each session starts from a different dataset frame
+// (replay-client mode); without it they start from seeded synthetic fields
+// at --grid. Requires a "same"-padded model (train with --border=zero):
+// sessions keep a fixed geometry across steps.
+int cmd_serve(const util::Options& opts) {
+  const auto checkpoint = load_ensemble(require(opts, "model"));
+  if (checkpoint.border != BorderMode::kZeroPad) {
+    std::fprintf(stderr,
+                 "serve requires a zero-padded model (fixed session geometry);"
+                 " this checkpoint was trained with --border=%s\n",
+                 border_mode_name(checkpoint.border).c_str());
+    return 2;
+  }
+  if (checkpoint.report.rank_outcomes.empty() ||
+      checkpoint.report.rank_outcomes[0].parameters.empty()) {
+    std::fprintf(stderr, "checkpoint carries no trained parameters\n");
+    return 2;
+  }
+  const TrainConfig config = inference_config(checkpoint);
+  const auto model =
+      rebuild_model(config, checkpoint.report.rank_outcomes[0].parameters);
+  const std::int64_t channels = config.network.channels.front();
+
+  const int sessions = opts.get_int("sessions", 4);
+  const int steps = opts.get_int("steps", 16);
+  const double deadline_ms = opts.get_double("deadline-ms", 0.0);
+  const std::string backend_name = opts.get_string("backend", "fp32");
+  const backend::KernelBackend* bk = backend::by_name(backend_name);
+  if (bk == nullptr) {
+    std::fprintf(stderr, "unknown --backend=%s (fp32 or int8)\n",
+                 backend_name.c_str());
+    return 2;
+  }
+
+  // Session initial conditions: recorded frames (replay-client mode) or
+  // seeded synthetic fields.
+  std::vector<Tensor> initials;
+  std::int64_t grid_h = 0, grid_w = 0;
+  if (opts.has("data")) {
+    const data::FrameDataset dataset(
+        data::load_frames(opts.get_string("data", "")));
+    if (dataset.channels() != channels) {
+      std::fprintf(stderr,
+                   "dataset has %lld channels, the model expects %lld\n",
+                   static_cast<long long>(dataset.channels()),
+                   static_cast<long long>(channels));
+      return 2;
+    }
+    const auto start = static_cast<std::int64_t>(opts.get_int("start", 0));
+    if (start + sessions > dataset.num_frames()) {
+      std::fprintf(stderr, "replay window [%lld, %lld) exceeds the dataset\n",
+                   static_cast<long long>(start),
+                   static_cast<long long>(start + sessions));
+      return 2;
+    }
+    grid_h = dataset.height();
+    grid_w = dataset.width();
+    for (int s = 0; s < sessions; ++s) {
+      initials.push_back(dataset.frame(start + s));
+    }
+  } else {
+    grid_h = grid_w = static_cast<std::int64_t>(opts.get_int("grid", 64));
+    for (int s = 0; s < sessions; ++s) {
+      Tensor ic({channels, grid_h, grid_w});
+      util::Rng rng(100 + static_cast<std::uint64_t>(s));
+      rng.fill_uniform(ic.values(), 0.5f, 1.5f);
+      initials.push_back(std::move(ic));
+    }
+  }
+
+  serve::ServerOptions server_options;
+  server_options.backend = bk;
+  server_options.max_batch = opts.get_int("max-batch", 8);
+  server_options.queue_depth = opts.get_int("queue-depth", 64);
+  server_options.max_sessions = sessions;
+  server_options.coalesce = !opts.get_bool("serial", false);
+  server_options.coalesce_window_ms = opts.get_double("window-ms", 0.0);
+  serve::SurrogateServer server(*model, channels, grid_h, grid_w,
+                                server_options);
+  if (server.needs_calibration()) server.calibrate(initials[0].data());
+
+  std::vector<std::int64_t> ids(static_cast<std::size_t>(sessions));
+  for (int s = 0; s < sessions; ++s) {
+    ids[static_cast<std::size_t>(s)] =
+        server.open_session(initials[static_cast<std::size_t>(s)].data());
+  }
+  std::vector<std::vector<double>> latencies(
+      static_cast<std::size_t>(sessions));
+  std::atomic<std::uint64_t> deadline_misses{0};
+  const auto t0 = std::chrono::steady_clock::now();
+  std::vector<std::thread> clients;
+  for (int s = 0; s < sessions; ++s) {
+    clients.emplace_back([&, s] {
+      for (int t = 0; t < steps; ++t) {
+        const serve::StepResult r =
+            server.step(ids[static_cast<std::size_t>(s)], deadline_ms);
+        if (r.ok()) {
+          latencies[static_cast<std::size_t>(s)].push_back(r.latency_seconds);
+        } else if (r.reject == serve::Reject::kDeadline) {
+          deadline_misses.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (auto& c : clients) c.join();
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+
+  std::vector<double> all;
+  for (const auto& mine : latencies) {
+    all.insert(all.end(), mine.begin(), mine.end());
+  }
+  const parpde::bench::LatencySummary lat =
+      parpde::bench::summarize_latencies(all);
+  const serve::ServerStats stats = server.stats();
+  util::Table table({"figure", "value"});
+  table.add_row({"sessions", std::to_string(sessions)});
+  table.add_row({"steps/session", std::to_string(steps)});
+  table.add_row({"backend", backend_name});
+  table.add_row({"dispatch", server_options.coalesce ? "coalesced" : "serial"});
+  table.add_row({"requests", std::to_string(stats.requests)});
+  table.add_row({"rejected", std::to_string(stats.rejected)});
+  table.add_row({"deadline misses", std::to_string(deadline_misses.load())});
+  table.add_row(
+      {"throughput [req/s]",
+       util::Table::fmt(static_cast<double>(all.size()) / wall, 1)});
+  table.add_row({"p50 latency [ms]", util::Table::fmt(lat.p50 * 1e3, 3)});
+  table.add_row({"p99 latency [ms]", util::Table::fmt(lat.p99 * 1e3, 3)});
+  table.add_row(
+      {"mean batch",
+       util::Table::fmt(stats.batches > 0
+                            ? static_cast<double>(stats.requests -
+                                                  stats.rejected) /
+                                  static_cast<double>(stats.batches)
+                            : 0.0,
+                        2)});
+  table.add_row({"growth events", std::to_string(server.growth_events())});
+  table.print("serve summary (" +
+              std::string(opts.has("data") ? "replay" : "synthetic") +
+              " sessions):");
+  std::printf("batch occupancy:");
+  for (std::size_t b = 1; b < stats.occupancy.size(); ++b) {
+    std::printf(" %zux%llu", b,
+                static_cast<unsigned long long>(stats.occupancy[b]));
+  }
+  std::printf("\n");
+  return 0;
+}
+
 int cmd_info(const util::Options& opts) {
   if (opts.has("model")) {
     const auto checkpoint = load_ensemble(opts.get_string("model", ""));
@@ -616,6 +793,7 @@ int run_command(const std::string& command, const util::Options& opts) {
   if (command == "train") return cmd_train(opts);
   if (command == "eval") return cmd_eval(opts);
   if (command == "rollout") return cmd_rollout(opts);
+  if (command == "serve") return cmd_serve(opts);
   if (command == "info") return cmd_info(opts);
   return usage();
 }

@@ -44,6 +44,13 @@ rule):
                    derived from the *task* id via the Assignment map —
                    block_of_rank(comm.rank()) silently re-freezes the
                    pre-elastic task==rank identity and breaks adoption.
+  serve-steady-alloc
+                   the serving layer (src/serve/) promises zero heap
+                   allocations per request: allocation primitives (new,
+                   make_unique/shared, resize/reserve/push_back/...,
+                   std::to_string) are banned outside regions bracketed by
+                   `// serve-lint: setup-begin` / `setup-end` comments
+                   (construction, calibration, session open).
   lock-held-comm   no blocking send/recv/recv_for/collective while a
                    lock_guard/unique_lock/scoped_lock is live in an enclosing
                    scope: a peer blocked on the same mutex can never complete
@@ -496,6 +503,60 @@ def rule_lock_held_comm(rel: str, code: str, out: list):
             )
 
 
+# --- rule: serve-steady-alloc ------------------------------------------------
+
+# The serving layer's request path promises zero heap allocations per request
+# (docs/serving.md; enforced dynamically by the counting-allocator test in
+# tests/test_serve.cpp). This rule keeps the promise visible in review:
+# allocation primitives are banned in src/serve/ except inside regions
+# bracketed by `// serve-lint: setup-begin` ... `// serve-lint: setup-end`
+# (construction, calibration, session open — the paths that are allowed to
+# size buffers once).
+SERVE_PREFIX = "src/serve/"
+
+_SERVE_SETUP_BEGIN = re.compile(r"//\s*serve-lint:\s*setup-begin")
+_SERVE_SETUP_END = re.compile(r"//\s*serve-lint:\s*setup-end")
+_SERVE_ALLOC = re.compile(
+    r"\bnew\b"
+    r"|\bmake_(?:unique|shared)\s*<"
+    r"|\.\s*(?:resize|reserve|push_back|emplace_back|assign|insert|append)"
+    r"\s*\("
+    r"|\bstd::to_string\s*\("
+)
+
+
+def rule_serve_steady_alloc(rel: str, code: str, raw: str, out: list):
+    if not rel.startswith(SERVE_PREFIX):
+        return
+    begins = [m.start() for m in _SERVE_SETUP_BEGIN.finditer(raw)]
+    ends = [m.start() for m in _SERVE_SETUP_END.finditer(raw)]
+    if len(begins) != len(ends) or any(b > e for b, e in zip(begins, ends)):
+        out.append(
+            Violation(
+                "serve-steady-alloc",
+                rel,
+                1,
+                "unbalanced serve-lint setup-begin/setup-end markers",
+            )
+        )
+        return
+    regions = list(zip(begins, ends))
+    for m in _SERVE_ALLOC.finditer(code):
+        if any(b <= m.start() < e for b, e in regions):
+            continue
+        out.append(
+            Violation(
+                "serve-steady-alloc",
+                rel,
+                line_of(code, m.start()),
+                "heap allocation on a serving steady-state path — the "
+                "per-request contract is zero allocations (pre-size in a "
+                "`// serve-lint: setup-begin` region instead; "
+                "docs/serving.md)",
+            )
+        )
+
+
 # --- rule: include-hygiene ---------------------------------------------------
 
 _INCLUDE = re.compile(r'#\s*include\s+(["<][^">]+[">])')
@@ -578,6 +639,7 @@ def lint_file(root: str, rel: str) -> list:
     rule_backend_bypass(rel_posix, code, out)
     rule_raw_rank_block(rel_posix, code, out)
     rule_lock_held_comm(rel_posix, code, out)
+    rule_serve_steady_alloc(rel_posix, code, raw, out)
     rule_include_hygiene(rel_posix, code_includes, raw, out)
     return out
 
@@ -729,6 +791,22 @@ SEEDED_FILES = {
         "  auto block = partition.block_of_rank(comm.rank());\n"
         "}\n"
     ),
+    # serve-steady-alloc: a push_back and a bare new on steady-state serving
+    # paths (both flagged) next to a resize inside the marked setup region
+    # (fine) and an alloc mention in a comment (fine).
+    "src/serve/bad_steady_alloc.cpp": (
+        '#include "serve/bad_steady_alloc.hpp"\n'
+        "// serve-lint: setup-begin\n"
+        "Server::Server() {\n"
+        "  sessions_.resize(64);\n"
+        "}\n"
+        "// serve-lint: setup-end\n"
+        "void Server::step() {\n"
+        "  // pre-sized: no resize here\n"
+        "  pending_.push_back(req);\n"
+        "  auto* node = new Request();\n"
+        "}\n"
+    ),
     # include-hygiene: missing pragma once, parent include, bits include.
     "src/util/bad_header.hpp": (
         "#include <vector>\n"
@@ -759,6 +837,7 @@ EXPECTED = {
     "raw-clock": {"src/core/bad_clock.cpp"},
     "raw-rank-block": {"src/elastic/bad_rank_block.cpp"},
     "lock-held-comm": {"src/domain/bad_lock_comm.cpp"},
+    "serve-steady-alloc": {"src/serve/bad_steady_alloc.cpp"},
 }
 
 
@@ -832,6 +911,14 @@ def self_test() -> int:
             failures.append(
                 f"lock-held-comm: expected exactly 2 findings, got "
                 f"{len(locked)}"
+            )
+        # Exactly the push_back and the new: the marked-region resize and the
+        # commented mention in the same seed must not be flagged.
+        steady = [v for v in violations if v.rule == "serve-steady-alloc"]
+        if len(steady) != 2:
+            failures.append(
+                f"serve-steady-alloc: expected exactly 2 findings, got "
+                f"{len(steady)}"
             )
         if failures:
             print("parpde_lint self-test FAILED:", file=sys.stderr)
